@@ -1,0 +1,27 @@
+"""Shared benchmark utilities.
+
+Every benchmark regenerates one paper table/figure: it runs the experiment
+once (``benchmark.pedantic(..., rounds=1)`` — these are simulations, not
+micro-benchmarks), prints the paper-vs-measured report, and archives it
+under ``benchmarks/reports/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+REPORTS_DIR = pathlib.Path(__file__).parent / "reports"
+
+
+def record_report(name: str, text: str) -> None:
+    """Print a report and archive it for EXPERIMENTS.md."""
+    REPORTS_DIR.mkdir(exist_ok=True)
+    (REPORTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{'=' * 72}\n{text}\n{'=' * 72}", file=sys.stderr, flush=True)
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run a whole-experiment function exactly once under the benchmark."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

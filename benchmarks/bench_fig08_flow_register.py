@@ -1,0 +1,18 @@
+"""Figure 8b — linear-counting flow-register accuracy.
+
+Paper: a register accurately estimates ~2x more flows than it has bits;
+32 bits suffice for the 64-flow hybrid-mode threshold.
+"""
+
+from repro.analysis.experiments import fig08_flow_register
+
+from _common import record_report, run_once
+
+
+def test_fig08_flow_register_accuracy(benchmark):
+    points = run_once(benchmark, fig08_flow_register.run,
+                      bit_sizes=(8, 16, 32, 64, 128, 256), trials=25)
+    record_report("fig08_flow_register",
+                  fig08_flow_register.report(points))
+    at_2x = [p for p in points if p.true_flows == 2 * p.bits]
+    assert sum(p.relative_error for p in at_2x) / len(at_2x) < 0.25

@@ -1,0 +1,20 @@
+"""Figure 11 — tuple space search scaling with tuple count.
+
+Paper: HALO non-blocking scales TSS up to 23.4x at 20 tuples; blocking
+mode is limited; TCAM-class devices stay flat and fastest.
+"""
+
+from repro.analysis.experiments import fig11_tuple_space
+
+from _common import record_report, run_once
+
+
+def test_fig11_tuple_space_scaling(benchmark):
+    points = run_once(benchmark, fig11_tuple_space.run,
+                      tuple_counts=(5, 10, 15, 20), packets=40)
+    record_report("fig11_tuple_space", fig11_tuple_space.report(points))
+    last = points[-1].normalized_throughput()
+    first = points[0].normalized_throughput()
+    assert last["halo-nb"] >= 14.0          # paper: up to 23.4x
+    assert last["halo-nb"] > first["halo-nb"] * 1.5
+    assert last["halo-b"] < 5.0             # blocking mode limited

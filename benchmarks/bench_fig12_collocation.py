@@ -1,0 +1,21 @@
+"""Figure 12 — interference on collocated network functions.
+
+Paper: the software switch drops ACL/Snort/mTCP throughput 17-26% via L1D
+pollution; the HALO switch costs them < 3.2%.
+"""
+
+from repro.analysis.experiments import fig12_collocation
+from repro.vswitch import SwitchMode
+
+from _common import record_report, run_once
+
+
+def test_fig12_collocated_nf_interference(benchmark):
+    results = run_once(benchmark, fig12_collocation.run,
+                       flow_counts=(1_000, 50_000), packets=350, warmup=350)
+    record_report("fig12_collocation", fig12_collocation.report(results))
+    software = [r for r in results if r.switch_mode is SwitchMode.SOFTWARE]
+    halo = [r for r in results if r.switch_mode is not SwitchMode.SOFTWARE]
+    assert max(r.throughput_drop for r in software) > 0.08
+    assert max(r.throughput_drop for r in halo) < 0.05
+    assert all(r.l1_miss_increase > 0.05 for r in software)

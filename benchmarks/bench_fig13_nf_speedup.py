@@ -1,0 +1,18 @@
+"""Figure 13 — hash-table NF throughput gains with HALO.
+
+Paper: NAT, prads, and a hash-based packet filter speed up by 2.3-2.7x.
+"""
+
+from repro.analysis.experiments import fig13_nf_speedup
+
+from _common import record_report, run_once
+
+
+def test_fig13_nf_speedups(benchmark):
+    rows = run_once(benchmark, fig13_nf_speedup.run, packets=250)
+    record_report("fig13_nf_speedup", fig13_nf_speedup.report(rows))
+    assert all(row.speedup > 1.3 for row in rows)
+    largest = [max((r for r in rows if r.nf_name == name),
+                   key=lambda r: r.table_entries)
+               for name in {r.nf_name for r in rows}]
+    assert all(1.9 <= row.speedup <= 3.0 for row in largest)

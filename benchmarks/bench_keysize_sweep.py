@@ -1,0 +1,16 @@
+"""§3.4 — lookup cost across header/key sizes (4-64 B).
+
+The paper profiles hash-table lookups over the typical network-header
+sizes; HALO's advantage holds across the range.
+"""
+
+from repro.analysis.experiments import keysize_sweep
+
+from _common import record_report, run_once
+
+
+def test_keysize_sweep(benchmark):
+    points = run_once(benchmark, keysize_sweep.run, lookups=200)
+    record_report("keysize_sweep", keysize_sweep.report(points))
+    assert all(p.speedup > 1.5 for p in points)
+    assert points[-1].software_cycles >= points[0].software_cycles

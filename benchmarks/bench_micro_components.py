@@ -1,0 +1,97 @@
+"""Micro-benchmarks of the library's own hot components (wall-clock).
+
+Unlike the figure/table benches (whole simulations run once), these use
+pytest-benchmark's statistical timing on the data structures a downstream
+user calls in a loop: hashing, cuckoo operations, classification, the DES
+engine, and cache accesses.
+"""
+
+import numpy as np
+import pytest
+
+from repro.classifier import Action, FlowMask, OvsDatapath, make_flow, rule_for_flow
+from repro.hashtable import CuckooHashTable, hash_bytes
+from repro.sim import Engine, MemoryHierarchy
+from repro.traffic import random_keys
+
+
+@pytest.fixture(scope="module")
+def table():
+    table = CuckooHashTable(1 << 14)
+    keys = random_keys(10_000, seed=1)
+    for index, key in enumerate(keys):
+        table.insert(key, index)
+    return table, keys
+
+
+def test_perf_hash_bytes(benchmark):
+    key = b"0123456789abcdef"
+    benchmark(hash_bytes, key)
+
+
+def test_perf_cuckoo_lookup_hit(benchmark, table):
+    cuckoo, keys = table
+    benchmark(cuckoo.lookup, keys[1234])
+
+
+def test_perf_cuckoo_lookup_miss(benchmark, table):
+    cuckoo, _keys = table
+    missing = random_keys(1, seed=777)[0]
+    benchmark(cuckoo.lookup, missing)
+
+
+def test_perf_cuckoo_insert_delete(benchmark, table):
+    cuckoo, _keys = table
+    fresh = random_keys(1, seed=888)[0]
+
+    def insert_then_delete():
+        cuckoo.insert(fresh, 0)
+        cuckoo.delete(fresh)
+
+    benchmark(insert_then_delete)
+
+
+def test_perf_datapath_classify(benchmark):
+    datapath = OvsDatapath()
+    mask = FlowMask.prefixes(dst_prefix=16, src_prefix=0,
+                             src_port=False, dst_port=False)
+    for group in range(8):
+        datapath.install_rule(rule_for_flow(make_flow(0, group=group),
+                                            Action.output(group), mask))
+    flows = [make_flow(index, group=index % 8) for index in range(512)]
+    for flow in flows:
+        datapath.classify(flow)   # warm the caches
+    state = {"i": 0}
+
+    def classify_next():
+        state["i"] = (state["i"] + 1) % len(flows)
+        return datapath.classify(flows[state["i"]])
+
+    benchmark(classify_next)
+
+
+def test_perf_engine_event_throughput(benchmark):
+    def run_events():
+        engine = Engine()
+
+        def ticker():
+            for _ in range(1000):
+                yield engine.timeout(1)
+
+        engine.process(ticker())
+        engine.run()
+
+    benchmark(run_events)
+
+
+def test_perf_hierarchy_access(benchmark):
+    hierarchy = MemoryHierarchy()
+    addrs = [int(a) * 64 for a in
+             np.random.default_rng(3).integers(0, 1 << 18, size=256)]
+    state = {"i": 0}
+
+    def access_next():
+        state["i"] = (state["i"] + 1) % len(addrs)
+        return hierarchy.core_access(0, addrs[state["i"]])
+
+    benchmark(access_next)

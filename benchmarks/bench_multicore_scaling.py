@@ -1,0 +1,19 @@
+"""Multi-core switch scaling (§3.4 motivation / §4.1 design goal 2).
+
+HALO's distributed per-CHA accelerators must not become a centralised
+bottleneck as PMD cores scale.
+"""
+
+from repro.analysis.experiments import multicore_scaling
+
+from _common import record_report, run_once
+
+
+def test_multicore_switch_scaling(benchmark):
+    points = run_once(benchmark, multicore_scaling.run,
+                      core_counts=(1, 2, 4, 8), packets_per_core=20)
+    record_report("multicore_scaling", multicore_scaling.report(points))
+    base, last = points[0], points[-1]
+    assert all(p.halo_speedup > 2.0 for p in points)
+    assert (last.halo_packets_per_kcycle
+            > base.halo_packets_per_kcycle * last.cores * 0.4)

@@ -1,0 +1,23 @@
+"""§3.4 — concurrency overhead on shared flow tables.
+
+Paper: the optimistic-locking scheme costs 13.1% of execution time, and
+concurrent cuckoo moves force reader retries; HALO's hardware lock bits
+remove both.
+"""
+
+from repro.analysis.experiments import sec34_concurrency
+
+from _common import record_report, run_once
+
+
+def test_sec34_shared_table_concurrency(benchmark):
+    result = run_once(benchmark, sec34_concurrency.run,
+                      table_entries=1 << 14, lookups=400)
+    record_report("sec34_concurrency", sec34_concurrency.report(result))
+    assert 0.08 <= result.software_lock_share <= 0.25
+    software_overhead = (result.software_cycles_contended
+                         / result.software_cycles_idle - 1)
+    halo_overhead = (result.halo_cycles_contended
+                     / result.halo_cycles_idle - 1)
+    assert software_overhead > 0.02
+    assert halo_overhead < software_overhead / 2

@@ -1,0 +1,18 @@
+"""Table 1 / §3.4 — per-lookup instruction profile and locking overhead.
+
+Paper: ~210 instructions/lookup (48.1% memory, 21.0% arithmetic, 30.9%
+other); optimistic locking costs 13.1% of execution time.
+"""
+
+from repro.analysis.experiments import tab01_instructions
+
+from _common import record_report, run_once
+
+
+def test_tab01_lookup_instruction_profile(benchmark):
+    result = run_once(benchmark, tab01_instructions.run,
+                      lookups=600, table_entries=1 << 16)
+    record_report("tab01_instructions", tab01_instructions.report(result))
+    assert abs(result.instructions_per_lookup - 210) < 25
+    assert abs(result.memory_fraction - 0.481) < 0.03
+    assert abs(result.locking_share - 0.131) < 0.05

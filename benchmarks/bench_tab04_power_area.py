@@ -1,0 +1,19 @@
+"""Table 4 — power and area of hardware flow-classification solutions.
+
+Paper: TCAM 1KB-1MB explodes in cost with capacity; one HALO accelerator
+costs 0.012 tiles / 97.2 mW / 1.76 nJ per query and is up to 48.2x more
+energy-efficient than TCAM.
+"""
+
+import pytest
+
+from repro.analysis.experiments import tab04_power
+
+from _common import record_report, run_once
+
+
+def test_tab04_power_and_area(benchmark):
+    result = run_once(benchmark, tab04_power.run)
+    record_report("tab04_power_area", tab04_power.report(result))
+    assert result.efficiency_vs_1mb_tcam == pytest.approx(48.2, abs=0.1)
+    assert result.halo.area_tiles == 0.012

@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Collocated tenants: the cache-pollution story of Figure 12.
+
+An intrusion-detection NF shares an SMT core with the virtual switch.
+With software classification, every packet's EMC/MegaFlow walk drags the
+switch's tables through the shared L1/L2 and evicts the NF's hot state.
+With HALO, lookups run at the CHAs and the NF keeps its caches.
+
+Run:  python examples/collocated_tenants.py
+"""
+
+from repro.nf import AclFunction, IdsFunction, TcpStackFunction
+from repro.nf.collocation import run_collocation
+from repro.vswitch import SwitchMode
+
+NFS = {
+    "acl": lambda system: AclFunction(system.hierarchy),
+    "snort": lambda system: IdsFunction(system.hierarchy),
+    "mtcp": lambda system: TcpStackFunction(system.hierarchy),
+}
+
+
+def main() -> None:
+    print("NF collocated with the virtual switch on one SMT core "
+          "(20K flows)\n")
+    print(f"{'NF':>6} {'switch':>10} {'NF slowdown':>12} "
+          f"{'L1D miss (solo -> coloc)':>26}")
+    for name, factory in NFS.items():
+        for mode in (SwitchMode.SOFTWARE, SwitchMode.HALO_NONBLOCKING):
+            result = run_collocation(factory, num_flows=20_000,
+                                     switch_mode=mode, packets=300,
+                                     warmup=300)
+            print(f"{name:>6} {mode.value:>10} "
+                  f"{result.throughput_drop:>11.1%} "
+                  f"{result.solo_l1_miss_ratio:>11.1%} -> "
+                  f"{result.colocated_l1_miss_ratio:.1%}")
+    print("\npaper: software switch costs the NFs 17-26%; "
+          "HALO costs < 3.2%.")
+
+
+if __name__ == "__main__":
+    main()

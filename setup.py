@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e .`` on this box lacks ``wheel`` (offline), so the PEP 660
+editable path cannot build; this shim lets the legacy ``setup.py develop``
+path (``pip install -e . --no-use-pep517 --no-build-isolation``) work.
+Metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,37 @@
+"""repro — a full Python reproduction of *HALO: Accelerating Flow
+Classification for Scalable Packet Processing in NFV* (ISCA 2019).
+
+Package map (see DESIGN.md for the complete inventory):
+
+* :mod:`repro.sim` — approximate cycle-level multicore simulator
+  (the gem5 substitute): DES engine, caches, NUCA LLC + CHAs, DRAM,
+  OoO-core cost model.
+* :mod:`repro.hashtable` — DPDK-style cuckoo hash and the SFH baseline.
+* :mod:`repro.classifier` — flows, rules, EMC, tuple space search,
+  OpenFlow layer, the OVS datapath.
+* :mod:`repro.vswitch` — the instrumented virtual switch.
+* :mod:`repro.traffic` — workload generation (the IXIA substitute).
+* :mod:`repro.nf` — the six network functions of Table 3.
+* :mod:`repro.tcam` — TCAM / SRAM-TCAM comparators and power models.
+* :mod:`repro.core` — ★ HALO itself: per-CHA accelerators, query
+  distributor, hardware lock bits, the LOOKUP_B/LOOKUP_NB/SNAPSHOT_READ
+  ISA extension, the flow register, and the hybrid mode.
+* :mod:`repro.analysis` — breakdowns, reporting, and one experiment
+  runner per reproduced table/figure.
+
+Quickstart::
+
+    from repro.core import HaloSystem
+
+    system = HaloSystem()
+    table = system.create_table(capacity=65536)
+    table.insert(b"0123456789abcdef", "value")
+    episode = system.run_blocking_lookups(table, [b"0123456789abcdef"])
+    print(episode.results[0].value, episode.cycles_per_op)
+"""
+
+__version__ = "1.0.0"
+
+from .core.halo_system import HaloSystem  # noqa: F401  (primary entry point)
+
+__all__ = ["HaloSystem", "__version__"]

@@ -1,0 +1,176 @@
+"""Command-line entry point: list and run the paper's experiments.
+
+Usage::
+
+    python -m repro list
+    python -m repro run fig11
+    python -m repro run all
+    python -m repro run fig09 --quick
+
+Each experiment prints the same paper-vs-measured report the benchmark
+harness archives; ``--quick`` shrinks workloads for a fast look.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Tuple
+
+from .analysis.experiments import (
+    fig03_breakdown,
+    fig04_hash,
+    fig08_flow_register,
+    fig09_single_lookup,
+    fig10_breakdown,
+    fig11_tuple_space,
+    fig12_collocation,
+    fig13_nf_speedup,
+    keysize_sweep,
+    multicore_scaling,
+    sec34_concurrency,
+    tab01_instructions,
+    tab04_power,
+    updates_comparison,
+)
+
+
+def _fig03(quick: bool) -> str:
+    rows = fig03_breakdown.run(max_flows=10_000 if quick else 60_000,
+                               packets=400 if quick else 1_500,
+                               warmup=150 if quick else 500)
+    return fig03_breakdown.report(rows)
+
+
+def _fig04(quick: bool) -> str:
+    counts = (1_000, 20_000) if quick else (1_000, 10_000, 100_000, 400_000)
+    rows = fig04_hash.run(flow_counts=counts,
+                          lookups=400 if quick else 1_200)
+    return fig04_hash.report(rows)
+
+
+def _tab01(quick: bool) -> str:
+    result = tab01_instructions.run(lookups=200 if quick else 600)
+    return tab01_instructions.report(result)
+
+
+def _fig08(quick: bool) -> str:
+    points = fig08_flow_register.run(trials=8 if quick else 25)
+    return fig08_flow_register.report(points)
+
+
+def _fig09(quick: bool) -> str:
+    sizes = ((2 ** 3, 2 ** 9, 2 ** 15) if quick
+             else fig09_single_lookup.DEFAULT_SIZES)
+    size_points = fig09_single_lookup.run_size_sweep(
+        sizes=sizes, lookups=120 if quick else 300)
+    occupancy_points = ([] if quick
+                        else fig09_single_lookup.run_occupancy_sweep())
+    return fig09_single_lookup.report(size_points, occupancy_points)
+
+
+def _fig10(quick: bool) -> str:
+    cells = fig10_breakdown.run(table_entries=1 << 13 if quick else 1 << 16,
+                                lookups=60 if quick else 200)
+    return fig10_breakdown.report(cells)
+
+
+def _fig11(quick: bool) -> str:
+    points = fig11_tuple_space.run(packets=15 if quick else 40)
+    return fig11_tuple_space.report(points)
+
+
+def _fig12(quick: bool) -> str:
+    results = fig12_collocation.run(
+        flow_counts=(5_000,) if quick else (1_000, 50_000),
+        packets=150 if quick else 400,
+        warmup=150 if quick else 400,
+        nf_names=("acl",) if quick else ("acl", "snort", "mtcp"))
+    return fig12_collocation.report(results)
+
+
+def _fig13(quick: bool) -> str:
+    sizes = ({"nat": (1_000,), "prads": (1_000,), "pktfilter": (100,)}
+             if quick else None)
+    rows = fig13_nf_speedup.run(sizes_per_nf=sizes,
+                                packets=80 if quick else 250)
+    return fig13_nf_speedup.report(rows)
+
+
+def _keysize(quick: bool) -> str:
+    points = keysize_sweep.run(lookups=80 if quick else 200)
+    return keysize_sweep.report(points)
+
+
+def _multicore(quick: bool) -> str:
+    points = multicore_scaling.run(
+        core_counts=(1, 2, 4) if quick else (1, 2, 4, 8),
+        packets_per_core=8 if quick else 20)
+    return multicore_scaling.report(points)
+
+
+def _sec34(quick: bool) -> str:
+    result = sec34_concurrency.run(
+        table_entries=1 << 12 if quick else 1 << 14,
+        lookups=120 if quick else 400)
+    return sec34_concurrency.report(result)
+
+
+def _tab04(_quick: bool) -> str:
+    return tab04_power.report(tab04_power.run())
+
+
+def _updates(quick: bool) -> str:
+    result = updates_comparison.run(updates=400 if quick else 2_000)
+    return updates_comparison.report(result)
+
+
+EXPERIMENTS: Dict[str, Tuple[str, Callable[[bool], str]]] = {
+    "fig03": ("packet-processing breakdown (5 traffic configs)", _fig03),
+    "fig04": ("cuckoo vs SFH cache behaviour", _fig04),
+    "tab01": ("per-lookup instruction profile + locking share", _tab01),
+    "fig08": ("flow-register estimation accuracy", _fig08),
+    "fig09": ("single-lookup throughput sweep", _fig09),
+    "fig10": ("lookup latency breakdown (LLC/DRAM)", _fig10),
+    "fig11": ("tuple space search scaling", _fig11),
+    "fig12": ("collocated NF interference", _fig12),
+    "fig13": ("hash-table NF speedups", _fig13),
+    "sec34": ("shared-table concurrency overhead", _sec34),
+    "tab04": ("power and area (TCAM vs HALO)", _tab04),
+    "updates": ("rule-update cost: cuckoo vs TCAM", _updates),
+    "multicore": ("multi-core switch scaling, software vs HALO",
+                  _multicore),
+    "keysize": ("lookup cost vs header size (4-64 B)", _keysize),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="HALO (ISCA 2019) reproduction — experiment runner")
+    subparsers = parser.add_subparsers(dest="command")
+    subparsers.add_parser("list", help="list available experiments")
+    run_parser = subparsers.add_parser("run", help="run experiment(s)")
+    run_parser.add_argument("experiment",
+                            choices=sorted(EXPERIMENTS) + ["all"])
+    run_parser.add_argument("--quick", action="store_true",
+                            help="shrink workloads for a fast look")
+    args = parser.parse_args(argv)
+
+    if args.command == "list" or args.command is None:
+        print("experiments (python -m repro run <name> [--quick]):")
+        for name, (description, _func) in sorted(EXPERIMENTS.items()):
+            print(f"  {name:10s} {description}")
+        return 0
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" \
+        else [args.experiment]
+    for name in names:
+        _description, func = EXPERIMENTS[name]
+        print(func(args.quick))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,39 @@
+"""One module per reproduced table/figure; each exposes ``run()`` (returning
+structured results) and ``report()`` (rendering the paper-vs-measured text).
+
+See DESIGN.md §4 for the experiment index.
+"""
+
+from . import (
+    fig03_breakdown,
+    fig04_hash,
+    fig08_flow_register,
+    fig09_single_lookup,
+    fig10_breakdown,
+    fig11_tuple_space,
+    fig12_collocation,
+    fig13_nf_speedup,
+    keysize_sweep,
+    multicore_scaling,
+    sec34_concurrency,
+    tab01_instructions,
+    tab04_power,
+    updates_comparison,
+)
+
+__all__ = [
+    "fig03_breakdown",
+    "fig04_hash",
+    "fig08_flow_register",
+    "fig09_single_lookup",
+    "fig10_breakdown",
+    "fig11_tuple_space",
+    "fig12_collocation",
+    "fig13_nf_speedup",
+    "keysize_sweep",
+    "multicore_scaling",
+    "sec34_concurrency",
+    "tab01_instructions",
+    "tab04_power",
+    "updates_comparison",
+]

@@ -1,0 +1,72 @@
+"""Plain-text reporting: aligned tables and paper-vs-measured rows.
+
+Every benchmark prints its figure/table through these helpers so the
+regenerated rows line up with what the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, List, Optional, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[Any]],
+                 title: str = "") -> str:
+    """Render an aligned ASCII table."""
+    str_rows: List[List[str]] = [[_cell(value) for value in row]
+                                 for row in rows]
+    widths = [len(header) for header in headers]
+    for row in str_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header.ljust(width)
+                           for header, width in zip(headers, widths)))
+    lines.append("  ".join("-" * width for width in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(width)
+                               for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value >= 1000:
+            return f"{value:,.0f}"
+        if value >= 10:
+            return f"{value:.1f}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+@dataclass
+class PaperCheck:
+    """One paper-vs-measured comparison line."""
+
+    label: str
+    paper: str
+    measured: str
+    holds: Optional[bool] = None
+
+    def render(self) -> str:
+        status = "" if self.holds is None else ("  [shape holds]"
+                                                if self.holds
+                                                else "  [DIVERGES]")
+        return (f"  {self.label}: paper {self.paper} | "
+                f"measured {self.measured}{status}")
+
+
+def render_checks(title: str, checks: Iterable[PaperCheck]) -> str:
+    lines = [f"paper-vs-measured — {title}"]
+    lines.extend(check.render() for check in checks)
+    return "\n".join(lines)
+
+
+def ratio_str(value: float) -> str:
+    return f"{value:.2f}x"
+
+
+def percent_str(value: float) -> str:
+    return f"{value * 100:.1f}%"

@@ -1,0 +1,51 @@
+"""Flow classification: 5-tuples, masks, rules, EMC, tuple space search,
+the OpenFlow layer, and the three-layer OVS datapath."""
+
+from .datapath import Classification, DatapathStats, HitLayer, OvsDatapath
+from .dtree import DecisionTreeClassifier, TreeNode
+from .emc import DEFAULT_EMC_ENTRIES, ExactMatchCache
+from .flow import (
+    FiveTuple,
+    FlowMask,
+    KEY_BYTES,
+    PROTO_TCP,
+    PROTO_UDP,
+    make_flow,
+)
+from .openflow import OpenFlowLayer
+from .revalidator import DEFAULT_IDLE_TIMEOUT, Revalidator
+from .rules import Action, ActionKind, Rule, rule_for_flow
+from .tuple_space import (
+    DEFAULT_TUPLE_CAPACITY,
+    TupleEntry,
+    TupleSpaceSearch,
+    TupleSpaceStats,
+)
+
+__all__ = [
+    "Action",
+    "ActionKind",
+    "Classification",
+    "DEFAULT_EMC_ENTRIES",
+    "DEFAULT_TUPLE_CAPACITY",
+    "DatapathStats",
+    "DEFAULT_IDLE_TIMEOUT",
+    "DecisionTreeClassifier",
+    "ExactMatchCache",
+    "FiveTuple",
+    "FlowMask",
+    "HitLayer",
+    "KEY_BYTES",
+    "OpenFlowLayer",
+    "OvsDatapath",
+    "PROTO_TCP",
+    "PROTO_UDP",
+    "Revalidator",
+    "Rule",
+    "TreeNode",
+    "TupleEntry",
+    "TupleSpaceSearch",
+    "TupleSpaceStats",
+    "make_flow",
+    "rule_for_flow",
+]

@@ -1,0 +1,88 @@
+"""Exact Match Cache — the first OVS datapath layer (paper Figure 2a).
+
+A single hash table keyed by the *full* packet header: one lookup, no
+wildcard masking, fastest path.  Its capacity is deliberately small (OVS
+defaults to 8K entries), so only hot flows stay resident; under large flow
+counts it thrashes and most packets fall through to the MegaFlow layer —
+the effect behind Figure 3's growing MegaFlow share.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from ..hashtable.cuckoo import CuckooHashTable
+from ..sim.memory import AddressAllocator
+from ..sim.trace import Tracer, NULL_TRACER
+from .flow import FiveTuple
+from .rules import Rule
+
+#: OVS's default EMC capacity.
+DEFAULT_EMC_ENTRIES = 8192
+
+
+@dataclass
+class EmcStats:
+    lookups: int = 0
+    hits: int = 0
+    installs: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class ExactMatchCache:
+    """The EMC layer: exact-match flow -> rule cache with random eviction."""
+
+    def __init__(self, capacity: int = DEFAULT_EMC_ENTRIES,
+                 allocator: Optional[AddressAllocator] = None,
+                 tracer: Tracer = NULL_TRACER,
+                 seed: int = 0xE3C,
+                 name: str = "emc") -> None:
+        self.table = CuckooHashTable(
+            capacity, key_bytes=16, allocator=allocator, tracer=tracer,
+            name=name)
+        self.capacity = capacity
+        self.stats = EmcStats()
+        self._random = random.Random(seed)
+
+    def lookup(self, flow: FiveTuple) -> Optional[Rule]:
+        """One exact lookup; returns the cached rule or None."""
+        self.stats.lookups += 1
+        rule = self.table.lookup(flow.pack())
+        if rule is not None:
+            self.stats.hits += 1
+        return rule
+
+    def install(self, flow: FiveTuple, rule: Rule) -> None:
+        """Cache the classification result for this exact flow.
+
+        OVS's EMC replacement is probabilistic and in-place: when the new
+        key's candidate buckets are full, a random entry from one of them is
+        evicted.  That keeps installs O(1) — no cuckoo displacement search
+        runs for a cache layer that tolerates loss.
+        """
+        key = flow.pack()
+        plan = self.table.probe(key)
+        if plan.found:
+            self.table.insert(key, rule)   # refresh the cached rule
+            return
+        candidates = (plan.primary_index, plan.secondary_index)
+        if all(len(self.table.bucket_keys(index)) >= self.table.assoc
+               for index in candidates):
+            bucket = self._random.choice(candidates)
+            victims = self.table.bucket_keys(bucket)
+            if victims:
+                self.table.delete(self._random.choice(victims))
+                self.stats.evictions += 1
+        if self.table.insert(key, rule):
+            self.stats.installs += 1
+        # else: displacement path exhausted; skip caching (OVS behaves the
+        # same: EMC insertion is best-effort).
+
+    def __len__(self) -> int:
+        return len(self.table)

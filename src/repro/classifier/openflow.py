@@ -1,0 +1,69 @@
+"""OpenFlow layer — the slowest datapath layer (paper Figure 2a).
+
+Implemented with tuple space search like the MegaFlow layer, but with
+OpenFlow semantics: *every* tuple must be searched and the highest-priority
+match returned (overlapping rules with priorities).  A miss here punts to
+the controller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..sim.memory import AddressAllocator
+from ..sim.trace import Tracer, NULL_TRACER
+from .flow import FiveTuple
+from .rules import Rule
+from .tuple_space import TupleSpaceSearch
+
+
+@dataclass
+class OpenFlowStats:
+    classifications: int = 0
+    hits: int = 0
+    controller_punts: int = 0
+
+
+class OpenFlowLayer:
+    """Priority-correct classification over all tuples."""
+
+    def __init__(self, allocator: Optional[AddressAllocator] = None,
+                 tracer: Tracer = NULL_TRACER,
+                 tuple_capacity: int = 4096,
+                 name: str = "openflow") -> None:
+        self.tss = TupleSpaceSearch(
+            allocator=allocator, tracer=tracer,
+            tuple_capacity=tuple_capacity, name=name)
+        self.stats = OpenFlowStats()
+
+    @property
+    def num_tuples(self) -> int:
+        return self.tss.num_tuples
+
+    def __len__(self) -> int:
+        return len(self.tss)
+
+    def install(self, rule: Rule) -> bool:
+        return self.tss.install(rule)
+
+    def remove(self, rule: Rule) -> bool:
+        return self.tss.remove(rule)
+
+    def classify(self, flow: FiveTuple) -> Optional[Rule]:
+        """Search all tuples; return the highest-priority match.
+
+        Ties break on the lower rule_id (first-installed wins), matching
+        OVS's deterministic resolution.
+        """
+        self.stats.classifications += 1
+        matches = self.tss.classify_all(flow)
+        if not matches:
+            self.stats.controller_punts += 1
+            return None
+        self.stats.hits += 1
+        return max(matches, key=lambda rule: (rule.priority, -rule.rule_id))
+
+    def tuples_searched_per_classification(self) -> int:
+        """OpenFlow always searches every tuple."""
+        return self.tss.num_tuples

@@ -1,0 +1,137 @@
+"""Megaflow revalidation and idle expiry — OVS's revalidator threads.
+
+The datapath layers (EMC, MegaFlow) are *caches*: their entries must leave
+when the flows go idle or when the OpenFlow rules they were derived from
+change.  OVS runs revalidator threads that (a) expire megaflows not hit
+within an idle timeout and (b) re-run each cached megaflow against the
+current OpenFlow table, deleting entries whose answer changed.
+
+Without this, the paper's steady-state assumption ("most of the useful
+data ... can be cached in the LLC") would degrade as dead megaflows bloat
+the tuples — the revalidator is what keeps the cached working set equal to
+the *active* flows, which is also exactly what HALO's flow register
+estimates (§4.6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from .datapath import Classification, HitLayer, OvsDatapath
+from .flow import FiveTuple
+from .rules import Rule
+
+#: Idle time (in the caller's clock units, e.g. cycles or packets) after
+#: which an unused megaflow is reclaimed.  OVS's default is 10 s.
+DEFAULT_IDLE_TIMEOUT = 10_000
+
+_FlowKey = Tuple[object, bytes]   # (mask, packed masked key)
+
+
+def _entry_key(rule: Rule) -> _FlowKey:
+    return (rule.mask, rule.key)
+
+
+@dataclass
+class RevalidatorStats:
+    observed: int = 0
+    idle_expired: int = 0
+    revalidated: int = 0
+    stale_removed: int = 0
+    sweeps: int = 0
+
+
+class Revalidator:
+    """Ages and revalidates a datapath's cached megaflows."""
+
+    def __init__(self, datapath: OvsDatapath,
+                 idle_timeout: float = DEFAULT_IDLE_TIMEOUT) -> None:
+        self.datapath = datapath
+        self.idle_timeout = idle_timeout
+        self.stats = RevalidatorStats()
+        # megaflow entry -> (last_use, a flow that hit it — the revalidation
+        # witness)
+        self._last_use: Dict[_FlowKey, float] = {}
+        self._witness: Dict[_FlowKey, FiveTuple] = {}
+        self._entries: Dict[_FlowKey, Rule] = {}
+
+    # -- observation -------------------------------------------------------------
+    def observe(self, classification: Classification, now: float) -> None:
+        """Record one classification outcome (call per packet)."""
+        self.stats.observed += 1
+        if classification.layer not in (HitLayer.MEGAFLOW,
+                                        HitLayer.OPENFLOW):
+            return
+        rule = classification.rule
+        # MEGAFLOW hits touch the cached entry; OPENFLOW hits just installed
+        # one (the datapath's cache fill).
+        for key, entry in self._iter_matching_entries(classification.flow):
+            self._last_use[key] = now
+            self._witness[key] = classification.flow
+            break
+        else:
+            # Track the entry the datapath installed for this flow.
+            installed = self._find_installed(classification.flow)
+            if installed is not None:
+                key = _entry_key(installed)
+                self._entries[key] = installed
+                self._last_use[key] = now
+                self._witness[key] = classification.flow
+
+    def _iter_matching_entries(self, flow: FiveTuple):
+        for key, entry in self._entries.items():
+            if entry.matches(flow):
+                yield key, entry
+
+    def _find_installed(self, flow: FiveTuple) -> Optional[Rule]:
+        for tuple_entry in self.datapath.megaflow.tuples():
+            found = tuple_entry.lookup(flow)
+            if found is not None:
+                return found
+        return None
+
+    # -- reclamation ---------------------------------------------------------------
+    def sweep(self, now: float) -> int:
+        """Expire megaflows idle longer than the timeout; returns count."""
+        self.stats.sweeps += 1
+        expired = [key for key, last in self._last_use.items()
+                   if now - last > self.idle_timeout]
+        for key in expired:
+            entry = self._entries.pop(key, None)
+            self._last_use.pop(key, None)
+            self._witness.pop(key, None)
+            if entry is not None and self.datapath.megaflow.remove(entry):
+                self.stats.idle_expired += 1
+        return len(expired)
+
+    def revalidate(self) -> int:
+        """Re-check every tracked megaflow against the OpenFlow table.
+
+        An entry whose witness flow now classifies to a different action
+        (its origin rule was removed or superseded) is deleted — the next
+        packet takes the slow path and installs a fresh megaflow.
+        Returns the number of stale entries removed.
+        """
+        removed = 0
+        for key in list(self._entries):
+            entry = self._entries[key]
+            witness = self._witness.get(key)
+            self.stats.revalidated += 1
+            current = (self.datapath.openflow.classify(witness)
+                       if witness is not None else None)
+            stale = (current is None
+                     or current.action != entry.action
+                     or current.priority != entry.priority)
+            if stale:
+                self._entries.pop(key, None)
+                self._last_use.pop(key, None)
+                self._witness.pop(key, None)
+                if self.datapath.megaflow.remove(entry):
+                    self.stats.stale_removed += 1
+                    removed += 1
+        return removed
+
+    @property
+    def tracked_entries(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,140 @@
+"""Tuple space search — the MegaFlow layer (Srinivasan et al., paper §2.2).
+
+Rules are grouped by wildcard mask; each group ("tuple") is one hash table
+keyed by the masked header fields.  Classification masks the packet's
+5-tuple with each tuple's mask and looks the result up in that tuple's
+table.  The MegaFlow layer returns on the *first* match (tuples are
+unordered caches of disjoint megaflows); the OpenFlow layer — built on the
+same structure — must search all tuples and take the highest priority.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..hashtable.cuckoo import CuckooHashTable
+from ..sim.memory import AddressAllocator
+from ..sim.trace import Tracer, NULL_TRACER
+from .flow import FiveTuple, FlowMask
+from .rules import Rule
+
+DEFAULT_TUPLE_CAPACITY = 1024
+
+
+@dataclass
+class TupleSpaceStats:
+    classifications: int = 0
+    hits: int = 0
+    tuple_lookups: int = 0
+
+    @property
+    def lookups_per_classification(self) -> float:
+        if not self.classifications:
+            return 0.0
+        return self.tuple_lookups / self.classifications
+
+
+class TupleEntry:
+    """One tuple: a mask and its hash table of rules."""
+
+    __slots__ = ("mask", "table")
+
+    def __init__(self, mask: FlowMask, table: CuckooHashTable) -> None:
+        self.mask = mask
+        self.table = table
+
+    def lookup(self, flow: FiveTuple) -> Optional[Rule]:
+        return self.table.lookup(self.mask.key_of(flow))
+
+    def __len__(self) -> int:
+        return len(self.table)
+
+
+class TupleSpaceSearch:
+    """The tuple-space classifier."""
+
+    def __init__(self, allocator: Optional[AddressAllocator] = None,
+                 tracer: Tracer = NULL_TRACER,
+                 tuple_capacity: int = DEFAULT_TUPLE_CAPACITY,
+                 name: str = "tss") -> None:
+        self.allocator = allocator
+        self.tracer = tracer
+        self.tuple_capacity = tuple_capacity
+        self.name = name
+        self._tuples: Dict[FlowMask, TupleEntry] = {}
+        self._order: List[FlowMask] = []   # insertion order = search order
+        self.stats = TupleSpaceStats()
+
+    # -- structure ---------------------------------------------------------------
+    @property
+    def num_tuples(self) -> int:
+        return len(self._tuples)
+
+    def tuples(self) -> Iterator[TupleEntry]:
+        for mask in self._order:
+            yield self._tuples[mask]
+
+    def tuple_for(self, mask: FlowMask) -> TupleEntry:
+        entry = self._tuples.get(mask)
+        if entry is None:
+            table = CuckooHashTable(
+                self.tuple_capacity, key_bytes=16,
+                allocator=self.allocator, tracer=self.tracer,
+                name=f"{self.name}.tuple{len(self._order)}")
+            entry = TupleEntry(mask, table)
+            self._tuples[mask] = entry
+            self._order.append(mask)
+        return entry
+
+    # -- rule management --------------------------------------------------------
+    def install(self, rule: Rule) -> bool:
+        """Add a rule; creates the tuple for its mask on first use."""
+        entry = self.tuple_for(rule.mask)
+        return entry.table.insert(rule.key, rule)
+
+    def remove(self, rule: Rule) -> bool:
+        entry = self._tuples.get(rule.mask)
+        if entry is None:
+            return False
+        return entry.table.delete(rule.key)
+
+    def __len__(self) -> int:
+        return sum(len(entry) for entry in self._tuples.values())
+
+    # -- classification -----------------------------------------------------------
+    def classify(self, flow: FiveTuple) -> Tuple[Optional[Rule], int]:
+        """MegaFlow semantics: first match wins.
+
+        Returns ``(rule_or_None, tuples_searched)``.
+        """
+        self.stats.classifications += 1
+        searched = 0
+        for entry in self.tuples():
+            searched += 1
+            self.stats.tuple_lookups += 1
+            rule = entry.lookup(flow)
+            if rule is not None:
+                self.stats.hits += 1
+                return rule, searched
+        return None, searched
+
+    def classify_all(self, flow: FiveTuple) -> List[Rule]:
+        """All matching rules across every tuple (OpenFlow-layer helper)."""
+        self.stats.classifications += 1
+        matches: List[Rule] = []
+        for entry in self.tuples():
+            self.stats.tuple_lookups += 1
+            rule = entry.lookup(flow)
+            if rule is not None:
+                matches.append(rule)
+        if matches:
+            self.stats.hits += 1
+        return matches
+
+    # -- HALO integration ---------------------------------------------------------
+    def halo_queries(self, flow: FiveTuple) -> List[Tuple[CuckooHashTable, bytes]]:
+        """(table, masked key) pairs for dispatching one packet's tuple
+        lookups to the accelerators at once (the Figure 11 NB idiom)."""
+        return [(entry.table, entry.mask.key_of(flow))
+                for entry in self.tuples()]

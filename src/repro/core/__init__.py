@@ -1,0 +1,56 @@
+"""HALO — the paper's contribution: distributed near-cache lookup
+accelerators, the query distributor, hardware lock bits, the x86-64
+instruction extension, the linear-counting flow register, and the hybrid
+software/hardware mode.
+"""
+
+from .accelerator import AcceleratorStats, BoundaryViolation, HaloAccelerator
+from .distributor import QueryDistributor
+from .flow_register import FlowRegister, estimate_flows
+from .halo_system import Episode, HaloSystem
+from .hybrid import ComputeMode, DEFAULT_FLOW_THRESHOLD, HybridController
+from .isa import HaloIsa, IssueCosts, RESULTS_PER_LINE
+from .locking import HardwareLockManager, LockLease
+from .metadata_cache import MetadataCache
+from .power import (
+    HALO_AREA_TILES,
+    HALO_DYNAMIC_NANOJOULE_PER_QUERY,
+    HALO_STATIC_MILLIWATTS,
+    PowerEnvelope,
+    energy_efficiency_ratio,
+    halo_envelope,
+)
+from .query import LookupQuery, QueryResult, ResultDestination
+from .scoreboard import Scoreboard
+from .software import SoftwareLookupEngine
+
+__all__ = [
+    "AcceleratorStats",
+    "BoundaryViolation",
+    "ComputeMode",
+    "DEFAULT_FLOW_THRESHOLD",
+    "Episode",
+    "FlowRegister",
+    "HALO_AREA_TILES",
+    "HALO_DYNAMIC_NANOJOULE_PER_QUERY",
+    "HALO_STATIC_MILLIWATTS",
+    "HaloAccelerator",
+    "HaloIsa",
+    "HaloSystem",
+    "HardwareLockManager",
+    "HybridController",
+    "IssueCosts",
+    "LockLease",
+    "LookupQuery",
+    "MetadataCache",
+    "PowerEnvelope",
+    "QueryDistributor",
+    "QueryResult",
+    "RESULTS_PER_LINE",
+    "ResultDestination",
+    "Scoreboard",
+    "SoftwareLookupEngine",
+    "energy_efficiency_ratio",
+    "estimate_flows",
+    "halo_envelope",
+]

@@ -1,0 +1,230 @@
+"""The per-CHA HALO accelerator (paper §4.3, Figure 6).
+
+One accelerator sits beside each CHA/LLC slice.  It executes lookup queries
+as a sequence of scoreboard-tracked steps:
+
+1. fetch the table's metadata (Metadata Cache hit, or a CHA-side line read);
+2. fetch the key from the query's key address;
+3. hash the key (one fully-pipelined hash unit per accelerator);
+4. lock and read the primary bucket, compare signatures;
+5. on a signature match, fetch and compare the key-value pair;
+6. otherwise repeat on the alternative bucket;
+7. unlock, commit the query, push the result to its destination.
+
+All data accesses use the CHA-side path (:meth:`MemoryHierarchy.cha_access`),
+so they never pollute private caches — the property behind Figure 12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+from ..hashtable.cuckoo import LookupPlan
+from ..sim.engine import Engine
+from ..sim.hierarchy import MemoryHierarchy
+from ..sim.params import HaloParams
+from ..sim.stats import RunningStats
+from .flow_register import FlowRegister
+from .locking import HardwareLockManager
+from .metadata_cache import MetadataCache
+from .query import LookupQuery, QueryResult, ResultDestination
+from .scoreboard import Scoreboard
+
+
+@dataclass
+class AcceleratorStats:
+    queries: int = 0
+    hits: int = 0
+    memory_accesses: int = 0
+    metadata_hits: int = 0
+    metadata_misses: int = 0
+    hash_operations: int = 0
+    boundary_violations: int = 0
+    service: RunningStats = field(default_factory=RunningStats)
+
+
+class BoundaryViolation(RuntimeError):
+    """A query tried to reach outside its table's regions (§4.7).
+
+    The accelerator "enforces boundary check for each memory access": a
+    corrupted bucket pointer or malicious metadata cannot make it read or
+    write arbitrary memory.
+    """
+
+
+class HaloAccelerator:
+    """One near-cache lookup accelerator attached to a CHA."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        hierarchy: MemoryHierarchy,
+        slice_id: int,
+        params: Optional[HaloParams] = None,
+        lock_manager: Optional[HardwareLockManager] = None,
+    ) -> None:
+        self.engine = engine
+        self.hierarchy = hierarchy
+        self.slice_id = slice_id
+        self.params = params or hierarchy.machine.halo
+        self.scoreboard = Scoreboard(engine, self.params.scoreboard_entries)
+        self.hash_unit = engine.resource(1)
+        # Structural hazard: queries against the *same* table serialise
+        # (they contend on the table's metadata-cache entry and scoreboard
+        # sequencing), while queries to different tables overlap through the
+        # scoreboard's outstanding data requests.  This reproduces the
+        # paper's observation that non-blocking mode gains little on a
+        # single table (Figure 9) yet scales tuple-space search across
+        # tuples (Figure 11).
+        self._table_ports: dict = {}
+        self.metadata_cache = MetadataCache(
+            slice_id, self.params.metadata_cache_tables,
+            hierarchy.snoop_filter)
+        self.lock_manager = lock_manager or HardwareLockManager(
+            hierarchy, enabled=self.params.enabled_lock_bits)
+        self.flow_register = FlowRegister()
+        self.stats = AcceleratorStats()
+
+    @property
+    def busy(self) -> bool:
+        return self.scoreboard.busy
+
+    # -- internals -----------------------------------------------------------
+    def _mem(self, addr: int, write: bool = False) -> int:
+        """One CHA-side data access; returns its latency."""
+        result = self.hierarchy.cha_access(self.slice_id, addr, write=write)
+        self.stats.memory_accesses += 1
+        return result.latency
+
+    def _checked_table_access(self, query: LookupQuery, addr: int,
+                              region_kind: str) -> int:
+        """A table data access with the §4.7 boundary check applied."""
+        layout = query.table.layout
+        region = (layout.buckets if region_kind == "buckets"
+                  else layout.key_values)
+        if not region.contains(addr):
+            self.stats.boundary_violations += 1
+            raise BoundaryViolation(
+                f"query {query.query_id}: {region_kind} access {addr:#x} "
+                f"outside [{region.base:#x}, {region.end:#x})")
+        return self._mem(addr)
+
+    def _fetch_metadata(self, query: LookupQuery) -> Generator:
+        line = self.hierarchy.line_of(query.table_addr)
+        if self.metadata_cache.lookup(line):
+            self.stats.metadata_hits += 1
+            yield self.engine.timeout(1)
+            return True
+        self.stats.metadata_misses += 1
+        yield self.engine.timeout(self._mem(query.table_addr))
+        self.metadata_cache.fill(line, query.table)
+        return False
+
+    def _hash(self, key_bytes: int = 16) -> Generator:
+        """Run the key through the pipelined hash unit.
+
+        The unit consumes one 8-byte lane per issue interval, so larger
+        keys (§3.4: 4-64 B headers) occupy the pipeline longer.
+        """
+        lanes = max(1, -(-key_bytes // 8))
+        grant = self.hash_unit.acquire()
+        yield grant
+        yield self.engine.timeout(self.params.hash_issue_interval * lanes)
+        self.hash_unit.release()
+        remaining = self.params.hash_latency - self.params.hash_issue_interval
+        if remaining > 0:
+            yield self.engine.timeout(remaining)
+        self.stats.hash_operations += 1
+
+    # -- the query FSM ----------------------------------------------------------
+    def serve(self, query: LookupQuery) -> Generator:
+        """Process one query; a DES process returning a QueryResult."""
+        yield self.scoreboard.admit()
+        port = self._table_ports.get(query.table_addr)
+        if port is None:
+            port = self.engine.resource(1)
+            self._table_ports[query.table_addr] = port
+        yield port.acquire()
+        started = self.engine.now
+        try:
+            try:
+                metadata_hit = yield from self._fetch_metadata(query)
+
+                # Fetch the key.
+                yield self.engine.timeout(self._mem(query.key_addr))
+
+                # Hash.
+                yield from self._hash(getattr(query.table, "key_bytes", 16))
+                plan: LookupPlan = query.table.probe(query.key)
+                self.flow_register.observe(plan.primary_hash)
+
+                # Lock both candidate bucket lines for the query's duration.
+                lease = self.lock_manager.lock_lines(
+                    {plan.primary_addr, plan.secondary_addr})
+                try:
+                    yield from self._scan_bucket(query, plan, lease,
+                                                 secondary=False)
+                    if not plan.found or plan.found_in_secondary:
+                        if plan.secondary_addr != plan.primary_addr:
+                            yield from self._scan_bucket(query, plan, lease,
+                                                         secondary=True)
+                finally:
+                    lease.release_all()
+            finally:
+                # The FSM is done; result delivery happens off the critical
+                # path so the next scoreboard entry can start executing.
+                port.release()
+
+            # Deliver the result.
+            if query.destination is ResultDestination.MEMORY:
+                yield self.engine.timeout(self._mem(query.result_addr,
+                                                    write=True))
+            else:
+                yield self.engine.timeout(
+                    self.hierarchy.latency.result_return)
+        finally:
+            self.scoreboard.complete()
+
+        self.stats.queries += 1
+        if plan.found:
+            self.stats.hits += 1
+        self.stats.service.record(self.engine.now - started)
+        return QueryResult(
+            query=query,
+            found=plan.found,
+            value=plan.value,
+            started_at=started,
+            completed_at=self.engine.now,
+            accelerator_slice=self.slice_id,
+            memory_accesses=self.stats.memory_accesses,
+            metadata_hit=metadata_hit,
+        )
+
+    def _scan_bucket(self, query: LookupQuery, plan: LookupPlan, lease,
+                     secondary: bool) -> Generator:
+        """Read one bucket line, compare signatures, chase kv matches."""
+        addr = plan.secondary_addr if secondary else plan.primary_addr
+        yield self.engine.timeout(
+            self._checked_table_access(query, addr, "buckets"))
+        # The fetch brought the line to the LLC; (re-)set its lock bit for
+        # the remainder of the query (tracked by the query's lease).
+        if self.params.enabled_lock_bits:
+            lease.lock(addr)
+        # Signature comparison across the bucket's entries (parallel
+        # comparators, constant latency).
+        yield self.engine.timeout(self.params.compare_latency)
+        kv_probes = (plan.kv_probes_secondary if secondary
+                     else plan.kv_probes_primary)
+        for kv_addr in kv_probes:
+            # Fetch, lock, and compare the key-value pair.
+            lease = self.lock_manager.lease()
+            try:
+                yield self.engine.timeout(
+                    self._checked_table_access(query, kv_addr,
+                                               "key_values"))
+                if self.params.enabled_lock_bits:
+                    lease.lock(kv_addr)
+                yield self.engine.timeout(self.params.compare_latency)
+            finally:
+                lease.release_all()

@@ -1,0 +1,82 @@
+"""Linear-counting flow register (paper §4.6, Figure 8).
+
+Each accelerator owns a small bit array.  Every query sets bit
+``H mod S`` (``H`` = the lookup's primary hash, ``S`` = bit-array size).
+Periodically the array is scanned and the active-flow cardinality estimated
+with linear counting (Whang et al. 1990):
+
+    n̂ ≈ m · ln(m / u)
+
+where ``m`` is the array size and ``u`` the number of *unset* bits.  The
+paper observes a register can accurately estimate about 2× more flows than
+it has bits, and that a 32-bit array suffices to steer the hybrid mode
+(threshold ≈ 64 flows).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+DEFAULT_BITS = 32
+
+
+class SaturatedEstimate(float):
+    """Marker type: every bit was set, the true count is >= this estimate."""
+
+
+@dataclass
+class FlowRegisterStats:
+    observations: int = 0
+    scans: int = 0
+    saturations: int = 0
+
+
+class FlowRegister:
+    """A linear-counting cardinality estimator over lookup hashes."""
+
+    def __init__(self, bits: int = DEFAULT_BITS) -> None:
+        if bits < 2:
+            raise ValueError("flow register needs at least 2 bits")
+        self.bits = bits
+        self._array = 0
+        self.stats = FlowRegisterStats()
+        self.last_estimate = 0.0
+
+    def observe(self, hash_value: int) -> None:
+        """Record one lookup's primary hash."""
+        self._array |= 1 << (hash_value % self.bits)
+        self.stats.observations += 1
+
+    @property
+    def unset_bits(self) -> int:
+        return self.bits - bin(self._array).count("1")
+
+    def estimate(self) -> float:
+        """Current active-flow estimate (no reset)."""
+        unset = self.unset_bits
+        if unset == 0:
+            # Saturated: linear counting diverges; report the asymptote for
+            # one remaining unset bit as a lower bound.
+            self.stats.saturations += 1
+            return SaturatedEstimate(self.bits * math.log(self.bits))
+        return self.bits * math.log(self.bits / unset)
+
+    def scan_and_reset(self) -> float:
+        """End-of-window scan: estimate, record, clear (paper §4.6)."""
+        value = self.estimate()
+        self.last_estimate = float(value)
+        self._array = 0
+        self.stats.scans += 1
+        return value
+
+    def is_saturated(self) -> bool:
+        return self.unset_bits == 0
+
+
+def estimate_flows(true_flow_hashes, bits: int) -> float:
+    """One-shot helper: feed hashes through a fresh register, estimate."""
+    register = FlowRegister(bits)
+    for value in true_flow_hashes:
+        register.observe(value)
+    return register.estimate()

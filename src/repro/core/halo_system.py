@@ -1,0 +1,249 @@
+"""Top-level HALO system: accelerators attached to every CHA, plus a
+program-facing facade.
+
+``HaloSystem`` wires the full picture together — simulated machine, memory
+hierarchy, one accelerator per LLC slice, the query distributor in the
+interconnect, the ISA extension, and the hybrid-mode controller — and offers
+episode runners that benchmarks and examples use:
+
+* :meth:`run_blocking_lookups` — a core issuing ``LOOKUP_B`` back to back;
+* :meth:`run_nonblocking_lookups` — the batched ``LOOKUP_NB`` +
+  ``SNAPSHOT_READ`` idiom;
+* :meth:`run_software_lookups` — the DPDK-style software baseline on the
+  *same* machine and tables;
+* :meth:`run_programs` — arbitrary concurrent DES programs (multi-core).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator, Iterable, List, Optional, Sequence
+
+from ..hashtable.cuckoo import CuckooHashTable
+from ..sim.engine import Engine
+from ..sim.hierarchy import MemoryHierarchy
+from ..sim.params import MachineParams, SKYLAKE_SP_16C
+from ..sim.stats import throughput_mops
+from ..sim.trace import Tracer
+from .accelerator import HaloAccelerator
+from .distributor import QueryDistributor
+from .hybrid import ComputeMode, HybridController
+from .isa import HaloIsa
+from .locking import HardwareLockManager
+from .query import QueryResult
+from .software import SoftwareLookupEngine
+
+
+@dataclass
+class Episode:
+    """Outcome of one measured run."""
+
+    operations: int
+    cycles: float
+    results: List[Any] = field(default_factory=list)
+
+    @property
+    def cycles_per_op(self) -> float:
+        return self.cycles / self.operations if self.operations else 0.0
+
+    def throughput_mops(self, frequency_ghz: float = 2.1) -> float:
+        return throughput_mops(self.operations, self.cycles, frequency_ghz)
+
+
+def _rate(part: int, whole: int) -> str:
+    return f"{part / whole:.1%}" if whole else "n/a"
+
+
+class HaloSystem:
+    """A complete HALO-equipped simulated machine."""
+
+    def __init__(self, machine: Optional[MachineParams] = None) -> None:
+        self.machine = machine or SKYLAKE_SP_16C
+        self.engine = Engine()
+        self.hierarchy = MemoryHierarchy(self.machine)
+        self.lock_manager = HardwareLockManager(
+            self.hierarchy, enabled=self.machine.halo.enabled_lock_bits)
+        self.accelerators = [
+            HaloAccelerator(self.engine, self.hierarchy, slice_id,
+                            self.machine.halo, self.lock_manager)
+            for slice_id in range(self.machine.llc_slices)
+        ]
+        self.distributor = QueryDistributor(
+            self.engine, self.hierarchy, self.accelerators)
+        self.isa = HaloIsa(self.engine, self.hierarchy, self.distributor)
+        self.tracer = Tracer()
+        self.hybrid = HybridController(
+            [acc.flow_register for acc in self.accelerators])
+
+    # -- construction helpers -------------------------------------------------
+    def create_table(self, capacity: int, key_bytes: int = 16,
+                     name: str = "table", **kwargs) -> CuckooHashTable:
+        """A cuckoo table allocated in this machine's physical memory."""
+        return CuckooHashTable(
+            capacity, key_bytes=key_bytes, allocator=self.hierarchy.allocator,
+            tracer=self.tracer, name=name, **kwargs)
+
+    def warm_table(self, table: CuckooHashTable) -> None:
+        """Install the table's buckets and key-value array into the LLC."""
+        layout = table.layout
+        self.hierarchy.warm_llc(layout.metadata.base, layout.metadata.size)
+        self.hierarchy.warm_llc(layout.buckets.base, layout.buckets.size)
+        self.hierarchy.warm_llc(layout.key_values.base, layout.key_values.size)
+
+    def flush_table(self, table: CuckooHashTable) -> None:
+        """Evict the table's buckets and key-value array from all caches
+        (the DRAM-resident scenario of Figures 9 and 10)."""
+        layout = table.layout
+        self.hierarchy.flush_region(layout.buckets.base, layout.buckets.size)
+        self.hierarchy.flush_region(layout.key_values.base,
+                                    layout.key_values.size)
+
+    def software_engine(self, core_id: int = 0,
+                        with_locking: bool = True) -> SoftwareLookupEngine:
+        return SoftwareLookupEngine(self.hierarchy, core_id,
+                                    with_locking=with_locking)
+
+    # -- episode runners -------------------------------------------------------
+    def run_program(self, generator: Generator, name: str = "program") -> Episode:
+        """Run one DES program to completion; cycles = elapsed engine time."""
+        start = self.engine.now
+        result = self.engine.run_process(generator, name=name)
+        operations = len(result) if isinstance(result, list) else 1
+        return Episode(operations=operations,
+                       cycles=self.engine.now - start,
+                       results=result if isinstance(result, list) else [result])
+
+    def run_programs(self, generators: Sequence[Generator]) -> Episode:
+        """Run several programs concurrently (one per core, typically)."""
+        start = self.engine.now
+        processes = [self.engine.process(g, name=f"program{i}")
+                     for i, g in enumerate(generators)]
+        self.engine.run()
+        results: List[Any] = []
+        operations = 0
+        for process in processes:
+            value = process.result
+            if isinstance(value, list):
+                results.extend(value)
+                operations += len(value)
+            else:
+                results.append(value)
+                operations += 1
+        return Episode(operations=operations,
+                       cycles=self.engine.now - start, results=results)
+
+    def run_blocking_lookups(self, table: CuckooHashTable,
+                             keys: Iterable[bytes],
+                             core_id: int = 0) -> Episode:
+        """A core issuing LOOKUP_B for every key, serially."""
+        keys = list(keys)
+
+        def program() -> Generator:
+            results: List[QueryResult] = []
+            for key in keys:
+                result = yield from self.isa.lookup_b(core_id, table, key)
+                results.append(result)
+            return results
+
+        return self.run_program(program(), name="lookup_b_stream")
+
+    def run_nonblocking_lookups(self, table: CuckooHashTable,
+                                keys: Iterable[bytes],
+                                core_id: int = 0) -> Episode:
+        """The batched LOOKUP_NB + SNAPSHOT_READ idiom over all keys."""
+        keys = list(keys)
+
+        def program() -> Generator:
+            results = yield from self.isa.lookup_batch(core_id, table, keys)
+            return results
+
+        return self.run_program(program(), name="lookup_nb_stream")
+
+    def run_software_lookups(self, table: CuckooHashTable,
+                             keys: Iterable[bytes],
+                             core_id: int = 0,
+                             with_locking: bool = True) -> Episode:
+        """The software baseline over the same machine state."""
+        engine = self.software_engine(core_id, with_locking=with_locking)
+        cycles = 0.0
+        values = []
+        for key in keys:
+            value, result = engine.lookup(table, key)
+            values.append(value)
+            cycles += result.cycles
+        return Episode(operations=len(values), cycles=cycles, results=values)
+
+    # -- observability ----------------------------------------------------------
+    def summary(self) -> str:
+        """A human-readable dump of the machine's component statistics."""
+        hierarchy = self.hierarchy
+        lines = [
+            f"HaloSystem: {self.machine.cores} cores, "
+            f"{self.machine.llc_slices} LLC slices "
+            f"({self.machine.llc_total_bytes >> 20} MB, "
+            f"{self.machine.interconnect}), "
+            f"engine @ {self.engine.now:.0f} cycles",
+        ]
+        l1_stats = [cache.stats for cache in hierarchy.l1]
+        l1_accesses = sum(stats.accesses for stats in l1_stats)
+        l1_misses = sum(stats.misses for stats in l1_stats)
+        llc_stats = [cache.stats for cache in hierarchy.llc]
+        llc_accesses = sum(stats.accesses for stats in llc_stats)
+        llc_misses = sum(stats.misses for stats in llc_stats)
+        lines.append(
+            f"  caches: L1D {l1_accesses:,} accesses "
+            f"({_rate(l1_misses, l1_accesses)} miss), "
+            f"LLC {llc_accesses:,} accesses "
+            f"({_rate(llc_misses, llc_accesses)} miss), "
+            f"DRAM {hierarchy.dram.stats.accesses:,} accesses")
+        active = [acc for acc in self.accelerators if acc.stats.queries]
+        total_queries = sum(acc.stats.queries for acc in active)
+        if active:
+            meta_hits = sum(acc.stats.metadata_hits for acc in active)
+            meta_total = meta_hits + sum(acc.stats.metadata_misses
+                                         for acc in active)
+            mean_service = (sum(acc.stats.service.total for acc in active)
+                            / total_queries)
+            lines.append(
+                f"  accelerators: {len(active)}/{len(self.accelerators)} "
+                f"active, {total_queries:,} queries, "
+                f"mean service {mean_service:.1f} cycles, "
+                f"metadata hit {_rate(meta_hits, meta_total)}")
+        else:
+            lines.append("  accelerators: idle")
+        lines.append(
+            f"  distributor: {self.distributor.stats.dispatched:,} "
+            f"dispatched, {self.distributor.stats.held_for_busy:,} held "
+            f"for busy accelerators")
+        lines.append(
+            f"  ISA: {self.isa.stats.lookup_b:,} LOOKUP_B, "
+            f"{self.isa.stats.lookup_nb:,} LOOKUP_NB, "
+            f"{self.isa.stats.snapshot_reads:,} SNAPSHOT_READ")
+        lines.append(
+            f"  lock bits: {self.lock_manager.stats.lock_operations:,} "
+            f"locks, mode {self.hybrid.mode.value}")
+        return "\n".join(lines)
+
+    # -- hybrid-mode convenience --------------------------------------------------
+    def run_adaptive_lookups(self, table: CuckooHashTable,
+                             keys: Iterable[bytes], core_id: int = 0,
+                             window: int = 256) -> Episode:
+        """Lookups under the hybrid controller, re-evaluated every window."""
+        keys = list(keys)
+        total_cycles = 0.0
+        values: List[Any] = []
+        for start in range(0, len(keys), window):
+            chunk = keys[start:start + window]
+            if self.hybrid.mode is ComputeMode.HALO:
+                episode = self.run_nonblocking_lookups(table, chunk, core_id)
+                values.extend(r.value for r in episode.results)
+            else:
+                episode = self.run_software_lookups(table, chunk, core_id)
+                for key in chunk:
+                    self.hybrid.observe_software_lookup(
+                        table.probe(key).primary_hash)
+                values.extend(episode.results)
+            total_cycles += episode.cycles
+            self.hybrid.end_window()
+        return Episode(operations=len(keys), cycles=total_cycles,
+                       results=values)

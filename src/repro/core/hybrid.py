@@ -1,0 +1,78 @@
+"""Hybrid software/hardware computation mode (paper §4.6).
+
+When the active-flow count is small enough that the hot table entries live
+in the L1 cache, the software path wins (lower access latency); beyond that,
+HALO wins.  The controller watches linear-counting flow registers — the
+accelerator-side ones while in HALO mode, a software-maintained 32-bit
+register while in software mode — and switches modes around a threshold
+(64 flows per the paper's evaluation), with hysteresis so estimation noise
+does not cause flapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable, List
+
+from .flow_register import FlowRegister
+
+DEFAULT_FLOW_THRESHOLD = 64
+
+
+class ComputeMode(Enum):
+    SOFTWARE = "software"
+    HALO = "halo"
+
+
+@dataclass
+class HybridStats:
+    windows: int = 0
+    switches_to_halo: int = 0
+    switches_to_software: int = 0
+
+
+class HybridController:
+    """Chooses the compute mode from flow-register estimates per window."""
+
+    def __init__(self, registers: Iterable[FlowRegister],
+                 threshold: int = DEFAULT_FLOW_THRESHOLD,
+                 hysteresis: float = 0.25,
+                 initial_mode: ComputeMode = ComputeMode.HALO) -> None:
+        self.registers: List[FlowRegister] = list(registers)
+        if not self.registers:
+            raise ValueError("hybrid controller needs at least one register")
+        self.threshold = threshold
+        self.hysteresis = hysteresis
+        self.mode = initial_mode
+        # The software-side register used while in SOFTWARE mode (§4.6: the
+        # program keeps a 32-bit linear count of its own).
+        self.software_register = FlowRegister(bits=32)
+        self.stats = HybridStats()
+        self.last_estimate = 0.0
+
+    def observe_software_lookup(self, primary_hash: int) -> None:
+        """Software-mode bookkeeping: feed the program-side register."""
+        self.software_register.observe(primary_hash)
+
+    def _window_estimate(self) -> float:
+        if self.mode is ComputeMode.HALO:
+            # Accelerator registers each saw a share of the flows; their
+            # estimates are over disjoint-ish query streams, so sum them.
+            return sum(r.scan_and_reset() for r in self.registers)
+        return self.software_register.scan_and_reset()
+
+    def end_window(self) -> ComputeMode:
+        """Close the measurement window and (possibly) switch modes."""
+        estimate = self._window_estimate()
+        self.last_estimate = estimate
+        self.stats.windows += 1
+        low = self.threshold * (1.0 - self.hysteresis)
+        high = self.threshold * (1.0 + self.hysteresis)
+        if self.mode is ComputeMode.HALO and estimate < low:
+            self.mode = ComputeMode.SOFTWARE
+            self.stats.switches_to_software += 1
+        elif self.mode is ComputeMode.SOFTWARE and estimate > high:
+            self.mode = ComputeMode.HALO
+            self.stats.switches_to_halo += 1
+        return self.mode

@@ -1,0 +1,164 @@
+"""The x86-64 instruction-set extension (paper §4.5).
+
+Three instructions make HALO programmable:
+
+* ``LOOKUP_B mem.key_addr reg.result`` — blocking lookup.  The table address
+  is implicit in RAX/EAX.  Behaves like a long-latency load: the issuing
+  core waits for the accelerator's result.
+* ``LOOKUP_NB mem.key_addr mem.result`` — non-blocking lookup.  Behaves like
+  a store: the query is posted and the accelerator later writes the result
+  to the given memory slot; the core keeps executing.
+* ``SNAPSHOT_READ mem.result_addr reg.result`` — reads the current value of
+  a result line *without changing cache-line ownership*, so polling does not
+  bounce the line between the LLC and private caches.  A vector variant
+  snapshots a whole 64-byte line (eight result slots) at once, checked with
+  AVX integer compares.
+
+These are modelled as DES generators that charge the issuing core the right
+number of cycles and interact with the query distributor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List, Optional
+
+from ..sim.engine import Engine, Process
+from ..sim.hierarchy import MemoryHierarchy
+from .distributor import QueryDistributor
+from .query import LookupQuery, QueryResult, ResultDestination
+
+#: Results per cache line for the batched LOOKUP_NB + SNAPSHOT_READ idiom.
+RESULTS_PER_LINE = 8
+
+
+@dataclass(frozen=True)
+class IssueCosts:
+    """Core-side pipeline occupancy of each new instruction."""
+
+    lookup_b_issue: int = 1     # like a load: 1 issue slot, then blocks
+    lookup_nb_issue: int = 1    # like a store: 1 issue slot, fire and forget
+    snapshot_check: int = 4     # AVX compare of a snapshotted line
+
+
+@dataclass
+class IsaStats:
+    lookup_b: int = 0
+    lookup_nb: int = 0
+    snapshot_reads: int = 0
+    snapshot_polls_spent: int = 0
+
+
+class HaloIsa:
+    """Instruction-level interface used by simulated programs."""
+
+    def __init__(self, engine: Engine, hierarchy: MemoryHierarchy,
+                 distributor: QueryDistributor,
+                 costs: Optional[IssueCosts] = None) -> None:
+        self.engine = engine
+        self.hierarchy = hierarchy
+        self.distributor = distributor
+        self.costs = costs or IssueCosts()
+        self.stats = IsaStats()
+        # Result slots for LOOKUP_NB live in a dedicated, line-aligned region
+        # that is kept LLC-resident (the SNAPSHOT_READ idiom never lets these
+        # lines leave the LLC).
+        self._result_region = hierarchy.allocator.alloc(
+            4096, "halo.result_slots")
+        hierarchy.warm_llc(self._result_region.base, self._result_region.size)
+        self._next_slot = 0
+
+    # -- result-slot management -----------------------------------------------
+    def result_slot(self) -> int:
+        """A fresh 8-byte result address (wraps around the region)."""
+        addr = self._result_region.base + (self._next_slot % 512) * 8
+        self._next_slot += 1
+        return addr
+
+    def result_line(self) -> int:
+        """A fresh line-aligned result address for an 8-query batch."""
+        line = (self._next_slot + RESULTS_PER_LINE - 1) // RESULTS_PER_LINE
+        self._next_slot = (line + 1) * RESULTS_PER_LINE
+        return self._result_region.base + (line * 64) % self._result_region.size
+
+    # -- LOOKUP_B ----------------------------------------------------------------
+    def lookup_b(self, core_id: int, table, key: bytes,
+                 key_addr: Optional[int] = None) -> Generator:
+        """Blocking lookup: yields the QueryResult when it arrives."""
+        self.stats.lookup_b += 1
+        yield self.engine.timeout(self.costs.lookup_b_issue)
+        query = LookupQuery(
+            table=table,
+            key=key,
+            key_addr=key_addr if key_addr is not None else table._key_scratch,
+            destination=ResultDestination.REGISTER,
+            core_id=core_id,
+        )
+        result: QueryResult = yield self.distributor.dispatch(query)
+        return result
+
+    # -- LOOKUP_NB ----------------------------------------------------------------
+    def lookup_nb(self, core_id: int, table, key: bytes,
+                  key_addr: Optional[int] = None,
+                  result_addr: Optional[int] = None) -> Generator:
+        """Non-blocking lookup: yields only the issue cost, returns the
+        in-flight :class:`Process` whose value will be the QueryResult."""
+        self.stats.lookup_nb += 1
+        yield self.engine.timeout(self.costs.lookup_nb_issue)
+        query = LookupQuery(
+            table=table,
+            key=key,
+            key_addr=key_addr if key_addr is not None else table._key_scratch,
+            destination=ResultDestination.MEMORY,
+            result_addr=(result_addr if result_addr is not None
+                         else self.result_slot()),
+            core_id=core_id,
+        )
+        return self.distributor.dispatch(query)
+
+    # -- SNAPSHOT_READ ---------------------------------------------------------------
+    def snapshot_read_poll(self, core_id: int,
+                           pending: List[Process]) -> Generator:
+        """Poll a batch's result line until every query completed.
+
+        Each poll is one (vector) SNAPSHOT_READ: an LLC-latency read that
+        does not change the line's ownership, plus an AVX all-non-zero check.
+        Returns the list of :class:`QueryResult`.
+        """
+        poll_latency = (self.hierarchy.latency.cha_llc_hit
+                        + self.hierarchy.latency.llc_hit) // 2
+        while True:
+            self.stats.snapshot_reads += 1
+            yield self.engine.timeout(poll_latency + self.costs.snapshot_check)
+            if all(process.done for process in pending):
+                break
+            self.stats.snapshot_polls_spent += 1
+            # Re-poll after a short back-off (the snapshot keeps the line in
+            # the LLC, so re-reads stay cheap and cause no bouncing).
+            yield self.engine.timeout(4)
+        return [process.result for process in pending]
+
+    # -- the batched NB idiom (paper §4.5 example) -----------------------------------
+    def lookup_batch(self, core_id: int, table, keys,
+                     key_addrs=None) -> Generator:
+        """Issue up to eight LOOKUP_NBs to one result line, then poll.
+
+        Returns the list of QueryResults in key order.
+        """
+        keys = list(keys)
+        results: List[QueryResult] = []
+        for start in range(0, len(keys), RESULTS_PER_LINE):
+            chunk = keys[start:start + RESULTS_PER_LINE]
+            line_base = self.result_line()
+            pending: List[Process] = []
+            for offset, key in enumerate(chunk):
+                key_addr = None
+                if key_addrs is not None:
+                    key_addr = key_addrs[start + offset]
+                process = yield from self.lookup_nb(
+                    core_id, table, key, key_addr=key_addr,
+                    result_addr=line_base + offset * 8)
+                pending.append(process)
+            chunk_results = yield from self.snapshot_read_poll(core_id, pending)
+            results.extend(chunk_results)
+        return results

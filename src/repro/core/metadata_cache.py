@@ -1,0 +1,80 @@
+"""Per-accelerator table-metadata cache (paper §4.3).
+
+Each HALO accelerator keeps the metadata of the ten most recently used hash
+tables (640 B).  The cache participates in coherence through one extra
+core-valid (CV) bit in the snoop filter: a writer's read-for-ownership on a
+metadata line snoops into — and invalidates — the metadata-cache copy.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+from ..sim.coherence import SnoopFilter
+
+
+@dataclass
+class MetadataCacheStats:
+    hits: int = 0
+    misses: int = 0
+    coherence_invalidations: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class MetadataCache:
+    """An LRU cache of table-metadata lines for one accelerator."""
+
+    def __init__(self, slice_id: int, capacity_tables: int,
+                 snoop_filter: Optional[SnoopFilter] = None) -> None:
+        if capacity_tables < 1:
+            raise ValueError("metadata cache needs at least one entry")
+        self.slice_id = slice_id
+        self.capacity = capacity_tables
+        self.snoop_filter = snoop_filter
+        self.stats = MetadataCacheStats()
+        self._entries: OrderedDict = OrderedDict()  # metadata line -> table ref
+
+    def lookup(self, metadata_line: int) -> bool:
+        """Probe for a table's metadata; refresh LRU on hit."""
+        if metadata_line in self._entries:
+            self._entries.move_to_end(metadata_line)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        return False
+
+    def fill(self, metadata_line: int, table=None) -> Optional[int]:
+        """Install metadata after a miss; returns the evicted line, if any."""
+        victim = None
+        if metadata_line not in self._entries and \
+                len(self._entries) >= self.capacity:
+            victim, _ = self._entries.popitem(last=False)
+            if self.snoop_filter is not None:
+                self.snoop_filter.clear_metadata_holder(victim)
+        self._entries[metadata_line] = table
+        self._entries.move_to_end(metadata_line)
+        if self.snoop_filter is not None:
+            self.snoop_filter.set_metadata_holder(metadata_line, self.slice_id)
+        return victim
+
+    def snoop_invalidate(self, metadata_line: int) -> bool:
+        """Coherence path: a core took ownership of the metadata line."""
+        if metadata_line in self._entries:
+            self._entries.pop(metadata_line)
+            self.stats.coherence_invalidations += 1
+            if self.snoop_filter is not None:
+                self.snoop_filter.clear_metadata_holder(metadata_line)
+            return True
+        return False
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, metadata_line: int) -> bool:
+        return metadata_line in self._entries

@@ -1,0 +1,55 @@
+"""HALO power and area figures (paper Table 4, McPAT/CACTI-derived).
+
+Per accelerator: 97.2 mW static, 1.76 nJ/query dynamic, 1.2% of a tile
+(0.012 tiles) — trivial against the chip budget, and up to 48.2× more
+energy-efficient than TCAM at matched capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Paper Table 4 — one HALO accelerator.
+HALO_STATIC_MILLIWATTS = 97.2
+HALO_DYNAMIC_NANOJOULE_PER_QUERY = 1.76
+HALO_AREA_TILES = 0.012
+
+
+@dataclass(frozen=True)
+class PowerEnvelope:
+    """Static power, per-query energy, and area for one solution."""
+
+    name: str
+    static_milliwatts: float
+    dynamic_nanojoule_per_query: float
+    area_tiles: float
+
+    def energy_nanojoules(self, queries: int, seconds: float) -> float:
+        """Total energy over a run: static power over time + per-query."""
+        static_nj = self.static_milliwatts * 1e-3 * seconds * 1e9
+        return static_nj + self.dynamic_nanojoule_per_query * queries
+
+    def energy_per_query_nj(self, queries_per_second: float) -> float:
+        """Amortised nJ/query at a sustained query rate."""
+        if queries_per_second <= 0:
+            return float("inf")
+        static_nj = self.static_milliwatts * 1e-3 / queries_per_second * 1e9
+        return static_nj + self.dynamic_nanojoule_per_query
+
+
+def halo_envelope(accelerators: int = 1) -> PowerEnvelope:
+    """The envelope for ``accelerators`` HALO units (they scale linearly)."""
+    return PowerEnvelope(
+        name=f"HALO x{accelerators}",
+        static_milliwatts=HALO_STATIC_MILLIWATTS * accelerators,
+        dynamic_nanojoule_per_query=HALO_DYNAMIC_NANOJOULE_PER_QUERY,
+        area_tiles=HALO_AREA_TILES * accelerators,
+    )
+
+
+def energy_efficiency_ratio(reference: PowerEnvelope, other: PowerEnvelope,
+                            queries_per_second: float) -> float:
+    """How many times less energy ``reference`` uses per query vs ``other``."""
+    ref = reference.energy_per_query_nj(queries_per_second)
+    alt = other.energy_per_query_nj(queries_per_second)
+    return alt / ref if ref > 0 else float("inf")

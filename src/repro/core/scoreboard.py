@@ -1,0 +1,53 @@
+"""Accelerator scoreboard (paper §4.3, §4.7).
+
+Tracks the execution progress of each on-the-fly query.  The paper limits
+each accelerator to 10 concurrent queries; when full, the accelerator raises
+its *busy bit* in the query distributor, which withholds further queries
+until a slot frees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.engine import Engine, Event, Resource
+
+
+@dataclass
+class ScoreboardStats:
+    admitted: int = 0
+    completed: int = 0
+    busy_rejections: int = 0    # distributor saw the busy bit raised
+    peak_occupancy: int = 0
+
+
+class Scoreboard:
+    """Bounded in-flight query tracker with a busy bit."""
+
+    def __init__(self, engine: Engine, entries: int) -> None:
+        self._slots = Resource(engine, entries)
+        self.entries = entries
+        self.stats = ScoreboardStats()
+
+    @property
+    def busy(self) -> bool:
+        """The busy bit: no free slot and queries already queued."""
+        return self._slots.available == 0
+
+    @property
+    def occupancy(self) -> int:
+        return self._slots.in_use
+
+    def admit(self) -> Event:
+        """Request a slot; the returned event fires when granted."""
+        if self.busy:
+            self.stats.busy_rejections += 1
+        event = self._slots.acquire()
+        self.stats.admitted += 1
+        return event
+
+    def complete(self) -> None:
+        self.stats.peak_occupancy = max(self.stats.peak_occupancy,
+                                        self._slots.in_use)
+        self.stats.completed += 1
+        self._slots.release()

@@ -1,0 +1,424 @@
+"""Cuckoo hash table — a functional model of DPDK's ``rte_hash``.
+
+This is the paper's software baseline *and* the data structure HALO
+accelerates.  Properties reproduced faithfully:
+
+* 8-way set-associative buckets, one 64-byte cache line each, holding
+  {16-bit signature, key-value slot pointer} pairs (Figure 2b);
+* two candidate buckets per key; the alternative bucket index is derived
+  from the signature so displacement needs no key re-hash;
+* BFS cuckoo displacement on insert ("cuckoo move"), giving ~95% achievable
+  occupancy without rehashing (§3.3);
+* a contiguous key-value array referenced by slot index;
+* optional memory tracing: every probe emits the loads/stores the
+  equivalent C code performs, with dependency groups (key → buckets → kv).
+
+The per-lookup instruction mix is calibrated to the paper's Table 1:
+210 instructions — 36.2% loads, 11.8% stores, 21.0% arithmetic, 30.9% other.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from ..sim.memory import AddressAllocator
+from ..sim.trace import InstructionMix, Tracer, NULL_TRACER
+from .hashing import hash_bytes, secondary_index, signature_of
+from .layout import StandaloneAllocator, TableLayout, allocate_table, next_power_of_two
+from .locking import OptimisticLock
+
+#: Paper Table 1 — average instruction cost of one lookup.
+LOOKUP_MIX = InstructionMix(loads=76, stores=25, arithmetic=44, others=65)
+#: Additional work when a signature collision forces an extra key compare.
+SIG_COLLISION_MIX = InstructionMix(loads=4, stores=0, arithmetic=6, others=2)
+#: Per 8-byte key lane beyond the 16-byte baseline: extra hash rounds and
+#: key-compare work (§3.4 profiles 4-64 B headers).
+EXTRA_LANE_MIX = InstructionMix(loads=2, stores=0, arithmetic=5, others=1)
+#: Insert cost (hash + both-bucket scan + slot claim + entry write).
+INSERT_MIX = InstructionMix(loads=92, stores=58, arithmetic=58, others=82)
+#: Extra work per cuckoo displacement hop.
+KICK_MIX = InstructionMix(loads=16, stores=18, arithmetic=10, others=12)
+#: Delete cost.
+DELETE_MIX = InstructionMix(loads=70, stores=30, arithmetic=40, others=55)
+
+DEFAULT_ASSOC = 8
+DEFAULT_KEY_BYTES = 16
+MAX_BFS_NODES = 1024
+
+
+class TableFull(RuntimeError):
+    """Raised when an insert cannot find a displacement path."""
+
+
+@dataclass
+class Entry:
+    """One occupied bucket slot."""
+
+    signature: int
+    slot: int
+
+
+@dataclass
+class LookupPlan:
+    """The structured probe a lookup performs.
+
+    Shared between the software path (traced, replayed on a core) and the
+    HALO accelerator (replayed CHA-side) so both execute the *same* probe.
+    """
+
+    key: bytes
+    primary_hash: int
+    signature: int
+    primary_index: int
+    secondary_index: int
+    primary_addr: int
+    secondary_addr: int
+    buckets_scanned: int = 0
+    sig_compares: int = 0
+    #: Key-value addresses probed while scanning the primary / secondary
+    #: bucket (signature matches needing a full key compare).
+    kv_probes_primary: List[int] = field(default_factory=list)
+    kv_probes_secondary: List[int] = field(default_factory=list)
+    found: bool = False
+    found_in_secondary: bool = False
+    value: Any = None
+    slot: Optional[int] = None
+
+    @property
+    def kv_probes(self) -> List[int]:
+        return self.kv_probes_primary + self.kv_probes_secondary
+
+
+@dataclass
+class CuckooStats:
+    lookups: int = 0
+    hits: int = 0
+    inserts: int = 0
+    insert_failures: int = 0
+    kicks: int = 0
+    deletes: int = 0
+    sig_collisions: int = 0
+
+
+class CuckooHashTable:
+    """A 2-choice, ``assoc``-way cuckoo hash over fixed-size byte keys."""
+
+    def __init__(
+        self,
+        capacity: int,
+        key_bytes: int = DEFAULT_KEY_BYTES,
+        assoc: int = DEFAULT_ASSOC,
+        allocator: Optional[AddressAllocator] = None,
+        tracer: Tracer = NULL_TRACER,
+        seed: int = 0x5EED,
+        name: str = "cuckoo",
+        max_kick_depth: int = 100,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.key_bytes = key_bytes
+        self.assoc = assoc
+        self.seed = seed
+        self.name = name
+        self.max_kick_depth = max_kick_depth
+        self.tracer = tracer
+        #: 8-byte hash/compare lanes beyond the 16-byte (2-lane) baseline.
+        self.extra_key_lanes = max(0, -(-key_bytes // 8) - 2)
+        num_buckets = next_power_of_two(max(2, (capacity + assoc - 1) // assoc))
+        allocator = allocator or StandaloneAllocator()
+        self.layout: TableLayout = allocate_table(
+            allocator, name, num_buckets, assoc, key_bytes)
+        self._mask = num_buckets - 1
+        self._buckets: List[List[Entry]] = [[] for _ in range(num_buckets)]
+        self._kv: List[Optional[Tuple[bytes, Any]]] = [None] * self.layout.num_slots
+        self._free_slots = list(range(self.layout.num_slots - 1, -1, -1))
+        self._size = 0
+        self.stats = CuckooStats()
+        self.lock = OptimisticLock()
+        # Scratch buffer standing in for the caller's key storage.
+        self._key_scratch = allocator.alloc(64, f"{name}.keybuf").base
+
+    # -- geometry / introspection -------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def num_buckets(self) -> int:
+        return self.layout.num_buckets
+
+    @property
+    def capacity(self) -> int:
+        return self.layout.num_slots
+
+    @property
+    def load_factor(self) -> float:
+        return self._size / self.capacity
+
+    @property
+    def table_addr(self) -> int:
+        return self.layout.table_addr
+
+    def bucket_utilisation(self) -> float:
+        """Fraction of bucket slots occupied — ~95% achievable (paper §3.3)."""
+        return self.load_factor
+
+    def bucket_occupancy_histogram(self) -> Dict[int, int]:
+        """#buckets by occupied-entry count (paper compares vs SFH)."""
+        histogram: Dict[int, int] = {}
+        for bucket in self._buckets:
+            histogram[len(bucket)] = histogram.get(len(bucket), 0) + 1
+        return histogram
+
+    def bucket_keys(self, bucket_index: int) -> List[bytes]:
+        """The keys stored in one bucket (cache-style eviction support)."""
+        keys = []
+        for entry in self._buckets[bucket_index]:
+            stored = self._kv[entry.slot]
+            if stored is not None:
+                keys.append(stored[0])
+        return keys
+
+    def items(self) -> Iterator[Tuple[bytes, Any]]:
+        for bucket in self._buckets:
+            for entry in bucket:
+                stored = self._kv[entry.slot]
+                if stored is not None:
+                    yield stored
+
+    # -- hashing ------------------------------------------------------------------
+    def _check_key(self, key: bytes) -> None:
+        if len(key) != self.key_bytes:
+            raise ValueError(
+                f"key length {len(key)} != table key size {self.key_bytes}")
+
+    def _indices(self, key: bytes) -> Tuple[int, int, int]:
+        """(primary_hash, primary_index, signature)."""
+        primary_hash = hash_bytes(key, self.seed)
+        return primary_hash, primary_hash & self._mask, signature_of(primary_hash)
+
+    def _alt_index(self, index: int, signature: int) -> int:
+        return secondary_index(index, signature, self._mask)
+
+    # -- probe (shared by software and HALO paths) ---------------------------------
+    def probe(self, key: bytes) -> LookupPlan:
+        """Pure functional probe: no tracing, no stats mutation."""
+        self._check_key(key)
+        primary_hash, index1, signature = self._indices(key)
+        index2 = self._alt_index(index1, signature)
+        plan = LookupPlan(
+            key=key,
+            primary_hash=primary_hash,
+            signature=signature,
+            primary_index=index1,
+            secondary_index=index2,
+            primary_addr=self.layout.bucket_addr(index1),
+            secondary_addr=self.layout.bucket_addr(index2),
+        )
+        for which, index in enumerate((index1, index2)):
+            plan.buckets_scanned += 1
+            kv_probes = (plan.kv_probes_secondary if which
+                         else plan.kv_probes_primary)
+            for entry in self._buckets[index]:
+                plan.sig_compares += 1
+                if entry.signature != signature:
+                    continue
+                stored = self._kv[entry.slot]
+                kv_probes.append(self.layout.kv_addr(entry.slot))
+                if stored is not None and stored[0] == key:
+                    plan.found = True
+                    plan.found_in_secondary = bool(which)
+                    plan.value = stored[1]
+                    plan.slot = entry.slot
+                    return plan
+            if which == 0 and index2 == index1:
+                break  # degenerate: both candidates are the same bucket
+        return plan
+
+    # -- lookup (software path, traced) ---------------------------------------------
+    def lookup(self, key: bytes, key_addr: Optional[int] = None) -> Any:
+        """Find ``key``; returns the stored value or ``None``.
+
+        Emits the software lookup's memory trace and instruction mix into
+        the table's tracer (paper §4.3 query procedure, DPDK both-bucket
+        prefetch included).
+        """
+        plan = self.probe(key)
+        self.stats.lookups += 1
+        if plan.found:
+            self.stats.hits += 1
+        extra_compares = max(0, len(plan.kv_probes) - 1)
+        self.stats.sig_collisions += extra_compares
+
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.load(key_addr if key_addr is not None else self._key_scratch,
+                        self.key_bytes)
+            tracer.barrier()
+            tracer.load(plan.primary_addr, 64)
+            if plan.secondary_addr != plan.primary_addr:
+                tracer.load(plan.secondary_addr, 64)
+            tracer.barrier()
+            for kv_addr in plan.kv_probes:
+                tracer.load(kv_addr, self.layout.kv_slot_bytes)
+            mix = LOOKUP_MIX
+            for _ in range(extra_compares):
+                mix = mix + SIG_COLLISION_MIX
+            for _ in range(self.extra_key_lanes):
+                mix = mix + EXTRA_LANE_MIX
+            tracer.count(loads=mix.loads, stores=mix.stores,
+                         arithmetic=mix.arithmetic, others=mix.others)
+        return plan.value
+
+    # -- insert -----------------------------------------------------------------------
+    def insert(self, key: bytes, value: Any) -> bool:
+        """Insert or update ``key``; returns False only if the table is full."""
+        self._check_key(key)
+        plan = self.probe(key)
+        self.stats.inserts += 1
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.load(self._key_scratch, self.key_bytes)
+            tracer.barrier()
+            tracer.load(plan.primary_addr, 64)
+            tracer.load(plan.secondary_addr, 64)
+            tracer.barrier()
+            tracer.count(loads=INSERT_MIX.loads, stores=INSERT_MIX.stores,
+                         arithmetic=INSERT_MIX.arithmetic,
+                         others=INSERT_MIX.others)
+
+        if plan.found:
+            # Update in place.
+            self._kv[plan.slot] = (key, value)
+            if tracer.enabled:
+                tracer.store(self.layout.kv_addr(plan.slot),
+                             self.layout.kv_slot_bytes)
+            return True
+
+        placed = self._place(key, value, plan)
+        if not placed:
+            self.stats.insert_failures += 1
+        return placed
+
+    def _place(self, key: bytes, value: Any, plan: LookupPlan) -> bool:
+        for index in (plan.primary_index, plan.secondary_index):
+            if len(self._buckets[index]) < self.assoc:
+                # A plain slot claim is a single-entry write — readers never
+                # see a torn state, so no version bump (rte_hash behaviour).
+                self._store_entry(index, plan.signature, key, value)
+                return True
+        path = self._find_kick_path(plan.primary_index, plan.secondary_index)
+        if path is None:
+            return False
+        # Cuckoo moves relocate entries readers may be chasing: the
+        # optimistic version must change so concurrent readers retry
+        # (the Figure 7a race).
+        self.lock.write_begin()
+        try:
+            self._apply_kick_path(path)
+        finally:
+            self.lock.write_end()
+        destination = path[0][0]
+        self._store_entry(destination, plan.signature, key, value)
+        return True
+
+    def _store_entry(self, bucket_index: int, signature: int, key: bytes,
+                     value: Any) -> None:
+        if not self._free_slots:
+            raise TableFull(f"{self.name}: key-value array exhausted")
+        slot = self._free_slots.pop()
+        self._kv[slot] = (key, value)
+        self._buckets[bucket_index].append(Entry(signature, slot))
+        self._size += 1
+        if self.tracer.enabled:
+            self.tracer.barrier()
+            self.tracer.store(self.layout.kv_addr(slot),
+                              self.layout.kv_slot_bytes)
+            self.tracer.store(self.layout.bucket_addr(bucket_index), 64)
+
+    # -- BFS cuckoo displacement ---------------------------------------------------
+    def _find_kick_path(self, index1: int,
+                        index2: int) -> Optional[List[Tuple[int, int]]]:
+        """BFS for a chain of moves freeing a slot in ``index1`` or ``index2``.
+
+        Returns ``[(bucket, entry_position), ...]`` from the bucket that will
+        receive the new key down to the bucket with a free slot, or ``None``.
+        """
+        # Each queue item: (bucket_index, path_of_moves) where path records
+        # (source_bucket, entry_position) hops taken to get here.
+        queue: deque = deque()
+        queue.append((index1, [(index1, -1)]))
+        if index2 != index1:
+            queue.append((index2, [(index2, -1)]))
+        visited = {index1, index2}
+        nodes = 0
+        while queue and nodes < MAX_BFS_NODES:
+            bucket_index, path = queue.popleft()
+            nodes += 1
+            if len(path) - 1 > self.max_kick_depth:
+                continue
+            bucket = self._buckets[bucket_index]
+            if len(bucket) < self.assoc:
+                return path
+            for position, entry in enumerate(bucket):
+                alt = self._alt_index(bucket_index, entry.signature)
+                if alt in visited:
+                    continue
+                visited.add(alt)
+                hop = path[:-1] + [(bucket_index, position), (alt, -1)]
+                queue.append((alt, hop))
+        return None
+
+    def _apply_kick_path(self, path: List[Tuple[int, int]]) -> None:
+        """Execute the moves, last hop first ("cuckoo move", Figure 7a)."""
+        # path = [(b0,-1)] means b0 already has room; longer paths record the
+        # entry positions to displace at each intermediate bucket.
+        moves = [(bucket, position) for bucket, position in path
+                 if position >= 0]
+        for bucket_index, position in reversed(moves):
+            entry = self._buckets[bucket_index][position]
+            destination = self._alt_index(bucket_index, entry.signature)
+            if len(self._buckets[destination]) >= self.assoc:
+                raise RuntimeError("BFS kick path invalidated mid-move")
+            del self._buckets[bucket_index][position]
+            self._buckets[destination].append(entry)
+            self.stats.kicks += 1
+            if self.tracer.enabled:
+                self.tracer.barrier()
+                self.tracer.load(self.layout.bucket_addr(bucket_index), 64)
+                self.tracer.store(self.layout.bucket_addr(bucket_index), 64)
+                self.tracer.store(self.layout.bucket_addr(destination), 64)
+                self.tracer.count(loads=KICK_MIX.loads, stores=KICK_MIX.stores,
+                                  arithmetic=KICK_MIX.arithmetic,
+                                  others=KICK_MIX.others)
+
+    # -- delete -------------------------------------------------------------------------
+    def delete(self, key: bytes) -> bool:
+        plan = self.probe(key)
+        self.stats.deletes += 1
+        if not plan.found:
+            return False
+        bucket_index = (plan.secondary_index if plan.found_in_secondary
+                        else plan.primary_index)
+        bucket = self._buckets[bucket_index]
+        for position, entry in enumerate(bucket):
+            if entry.slot == plan.slot:
+                self.lock.write_begin()
+                del bucket[position]
+                self._kv[plan.slot] = None
+                self._free_slots.append(plan.slot)
+                self._size -= 1
+                self.lock.write_end()
+                if self.tracer.enabled:
+                    self.tracer.load(self.layout.bucket_addr(bucket_index), 64)
+                    self.tracer.barrier()
+                    self.tracer.store(self.layout.bucket_addr(bucket_index), 64)
+                    self.tracer.store(self.layout.kv_addr(plan.slot),
+                                      self.layout.kv_slot_bytes)
+                    self.tracer.count(
+                        loads=DELETE_MIX.loads, stores=DELETE_MIX.stores,
+                        arithmetic=DELETE_MIX.arithmetic,
+                        others=DELETE_MIX.others)
+                return True
+        raise RuntimeError("probe found a slot the bucket scan cannot see")

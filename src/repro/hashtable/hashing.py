@@ -1,0 +1,66 @@
+"""Hash functions used by the flow tables and by HALO's hash unit.
+
+Pure-Python, deterministic, seedable mixers.  The HALO hash unit (paper
+Figure 6) is "implemented with simple logics, such as boolean, shift, and
+other bit-wise operations" — exactly the operations below, so the same
+function doubles as the functional model of the accelerator's hash unit.
+"""
+
+from __future__ import annotations
+
+import struct
+
+MASK64 = 0xFFFFFFFFFFFFFFFF
+MASK32 = 0xFFFFFFFF
+
+
+def mix64(value: int) -> int:
+    """SplitMix64 finaliser: xor-shift / multiply rounds (hash-unit ops)."""
+    value &= MASK64
+    value = (value ^ (value >> 30)) * 0xBF58476D1CE4E5B9 & MASK64
+    value = (value ^ (value >> 27)) * 0x94D049BB133111EB & MASK64
+    return value ^ (value >> 31)
+
+
+def hash_bytes(data: bytes, seed: int = 0) -> int:
+    """64-bit hash of an arbitrary byte string (jhash/xxhash-style rounds).
+
+    Processes 8-byte lanes with multiply-rotate mixing, then finalises.
+    """
+    acc = (seed ^ (len(data) * 0x9E3779B97F4A7C15)) & MASK64
+    view = memoryview(data)
+    offset = 0
+    while offset + 8 <= len(data):
+        (lane,) = struct.unpack_from("<Q", view, offset)
+        acc = (acc ^ mix64(lane)) * 0xC2B2AE3D27D4EB4F & MASK64
+        acc = ((acc << 31) | (acc >> 33)) & MASK64
+        offset += 8
+    if offset < len(data):
+        tail = bytes(view[offset:]) + b"\x00" * (8 - (len(data) - offset))
+        (lane,) = struct.unpack_from("<Q", tail, 0)
+        acc = (acc ^ mix64(lane)) * 0x165667B19E3779F9 & MASK64
+    return mix64(acc)
+
+
+def hash32(data: bytes, seed: int = 0) -> int:
+    return hash_bytes(data, seed) & MASK32
+
+
+def signature_of(hash_value: int) -> int:
+    """16-bit bucket signature stored per entry (paper Figure 2b)."""
+    return (hash_value >> 16) & 0xFFFF
+
+
+def secondary_index(primary_index: int, signature: int, mask: int) -> int:
+    """DPDK rte_hash alternative-bucket derivation.
+
+    The alternative bucket is computed from the *signature*, so an entry can
+    be moved between its two buckets knowing only its stored signature —
+    required for cuckoo displacement.
+    """
+    return (primary_index ^ mix64(signature | 0x5BD1)) & mask
+
+
+def crc_like(value: int, seed: int = 0) -> int:
+    """A cheap 32-bit mixer for integer keys (flow-register indexing)."""
+    return mix64(value ^ (seed * 0x9E3779B97F4A7C15)) & MASK32

@@ -1,0 +1,76 @@
+"""ACL — the DPDK access-control-list library (paper Table 3).
+
+DPDK's ACL classifier compiles rules into a multi-bit trie; each packet
+walks a handful of dependent trie nodes.  The paper's configuration:
+"packets are randomly generated to match 6 rules and 1 route with various
+wildcarding".  ACL is compute-intensive with a modest hot working set — the
+profile that makes it sensitive to L1D pollution in Figure 12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..classifier.flow import FiveTuple
+from ..sim.hierarchy import MemoryHierarchy
+from ..sim.trace import InstructionMix
+from .base import NetworkFunction
+
+#: Rules + route from the paper's configuration.
+DEFAULT_ACL_RULES = 6
+DEFAULT_ROUTES = 1
+
+#: Trie nodes visited per packet (multi-bit trie over the 5-tuple).
+TRIE_DEPTH = 5
+
+
+@dataclass(frozen=True)
+class AclRule:
+    """A range-based ACL rule (the functional check behind the cost model)."""
+
+    src_lo: int
+    src_hi: int
+    dst_lo: int
+    dst_hi: int
+    proto: int
+    permit: bool
+
+    def matches(self, flow: FiveTuple) -> bool:
+        return (self.src_lo <= flow.src_ip <= self.src_hi
+                and self.dst_lo <= flow.dst_ip <= self.dst_hi
+                and (self.proto == 0 or self.proto == flow.proto))
+
+
+class AclFunction(NetworkFunction):
+    """Trie-walking access control."""
+
+    MIX = InstructionMix(loads=62, stores=14, arithmetic=50, others=48)
+    DEPENDENT_TOUCHES = TRIE_DEPTH
+    INDEPENDENT_TOUCHES = 8   # rule data, category bitmaps, result arrays
+
+    def __init__(self, hierarchy: MemoryHierarchy, core_id: int = 0,
+                 num_rules: int = DEFAULT_ACL_RULES, seed: int = 201) -> None:
+        super().__init__(hierarchy, core_id=core_id,
+                         working_set_bytes=256 * 1024, name="acl", seed=seed)
+        rng = np.random.default_rng(seed)
+        self.rules: List[AclRule] = []
+        for index in range(num_rules):
+            base = int(rng.integers(0, 1 << 30))
+            self.rules.append(AclRule(
+                src_lo=base, src_hi=base + (1 << 22),
+                dst_lo=0, dst_hi=0xFFFFFFFF,
+                proto=0, permit=bool(index % 2)))
+        self.permitted = 0
+        self.denied = 0
+
+    def _process_impl(self, flow: FiveTuple) -> float:
+        verdict = next((rule.permit for rule in self.rules
+                        if rule.matches(flow)), True)
+        if verdict:
+            self.permitted += 1
+        else:
+            self.denied += 1
+        return self.core.execute(self._base_trace()).cycles

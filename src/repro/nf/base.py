@@ -1,0 +1,138 @@
+"""Network-function base machinery (paper Table 3).
+
+The evaluation uses NFs in two roles:
+
+* as **collocated cache-footprint generators** (Figure 12: ACL, Snort,
+  mTCP share an SMT core with the virtual switch and suffer L1D pollution);
+* as **hash-table-bound services HALO accelerates directly** (Figure 13:
+  NAT, prads, packet filter).
+
+Both roles need the same ingredients: a per-packet instruction mix, a
+working set held in simulated memory whose accesses run through the shared
+cache hierarchy, and (for the hash-based NFs) a real cuckoo table.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..classifier.flow import FiveTuple
+from ..sim.core import CoreModel
+from ..sim.hierarchy import MemoryHierarchy
+from ..sim.memory import Region
+from ..sim.stats import RunningStats
+from ..sim.trace import InstructionMix, MemTrace
+
+
+@dataclass
+class NfStats:
+    packets: int = 0
+    cycles: RunningStats = field(default_factory=RunningStats)
+
+    @property
+    def cycles_per_packet(self) -> float:
+        return self.cycles.mean
+
+    def throughput_mpps(self, frequency_ghz: float = 2.1) -> float:
+        """Packets/second in millions at the given clock."""
+        if not self.cycles.mean:
+            return 0.0
+        return frequency_ghz * 1e9 / self.cycles.mean / 1e6
+
+
+class WorkingSet:
+    """A region of state the NF touches per packet.
+
+    Accesses follow a Zipf-like hot/cold split: a configurable fraction of
+    touches land in a hot subset (which therefore wants to live in L1/L2),
+    the rest roam the whole region.  Under cache pollution from a
+    collocated switch the hot subset keeps getting evicted — the Figure 12
+    mechanism.
+    """
+
+    def __init__(self, hierarchy: MemoryHierarchy, size_bytes: int,
+                 name: str, hot_fraction: float = 0.06,
+                 hot_probability: float = 0.85, seed: int = 77) -> None:
+        self.hierarchy = hierarchy
+        self.region: Region = hierarchy.allocator.alloc(size_bytes, name)
+        self.hot_lines = max(1, int(size_bytes * hot_fraction) // 64)
+        self.total_lines = max(1, size_bytes // 64)
+        self.hot_probability = hot_probability
+        self._rng = np.random.default_rng(seed)
+
+    def sample_addr(self) -> int:
+        if self._rng.random() < self.hot_probability:
+            line = int(self._rng.integers(0, self.hot_lines))
+        else:
+            line = int(self._rng.integers(0, self.total_lines))
+        return self.region.base + line * 64
+
+
+class NetworkFunction(ABC):
+    """Base class: cost accounting for a per-packet NF."""
+
+    #: Per-packet instruction mix (override per NF).
+    MIX = InstructionMix(loads=60, stores=20, arithmetic=60, others=60)
+    #: Working-set accesses per packet, split into dependency groups.
+    DEPENDENT_TOUCHES = 2
+    INDEPENDENT_TOUCHES = 2
+    #: Hot-subset geometry of the working set (see :class:`WorkingSet`).
+    HOT_FRACTION = 0.06
+    HOT_PROBABILITY = 0.85
+
+    def __init__(self, hierarchy: MemoryHierarchy, core_id: int = 0,
+                 working_set_bytes: int = 128 * 1024,
+                 name: Optional[str] = None, seed: int = 77) -> None:
+        self.name = name or type(self).__name__
+        self.hierarchy = hierarchy
+        self.core = CoreModel(core_id, hierarchy)
+        self.working_set = WorkingSet(hierarchy, working_set_bytes,
+                                      f"{self.name}.state",
+                                      hot_fraction=self.HOT_FRACTION,
+                                      hot_probability=self.HOT_PROBABILITY,
+                                      seed=seed)
+        self.stats = NfStats()
+
+    # -- cost assembly -----------------------------------------------------------
+    def _base_trace(self) -> MemTrace:
+        """Instruction mix + working-set touches for one packet."""
+        trace = MemTrace(mix=InstructionMix(
+            loads=self.MIX.loads, stores=self.MIX.stores,
+            arithmetic=self.MIX.arithmetic, others=self.MIX.others))
+        for _ in range(self.INDEPENDENT_TOUCHES):
+            trace.load(self.working_set.sample_addr(), 8, dep=0)
+        for hop in range(self.DEPENDENT_TOUCHES):
+            trace.load(self.working_set.sample_addr(), 8, dep=1 + hop)
+        return trace
+
+    def l1d_miss_ratio(self) -> float:
+        """The NF core's current L1D miss ratio (Figure 12b's metric)."""
+        return self.hierarchy.l1[self.core.core_id].stats.miss_rate
+
+    def warm(self) -> None:
+        """Touch the whole working set once (L2/LLC steady state)."""
+        region = self.working_set.region
+        for line in range(region.size // 64):
+            self.hierarchy.core_access(self.core.core_id,
+                                       region.base + line * 64)
+
+    # -- the per-packet entry point ----------------------------------------------
+    def process(self, flow: FiveTuple) -> float:
+        """Process one packet; returns (and records) its cycle cost."""
+        cycles = self._process_impl(flow)
+        self.stats.packets += 1
+        self.stats.cycles.record(cycles)
+        return cycles
+
+    @abstractmethod
+    def _process_impl(self, flow: FiveTuple) -> float:
+        """NF-specific packet handling; returns cycles."""
+
+    def run(self, flows) -> NfStats:
+        for flow in flows:
+            self.process(flow)
+        return self.stats

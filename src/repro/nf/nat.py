@@ -1,0 +1,84 @@
+"""NAT — DPDK-based network address translation (paper Table 3).
+
+An exact-match hash table maps (LAN IP, LAN port) to (WAN IP, WAN port).
+The paper evaluates 1K / 10K / 100K translation entries; HALO speeds the
+per-packet translation lookup, yielding a ~2.3-2.7× end-to-end gain
+(Figure 13).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..classifier.flow import FiveTuple
+from ..core.halo_system import HaloSystem
+from ..sim.trace import InstructionMix
+from .hash_nf import HashTableNetworkFunction
+
+#: Table sizes the paper evaluates.
+NAT_TABLE_SIZES = (1_000, 10_000, 100_000)
+
+#: Cycles to rewrite the header and fix the checksum after a translation.
+HEADER_REWRITE_CYCLES = 12.0
+
+
+@dataclass(frozen=True)
+class Translation:
+    """One NAT binding."""
+
+    wan_ip: int
+    wan_port: int
+
+
+class NatFunction(HashTableNetworkFunction):
+    """Exact-match source NAT."""
+
+    MIX = InstructionMix(loads=16, stores=8, arithmetic=14, others=14)
+
+    def __init__(self, system: HaloSystem, table_entries: int = 10_000,
+                 core_id: int = 0, use_halo: bool = False,
+                 seed: int = 101) -> None:
+        super().__init__(system, table_entries, core_id=core_id,
+                         use_halo=use_halo, name="nat", seed=seed)
+
+    def key_of(self, flow: FiveTuple) -> bytes:
+        """NAT keys on the LAN-side (source) endpoint plus protocol."""
+        return struct.pack("<IHB9x", flow.src_ip, flow.src_port, flow.proto)
+
+    def add_binding(self, flow: FiveTuple, translation: Translation) -> None:
+        if not self.table.insert(self.key_of(flow), translation):
+            raise RuntimeError("NAT table full")
+
+    def populate_from_flows(self, flows: Iterable[FiveTuple]) -> int:
+        """One binding per distinct LAN endpoint, up to table capacity."""
+        installed = 0
+        seen = set()
+        for flow in flows:
+            key = self.key_of(flow)
+            if key in seen:
+                continue
+            seen.add(key)
+            translation = Translation(
+                wan_ip=(203 << 24) | (installed & 0xFFFF),
+                wan_port=20_000 + (installed % 40_000))
+            if not self.table.insert(key, translation):
+                break
+            installed += 1
+        self.system.warm_table(self.table)
+        return installed
+
+    def on_hit(self, flow: FiveTuple, value: Translation) -> float:
+        return HEADER_REWRITE_CYCLES
+
+    def on_miss(self, flow: FiveTuple) -> float:
+        # Slow path: allocate a new binding (bounded so streams with many
+        # novel endpoints do not overflow the table mid-measurement).
+        if len(self.table) < self.table.capacity * 0.9:
+            translation = Translation(
+                wan_ip=(203 << 24) | (len(self.table) & 0xFFFF),
+                wan_port=20_000 + (len(self.table) % 40_000))
+            self.table.insert(self.key_of(flow), translation)
+            return HEADER_REWRITE_CYCLES * 3
+        return HEADER_REWRITE_CYCLES

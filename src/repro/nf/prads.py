@@ -1,0 +1,74 @@
+"""prads — passive real-time asset detection system (paper Table 3).
+
+Observes traffic and keeps a hash table of discovered assets (hosts and the
+services they expose), keyed by endpoint.  Every packet looks its source
+endpoint up to update the asset record; unknown endpoints create one.  The
+paper evaluates 1K / 10K / 100K asset records.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..classifier.flow import FiveTuple
+from ..core.halo_system import HaloSystem
+from ..sim.trace import InstructionMix
+from .hash_nf import HashTableNetworkFunction
+
+PRADS_TABLE_SIZES = (1_000, 10_000, 100_000)
+
+#: Updating an asset record (service set, last-seen) after the lookup.
+RECORD_UPDATE_CYCLES = 10.0
+#: Creating a fresh asset record (slow path).
+RECORD_CREATE_CYCLES = 60.0
+
+
+@dataclass
+class AssetRecord:
+    """A discovered host asset."""
+
+    ip: int
+    services: set = field(default_factory=set)
+    packets_seen: int = 0
+
+
+class PradsFunction(HashTableNetworkFunction):
+    """Passive asset detection keyed by source host."""
+
+    MIX = InstructionMix(loads=18, stores=8, arithmetic=12, others=16)
+
+    def __init__(self, system: HaloSystem, table_entries: int = 10_000,
+                 core_id: int = 0, use_halo: bool = False,
+                 seed: int = 102) -> None:
+        super().__init__(system, table_entries, core_id=core_id,
+                         use_halo=use_halo, name="prads", seed=seed)
+
+    def key_of(self, flow: FiveTuple) -> bytes:
+        return struct.pack("<I12x", flow.src_ip)
+
+    def populate_from_flows(self, flows: Iterable[FiveTuple]) -> int:
+        installed = 0
+        seen = set()
+        for flow in flows:
+            key = self.key_of(flow)
+            if key in seen:
+                continue
+            seen.add(key)
+            record = AssetRecord(ip=flow.src_ip)
+            if not self.table.insert(key, record):
+                break
+            installed += 1
+        self.system.warm_table(self.table)
+        return installed
+
+    def on_hit(self, flow: FiveTuple, value: AssetRecord) -> float:
+        value.packets_seen += 1
+        value.services.add((flow.proto, flow.dst_port))
+        return RECORD_UPDATE_CYCLES
+
+    def on_miss(self, flow: FiveTuple) -> float:
+        if len(self.table) < self.table.capacity * 0.9:
+            self.table.insert(self.key_of(flow), AssetRecord(ip=flow.src_ip))
+        return RECORD_CREATE_CYCLES

@@ -1,0 +1,85 @@
+"""Approximate cycle-level multicore simulator (the gem5 substitute).
+
+Public surface:
+
+* :class:`~repro.sim.engine.Engine` — discrete-event kernel.
+* :class:`~repro.sim.params.MachineParams` / :data:`SKYLAKE_SP_16C` — machine
+  configuration (paper Table 2).
+* :class:`~repro.sim.hierarchy.MemoryHierarchy` — L1/L2/NUCA-LLC/DRAM.
+* :class:`~repro.sim.core.CoreModel` — OoO core cost model.
+* :class:`~repro.sim.trace.Tracer` / :class:`MemTrace` — functional-to-timing
+  bridge.
+"""
+
+from .cache import Cache, CacheStats
+from .core import CoreModel, ExecutionResult
+from .engine import Engine, Event, Process, Resource, SimulationError, Store
+from .hierarchy import AccessResult, MemoryHierarchy
+from .interconnect import Interconnect, MeshInterconnect, build_interconnect
+from .memory import AddressAllocator, Dram, OutOfSimulatedMemory, Region
+from .params import (
+    CACHE_LINE_BYTES,
+    CacheParams,
+    CoreParams,
+    HaloParams,
+    LatencyParams,
+    MachineParams,
+    SKYLAKE_SP_16C,
+    TINY_MACHINE,
+)
+from .tlb import Tlb, TlbParams, TlbStats
+from .stats import Breakdown, RunningStats, geometric_mean, mpkl, throughput_mops
+from .trace import (
+    InstructionMix,
+    MemOp,
+    MemOpKind,
+    MemTrace,
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+)
+
+__all__ = [
+    "AccessResult",
+    "AddressAllocator",
+    "Breakdown",
+    "CACHE_LINE_BYTES",
+    "Cache",
+    "CacheParams",
+    "CacheStats",
+    "CoreModel",
+    "CoreParams",
+    "Dram",
+    "Engine",
+    "Event",
+    "ExecutionResult",
+    "HaloParams",
+    "InstructionMix",
+    "Interconnect",
+    "MeshInterconnect",
+    "LatencyParams",
+    "MachineParams",
+    "MemOp",
+    "MemOpKind",
+    "MemTrace",
+    "MemoryHierarchy",
+    "NULL_TRACER",
+    "NullTracer",
+    "OutOfSimulatedMemory",
+    "Process",
+    "Region",
+    "Resource",
+    "RunningStats",
+    "SKYLAKE_SP_16C",
+    "SimulationError",
+    "Store",
+    "TINY_MACHINE",
+    "Tlb",
+    "TlbParams",
+    "TlbStats",
+    "Tracer",
+    "build_interconnect",
+    "geometric_mean",
+    "mpkl",
+    "throughput_mops",
+]

@@ -1,0 +1,175 @@
+"""Set-associative cache model with LRU replacement.
+
+Tag-array only (no data payload): the functional layer owns the data; the
+cache tracks *presence* so hit/miss behaviour, evictions, and utilisation
+emerge from real access streams.  Addresses are byte addresses; the cache
+operates on line addresses internally.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from .params import CacheParams
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+    writebacks: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        return 1.0 - self.miss_rate if self.accesses else 0.0
+
+    def reset(self) -> None:
+        self.hits = self.misses = self.evictions = 0
+        self.invalidations = self.writebacks = 0
+
+
+@dataclass
+class LineState:
+    """Per-line metadata: dirty bit plus HALO's reserved lock bit (§4.4)."""
+
+    dirty: bool = False
+    locked: bool = False
+
+
+class Cache:
+    """A single set-associative cache level.
+
+    The per-set structure is an ``OrderedDict`` mapping line address to
+    :class:`LineState`, maintained in LRU order (least recent first).
+    """
+
+    def __init__(self, name: str, params: CacheParams) -> None:
+        if params.num_sets < 1:
+            raise ValueError(f"cache {name!r} too small for its associativity")
+        num_sets = params.num_sets
+        if num_sets & (num_sets - 1):
+            raise ValueError(f"cache {name!r} set count must be a power of two")
+        self.name = name
+        self.params = params
+        self.num_sets = num_sets
+        self.assoc = params.associativity
+        self.line_bytes = params.line_bytes
+        self.stats = CacheStats()
+        self._sets: Dict[int, OrderedDict] = {}
+
+    # -- address helpers -----------------------------------------------------
+    def line_of(self, addr: int) -> int:
+        return addr // self.line_bytes
+
+    def set_index(self, line: int) -> int:
+        return line & (self.num_sets - 1)
+
+    def _set_for(self, line: int) -> OrderedDict:
+        return self._sets.setdefault(self.set_index(line), OrderedDict())
+
+    # -- operations ----------------------------------------------------------
+    def lookup(self, line: int, write: bool = False) -> bool:
+        """Probe for ``line``; on hit, refresh LRU (and mark dirty on write)."""
+        cache_set = self._set_for(line)
+        state = cache_set.get(line)
+        if state is None:
+            self.stats.misses += 1
+            return False
+        cache_set.move_to_end(line)
+        if write:
+            state.dirty = True
+        self.stats.hits += 1
+        return True
+
+    def fill(self, line: int, dirty: bool = False) -> Optional[int]:
+        """Install ``line``; return the evicted line address, if any.
+
+        A locked victim is skipped (HALO's lock bit pins the line); the next
+        least-recently-used unlocked line is evicted instead.
+        """
+        cache_set = self._set_for(line)
+        if line in cache_set:
+            cache_set.move_to_end(line)
+            if dirty:
+                cache_set[line].dirty = True
+            return None
+        victim = None
+        if len(cache_set) >= self.assoc:
+            for candidate, state in cache_set.items():
+                if not state.locked:
+                    victim = candidate
+                    break
+            if victim is None:
+                # Pathological: whole set locked.  Evict true LRU anyway.
+                victim = next(iter(cache_set))
+            victim_state = cache_set.pop(victim)
+            self.stats.evictions += 1
+            if victim_state.dirty:
+                self.stats.writebacks += 1
+        cache_set[line] = LineState(dirty=dirty)
+        return victim
+
+    def contains(self, line: int) -> bool:
+        return line in self._sets.get(self.set_index(line), ())
+
+    def invalidate(self, line: int) -> bool:
+        """Drop ``line`` if present; refuses if the HALO lock bit is set."""
+        cache_set = self._sets.get(self.set_index(line))
+        if cache_set is None or line not in cache_set:
+            return False
+        if cache_set[line].locked:
+            return False  # "snoop miss" response: retry later (paper §4.4)
+        cache_set.pop(line)
+        self.stats.invalidations += 1
+        return True
+
+    # -- HALO lock bit (reserved cache-line metadata bit, §4.4) --------------
+    def lock(self, line: int) -> bool:
+        cache_set = self._sets.get(self.set_index(line))
+        if cache_set is None or line not in cache_set:
+            return False
+        cache_set[line].locked = True
+        return True
+
+    def unlock(self, line: int) -> bool:
+        cache_set = self._sets.get(self.set_index(line))
+        if cache_set is None or line not in cache_set:
+            return False
+        cache_set[line].locked = False
+        return True
+
+    def is_locked(self, line: int) -> bool:
+        cache_set = self._sets.get(self.set_index(line))
+        if cache_set is None:
+            return False
+        state = cache_set.get(line)
+        return bool(state and state.locked)
+
+    # -- introspection --------------------------------------------------------
+    @property
+    def resident_lines(self) -> int:
+        return sum(len(s) for s in self._sets.values())
+
+    def utilisation(self) -> float:
+        """Fraction of capacity currently holding lines."""
+        capacity = self.num_sets * self.assoc
+        return self.resident_lines / capacity if capacity else 0.0
+
+    def flush(self) -> None:
+        self._sets.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Cache({self.name}, {self.params.size_bytes}B, "
+                f"{self.assoc}-way, {self.resident_lines} lines)")

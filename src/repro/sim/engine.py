@@ -1,0 +1,271 @@
+"""Discrete-event simulation engine.
+
+A deliberately small, deterministic event-driven kernel in the spirit of
+SimPy, tuned for cycle-level architecture modelling.  Time is measured in
+integer (or float) *cycles*.  The engine provides:
+
+* :class:`Engine` — the event loop with a binary-heap calendar.
+* :class:`Process` — a coroutine (generator) driven by the engine.  A process
+  ``yield``\\ s *waitables*: a cycle delay (``yield engine.timeout(n)``), an
+  :class:`Event`, or a resource request.
+* :class:`Event` — a one-shot completion signal carrying an optional value.
+* :class:`Resource` — a counting resource with a FIFO wait queue (used to
+  model scoreboard slots, queue ports, MSHRs, ...).
+* :class:`Store` — an unbounded FIFO message channel (command/result queues).
+
+The kernel is single-threaded and fully deterministic: events scheduled for
+the same cycle fire in insertion order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, List, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for illegal engine usage (e.g. waiting on a triggered event)."""
+
+
+class Event:
+    """A one-shot event that processes can wait on.
+
+    An event starts *pending*; calling :meth:`succeed` triggers it, wakes all
+    waiting processes, and records ``value``.  Triggering twice is an error.
+    """
+
+    __slots__ = ("engine", "triggered", "value", "_waiters", "callbacks")
+
+    def __init__(self, engine: "Engine") -> None:
+        self.engine = engine
+        self.triggered = False
+        self.value: Any = None
+        self._waiters: List["Process"] = []
+        self.callbacks: List[Callable[["Event"], None]] = []
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event, delivering ``value`` to every waiter."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self.triggered = True
+        self.value = value
+        for callback in self.callbacks:
+            callback(self)
+        waiters, self._waiters = self._waiters, []
+        for process in waiters:
+            self.engine._schedule(self.engine.now, process, value)
+        return self
+
+    def _add_waiter(self, process: "Process") -> None:
+        if self.triggered:
+            # Already done: resume the process immediately (same cycle).
+            self.engine._schedule(self.engine.now, process, self.value)
+        else:
+            self._waiters.append(process)
+
+
+class Timeout(Event):
+    """An event that triggers automatically after a fixed delay."""
+
+    __slots__ = ()
+
+    def __init__(self, engine: "Engine", delay: float) -> None:
+        super().__init__(engine)
+        if delay < 0:
+            raise SimulationError(f"negative timeout: {delay}")
+        engine._schedule_event(engine.now + delay, self)
+
+
+class Process:
+    """A generator-based simulated process.
+
+    The generator may ``yield``:
+
+    * an :class:`Event` (including :class:`Timeout`) — resumes when it fires,
+      receiving the event's value;
+    * ``None`` — resumes on the same cycle (a cooperative yield point).
+
+    The process itself is an :class:`Event` — it triggers with the
+    generator's return value when the generator finishes, so processes can
+    wait on each other (fork/join).
+    """
+
+    __slots__ = ("engine", "generator", "done", "result", "_waiters", "name")
+
+    def __init__(self, engine: "Engine", generator: Generator, name: str = "") -> None:
+        self.engine = engine
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self.done = False
+        self.result: Any = None
+        self._waiters: List["Process"] = []
+        engine._schedule(engine.now, self, None)
+
+    # Event-like interface so processes can be awaited with `yield proc`.
+    @property
+    def triggered(self) -> bool:
+        return self.done
+
+    @property
+    def value(self) -> Any:
+        return self.result
+
+    def _add_waiter(self, process: "Process") -> None:
+        if self.done:
+            self.engine._schedule(self.engine.now, process, self.result)
+        else:
+            self._waiters.append(process)
+
+    def _step(self, send_value: Any) -> None:
+        try:
+            target = self.generator.send(send_value)
+        except StopIteration as stop:
+            self.done = True
+            self.result = stop.value
+            waiters, self._waiters = self._waiters, []
+            for waiter in waiters:
+                self.engine._schedule(self.engine.now, waiter, self.result)
+            return
+        if target is None:
+            self.engine._schedule(self.engine.now, self, None)
+        elif isinstance(target, (Event, Process)):
+            target._add_waiter(self)
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded unsupported value {target!r}"
+            )
+
+
+class Resource:
+    """A counting resource with ``capacity`` slots and a FIFO wait queue."""
+
+    __slots__ = ("engine", "capacity", "in_use", "_queue", "peak_queue", "total_waits")
+
+    def __init__(self, engine: "Engine", capacity: int) -> None:
+        if capacity < 1:
+            raise SimulationError("resource capacity must be >= 1")
+        self.engine = engine
+        self.capacity = capacity
+        self.in_use = 0
+        self._queue: List[Event] = []
+        self.peak_queue = 0
+        self.total_waits = 0
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self.in_use
+
+    def acquire(self) -> Event:
+        """Return an event that fires once a slot is granted."""
+        event = Event(self.engine)
+        if self.in_use < self.capacity and not self._queue:
+            self.in_use += 1
+            event.succeed(self)
+        else:
+            self.total_waits += 1
+            self._queue.append(event)
+            self.peak_queue = max(self.peak_queue, len(self._queue))
+        return event
+
+    def release(self) -> None:
+        """Free one slot, waking the oldest waiter if any."""
+        if self.in_use <= 0:
+            raise SimulationError("release without matching acquire")
+        if self._queue:
+            # Hand the slot directly to the next waiter.
+            self._queue.pop(0).succeed(self)
+        else:
+            self.in_use -= 1
+
+
+class Store:
+    """An unbounded FIFO channel between processes."""
+
+    __slots__ = ("engine", "_items", "_getters")
+
+    def __init__(self, engine: "Engine") -> None:
+        self.engine = engine
+        self._items: List[Any] = []
+        self._getters: List[Event] = []
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        if self._getters:
+            self._getters.pop(0).succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        event = Event(self.engine)
+        if self._items:
+            event.succeed(self._items.pop(0))
+        else:
+            self._getters.append(event)
+        return event
+
+
+class Engine:
+    """The simulation kernel: a calendar queue of (time, seq, task)."""
+
+    def __init__(self) -> None:
+        self.now: float = 0
+        self._calendar: list = []
+        self._sequence = itertools.count()
+        self.events_processed = 0
+
+    # -- scheduling internals ------------------------------------------------
+    def _schedule(self, when: float, process: Process, value: Any) -> None:
+        heapq.heappush(self._calendar, (when, next(self._sequence), process, value))
+
+    def _schedule_event(self, when: float, event: Event) -> None:
+        heapq.heappush(self._calendar, (when, next(self._sequence), event, None))
+
+    # -- public API ----------------------------------------------------------
+    def timeout(self, delay: float) -> Timeout:
+        """An event that fires ``delay`` cycles from now."""
+        return Timeout(self, delay)
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Register a generator as a process starting this cycle."""
+        return Process(self, generator, name=name)
+
+    def resource(self, capacity: int) -> Resource:
+        return Resource(self, capacity)
+
+    def store(self) -> Store:
+        return Store(self)
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Drive the calendar until exhaustion or ``until`` cycles.
+
+        Returns the final simulation time.
+        """
+        while self._calendar:
+            when, _seq, task, value = self._calendar[0]
+            if until is not None and when > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._calendar)
+            self.now = when
+            self.events_processed += 1
+            if isinstance(task, Process):
+                task._step(value)
+            else:  # a plain Event scheduled by Timeout
+                task.succeed(value)
+        if until is not None:
+            self.now = max(self.now, until)
+        return self.now
+
+    def run_process(self, generator: Generator, name: str = "") -> Any:
+        """Convenience: register ``generator``, run to completion, return value."""
+        process = self.process(generator, name=name)
+        self.run()
+        if not process.done:
+            raise SimulationError(f"process {process.name!r} deadlocked")
+        return process.result

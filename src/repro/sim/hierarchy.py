@@ -1,0 +1,287 @@
+"""The simulated memory hierarchy: per-core L1D/L2, NUCA LLC slices, DRAM.
+
+Two access paths matter for the paper:
+
+* :meth:`MemoryHierarchy.core_access` — the conventional path a load/store
+  takes from a core: L1D → L2 → home LLC slice (ring transfer, NUCA) → DRAM,
+  filling private caches on the way back (and thereby *polluting* them —
+  Figure 12's effect).
+* :meth:`MemoryHierarchy.cha_access` — HALO's near-cache path: the CHA
+  reads its (or a peer's) LLC slice directly, never touching private caches.
+  This is the 4.1×-faster-data-access property from Figure 10.
+
+The hierarchy is inclusive: an LLC eviction back-invalidates private copies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .cache import Cache
+from .coherence import SnoopFilter
+from .interconnect import build_interconnect
+from .memory import AddressAllocator, Dram
+from .tlb import Tlb
+from .params import MachineParams
+
+#: Extra cycles per retry when a store hits a HALO-locked line (§4.4).
+LOCK_RETRY_CYCLES = 20
+#: Retries before we consider the lock pathological (tests assert we never hit it).
+MAX_LOCK_RETRIES = 64
+
+
+@dataclass
+class AccessResult:
+    """Outcome of one memory access."""
+
+    latency: int
+    level: str            # "L1" | "L2" | "LLC" | "PRIV" | "DRAM"
+    slice_id: int = -1
+    lock_retries: int = 0
+
+    @property
+    def hit_llc_or_better(self) -> bool:
+        return self.level in ("L1", "L2", "LLC", "PRIV")
+
+
+class MemoryHierarchy:
+    """The full cache/memory system for one simulated socket."""
+
+    def __init__(self, machine: MachineParams = None) -> None:
+        self.machine = machine or MachineParams()
+        lat = self.machine.latency
+        self.latency = lat
+        self.l1 = [Cache(f"L1D.{i}", self.machine.l1d)
+                   for i in range(self.machine.cores)]
+        self.l2 = [Cache(f"L2.{i}", self.machine.l2)
+                   for i in range(self.machine.cores)]
+        self.llc = [Cache(f"LLC.{s}", self.machine.llc_slice)
+                    for s in range(self.machine.llc_slices)]
+        self.interconnect = build_interconnect(
+            self.machine.interconnect, self.machine.llc_slices, lat)
+        self.snoop_filter = SnoopFilter(self.machine.cores,
+                                        self.machine.llc_slices)
+        self.dram = Dram(lat.dram)
+        self.tlbs = ([Tlb(self.machine.tlb) for _ in range(self.machine.cores)]
+                     if self.machine.tlb is not None else None)
+        self.allocator = AddressAllocator(self.machine.dram_bytes)
+        self.line_bytes = self.machine.l1d.line_bytes
+        # Average ring distance used to centre the NUCA latency spread so the
+        # mean core->LLC latency equals ``latency.llc_hit``.
+        self._avg_hops = self.machine.llc_slices // 4
+
+    # -- helpers ---------------------------------------------------------------
+    def line_of(self, addr: int) -> int:
+        return addr // self.line_bytes
+
+    def slice_of(self, addr: int) -> int:
+        return self.interconnect.slice_of_line(self.line_of(addr))
+
+    def core_stop(self, core_id: int) -> int:
+        """Ring stop of a core (core i shares a tile with slice i)."""
+        return core_id % self.machine.llc_slices
+
+    def _llc_latency_from(self, stop: int, slice_id: int) -> int:
+        """NUCA: core->slice latency centred on ``llc_hit``."""
+        hops = self.interconnect.hops(stop, slice_id)
+        latency = (self.latency.llc_hit
+                   + 2 * self.latency.hop * (hops - self._avg_hops))
+        return max(latency, self.latency.l2_hit + 2)
+
+    # -- conventional core path --------------------------------------------------
+    def core_access(self, core_id: int, addr: int,
+                    write: bool = False) -> AccessResult:
+        """One load/store issued by ``core_id`` against byte address ``addr``."""
+        line = self.line_of(addr)
+        l1 = self.l1[core_id]
+        l2 = self.l2[core_id]
+        extra = 0
+        retries = 0
+        if self.tlbs is not None:
+            extra += self.tlbs[core_id].access(addr)
+        if write:
+            ownership, retries = self._gain_ownership(line, core_id)
+            extra += ownership
+
+        if l1.lookup(line, write=write):
+            return AccessResult(self.latency.l1_hit + extra, "L1",
+                                self.slice_of(addr), retries)
+        if l2.lookup(line, write=write):
+            self._fill_private(l1, line, core_id, dirty=write)
+            return AccessResult(self.latency.l2_hit + extra, "L2",
+                                self.slice_of(addr), retries)
+
+        slice_id = self.slice_of(addr)
+        llc = self.llc[slice_id]
+        stop = self.core_stop(core_id)
+        if llc.lookup(line, write=write):
+            latency = self._llc_latency_from(stop, slice_id) + extra
+            self._fill_private(l2, line, core_id, dirty=False)
+            self._fill_private(l1, line, core_id, dirty=write)
+            self.snoop_filter.record_fill(line, core_id)
+            return AccessResult(latency, "LLC", slice_id, retries)
+
+        # Check other cores' private caches (dirty sharing): costlier than LLC.
+        holder = self._private_holder(line, exclude=core_id)
+        if holder is not None:
+            latency = (self._llc_latency_from(stop, slice_id)
+                       + self.latency.snoop_invalidate + extra)
+            self._install_llc(slice_id, line)
+            self._fill_private(l2, line, core_id, dirty=False)
+            self._fill_private(l1, line, core_id, dirty=write)
+            self.snoop_filter.record_fill(line, core_id)
+            return AccessResult(latency, "PRIV", slice_id, retries)
+
+        # DRAM.
+        latency = self.dram.access_latency(write=write) + extra
+        self._install_llc(slice_id, line)
+        self._fill_private(l2, line, core_id, dirty=False)
+        self._fill_private(l1, line, core_id, dirty=write)
+        self.snoop_filter.record_fill(line, core_id)
+        return AccessResult(latency, "DRAM", slice_id, retries)
+
+    # -- HALO near-cache path ------------------------------------------------------
+    def cha_access(self, accelerator_slice: int, addr: int,
+                   write: bool = False) -> AccessResult:
+        """A CHA-side access from the accelerator at ``accelerator_slice``.
+
+        Never fills private caches (no pollution); DRAM fills go into the
+        line's home LLC slice only.
+        """
+        line = self.line_of(addr)
+        home = self.slice_of(addr)
+        transfer = self.interconnect.transfer_latency(accelerator_slice, home)
+        llc = self.llc[home]
+        if llc.lookup(line, write=write):
+            return AccessResult(self.latency.cha_llc_hit + transfer,
+                                "LLC", home)
+        holder = self._private_holder(line)
+        if holder is not None:
+            # Pull the line from a private cache back into LLC.
+            latency = (self.latency.cha_llc_hit + transfer
+                       + self.latency.snoop_invalidate // 2)
+            self._install_llc(home, line)
+            return AccessResult(latency, "PRIV", home)
+        latency = min(self.dram.access_latency(write=write),
+                      self.latency.cha_dram) + transfer
+        self._install_llc(home, line)
+        return AccessResult(latency, "DRAM", home)
+
+    # -- HALO lock bits (delegate to the home slice) -------------------------------
+    def lock_line(self, addr: int) -> bool:
+        """Set the HALO lock bit if the line is LLC-resident.
+
+        Absent lines cannot be locked — the accelerator locks them after
+        its (charged) data fetch brings them in.
+        """
+        line = self.line_of(addr)
+        return self.llc[self.slice_of(addr)].lock(line)
+
+    def unlock_line(self, addr: int) -> bool:
+        line = self.line_of(addr)
+        return self.llc[self.slice_of(addr)].unlock(line)
+
+    def line_locked(self, addr: int) -> bool:
+        line = self.line_of(addr)
+        return self.llc[self.slice_of(addr)].is_locked(line)
+
+    # -- internals -------------------------------------------------------------
+    def _gain_ownership(self, line: int, core_id: int) -> tuple:
+        """Cost of acquiring exclusive ownership for a store."""
+        extra = 0
+        retries = 0
+        home = self.interconnect.slice_of_line(line)
+        while self.llc[home].is_locked(line):
+            retries += 1
+            extra += LOCK_RETRY_CYCLES
+            self.snoop_filter.invalidate_for_store(line, core_id, locked=True)
+            if retries >= MAX_LOCK_RETRIES:
+                break
+            # The lock holder (an accelerator query) completes quickly; in
+            # the synchronous replay model the lock is released by the other
+            # agent between retries, so re-check once more then give up to
+            # the caller, which models forward progress.
+            break
+        outcome = self.snoop_filter.invalidate_for_store(line, core_id)
+        if outcome["sharers"]:
+            extra += self.latency.snoop_invalidate
+        return extra, retries
+
+    def _private_holder(self, line: int,
+                        exclude: Optional[int] = None) -> Optional[int]:
+        for core in self.snoop_filter.sharers_of(line):
+            if core == exclude:
+                continue
+            if self.l1[core].contains(line) or self.l2[core].contains(line):
+                return core
+        return None
+
+    def _fill_private(self, cache: Cache, line: int, core_id: int,
+                      dirty: bool) -> None:
+        victim = cache.fill(line, dirty=dirty)
+        if victim is not None and cache.name.startswith("L2"):
+            # L2 eviction: the victim may also leave L1 (non-inclusive L1/L2
+            # on Skylake, but keeping presence consistent is enough here).
+            self.l1[core_id].invalidate(victim)
+            if (not self.l1[core_id].contains(victim)
+                    and not self.l2[core_id].contains(victim)):
+                self.snoop_filter.record_eviction(victim, core_id)
+
+    def _install_llc(self, slice_id: int, line: int) -> None:
+        victim = self.llc[slice_id].fill(line)
+        if victim is not None:
+            # Inclusive LLC: back-invalidate every private copy.
+            for core in self.snoop_filter.sharers_of(victim):
+                self.l1[core].invalidate(victim)
+                self.l2[core].invalidate(victim)
+                self.snoop_filter.record_eviction(victim, core)
+
+    # -- warm-up & utility -----------------------------------------------------
+    def warm_llc(self, base: int, size: int) -> int:
+        """Pre-install a region's lines into the LLC; returns line count."""
+        first = self.line_of(base)
+        last = self.line_of(base + size - 1)
+        for line in range(first, last + 1):
+            self._install_llc(self.interconnect.slice_of_line(line), line)
+        return last - first + 1
+
+    def flush_private(self, core_id: int) -> None:
+        self.l1[core_id].flush()
+        self.l2[core_id].flush()
+
+    def flush_all(self) -> None:
+        """Empty every cache level (DRAM-resident scenarios, Figure 10)."""
+        for cache in self.l1 + self.l2 + self.llc:
+            cache.flush()
+
+    def flush_region(self, base: int, size: int) -> None:
+        """Evict one address range from every cache level.
+
+        Models a working set displaced to DRAM (e.g. a hash table evicted
+        by other tenants) without disturbing unrelated lines such as the
+        caller's key operand.
+        """
+        first = self.line_of(base)
+        last = self.line_of(base + size - 1)
+        for line in range(first, last + 1):
+            for core in range(self.machine.cores):
+                self.l1[core].invalidate(line)
+                self.l2[core].invalidate(line)
+                self.snoop_filter.record_eviction(line, core)
+            self.llc[self.interconnect.slice_of_line(line)].invalidate(line)
+
+    def reset_stats(self) -> None:
+        for cache in self.l1 + self.l2 + self.llc:
+            cache.stats.reset()
+        self.dram.stats.reads = self.dram.stats.writes = 0
+
+    def llc_resident_fraction(self, base: int, size: int) -> float:
+        """Fraction of a region's lines currently resident in the LLC."""
+        first = self.line_of(base)
+        last = self.line_of(base + size - 1)
+        total = last - first + 1
+        resident = sum(
+            1 for line in range(first, last + 1)
+            if self.llc[self.interconnect.slice_of_line(line)].contains(line))
+        return resident / total

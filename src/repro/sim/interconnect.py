@@ -1,0 +1,111 @@
+"""On-chip interconnect: slice hashing and hop latency.
+
+Models the ring/mesh that connects cores, LLC slices/CHAs, and the memory
+controller.  Two responsibilities:
+
+* **Slice hashing** — the address-to-slice hash that distributes lines (and
+  HALO queries, which reuse the same logic per paper §4.3) evenly across
+  LLC slices.
+* **Hop latency** — distance-dependent latency between ring stops, the NUCA
+  in "Non-Uniform Cache Access".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .params import LatencyParams
+
+
+def _mix64(value: int) -> int:
+    """SplitMix64 finaliser — a high-quality stateless mixer."""
+    value &= 0xFFFFFFFFFFFFFFFF
+    value = (value ^ (value >> 30)) * 0xBF58476D1CE4E5B9 & 0xFFFFFFFFFFFFFFFF
+    value = (value ^ (value >> 27)) * 0x94D049BB133111EB & 0xFFFFFFFFFFFFFFFF
+    return value ^ (value >> 31)
+
+
+@dataclass
+class InterconnectStats:
+    messages: int = 0
+    total_hops: int = 0
+
+
+class Interconnect:
+    """A bidirectional ring with ``stops`` ring stops.
+
+    Cores and LLC slices share ring-stop indices (core *i* sits next to
+    slice *i*), matching the tiled Skylake-SP floorplan.
+    """
+
+    def __init__(self, stops: int, latency: LatencyParams) -> None:
+        if stops < 1:
+            raise ValueError("interconnect needs at least one stop")
+        self.stops = stops
+        self.latency = latency
+        self.stats = InterconnectStats()
+
+    def slice_of_line(self, line: int) -> int:
+        """The LLC slice (and CHA) owning a cache line."""
+        return _mix64(line) % self.stops
+
+    def slice_of_table(self, table_base_addr: int) -> int:
+        """HALO query-distributor target for a table address (§4.3).
+
+        Reuses the same distribution logic as line hashing, keyed by the
+        table's base address so that queries against one table consistently
+        land on one accelerator's metadata cache.
+        """
+        return _mix64(table_base_addr >> 6) % self.stops
+
+    def hops(self, src_stop: int, dst_stop: int) -> int:
+        """Shortest-path hop count on the bidirectional ring."""
+        distance = abs(src_stop - dst_stop) % self.stops
+        return min(distance, self.stops - distance)
+
+    def transfer_latency(self, src_stop: int, dst_stop: int) -> int:
+        """Cycles to move one message between two ring stops."""
+        hops = self.hops(src_stop, dst_stop)
+        self.stats.messages += 1
+        self.stats.total_hops += hops
+        return hops * self.latency.hop
+
+    def average_hops(self) -> float:
+        if not self.stats.messages:
+            return 0.0
+        return self.stats.total_hops / self.stats.messages
+
+
+class MeshInterconnect(Interconnect):
+    """A 2D mesh with XY routing (the Skylake-SP successor topology).
+
+    Stops are laid out row-major on the smallest near-square grid holding
+    ``stops`` tiles; hop distance is the Manhattan distance.  Compared with
+    the ring, worst-case distances shrink (O(√n) vs O(n/2)), which mostly
+    matters for the NUCA spread and HALO dispatch latency on large chips.
+    """
+
+    def __init__(self, stops: int, latency: LatencyParams) -> None:
+        super().__init__(stops, latency)
+        columns = 1
+        while columns * columns < stops:
+            columns += 1
+        self.columns = columns
+
+    def _coords(self, stop: int) -> tuple:
+        return divmod(stop, self.columns)
+
+    def hops(self, src_stop: int, dst_stop: int) -> int:
+        src_row, src_col = self._coords(src_stop % self.stops)
+        dst_row, dst_col = self._coords(dst_stop % self.stops)
+        return abs(src_row - dst_row) + abs(src_col - dst_col)
+
+
+def build_interconnect(topology: str, stops: int,
+                       latency: LatencyParams) -> Interconnect:
+    """Factory: ``"ring"`` (default) or ``"mesh"``."""
+    if topology == "ring":
+        return Interconnect(stops, latency)
+    if topology == "mesh":
+        return MeshInterconnect(stops, latency)
+    raise ValueError(f"unknown interconnect topology {topology!r}")

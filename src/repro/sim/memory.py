@@ -1,0 +1,119 @@
+"""Physical address space management and the DRAM model.
+
+Functional data structures obtain real (simulated-physical) address ranges
+from :class:`AddressAllocator` so that cache-set conflicts, slice hashing,
+and line sharing behave as they would for contiguously allocated hugepage
+memory (the paper notes OVS/DPDK use contiguous allocation for hash tables).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .params import CACHE_LINE_BYTES
+
+
+class OutOfSimulatedMemory(MemoryError):
+    """The simulated physical address space is exhausted."""
+
+
+@dataclass
+class Region:
+    """A named, contiguous allocation."""
+
+    name: str
+    base: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def contains(self, addr: int) -> bool:
+        return self.base <= addr < self.end
+
+    def offset(self, addr: int) -> int:
+        if not self.contains(addr):
+            raise ValueError(f"address {addr:#x} outside region {self.name!r}")
+        return addr - self.base
+
+
+class AddressAllocator:
+    """A bump allocator over the simulated physical address space.
+
+    Allocations are cache-line aligned by default (hash-table buckets must
+    align to 64 B lines, paper §2.2).  Freeing is not modelled — workloads
+    here allocate tables once and run; a free-list would add nothing to the
+    reproduced behaviour.
+    """
+
+    def __init__(self, size_bytes: int, base: int = 0x1_0000) -> None:
+        self.base = base
+        self.limit = base + size_bytes
+        self._next = base
+        self.regions: list = []
+
+    def alloc(self, size: int, name: str = "anon",
+              align: int = CACHE_LINE_BYTES) -> Region:
+        if size <= 0:
+            raise ValueError("allocation size must be positive")
+        if align & (align - 1):
+            raise ValueError("alignment must be a power of two")
+        start = (self._next + align - 1) & ~(align - 1)
+        if start + size > self.limit:
+            raise OutOfSimulatedMemory(
+                f"cannot allocate {size} bytes for {name!r}")
+        self._next = start + size
+        region = Region(name=name, base=start, size=size)
+        self.regions.append(region)
+        return region
+
+    @property
+    def bytes_used(self) -> int:
+        return self._next - self.base
+
+    def region_of(self, addr: int) -> Optional[Region]:
+        for region in self.regions:
+            if region.contains(addr):
+                return region
+        return None
+
+
+@dataclass
+class DramStats:
+    reads: int = 0
+    writes: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.reads + self.writes
+
+
+class Dram:
+    """A flat constant-latency DRAM with simple bandwidth-pressure queueing.
+
+    Latency grows mildly once the outstanding-request window saturates,
+    approximating bank/channel contention without a full DDR4 timing model —
+    the paper's conclusions never hinge on DRAM microtiming, only on "DRAM is
+    ~5× slower than LLC".
+    """
+
+    def __init__(self, base_latency: int, queue_window: int = 16,
+                 pressure_penalty: int = 4) -> None:
+        self.base_latency = base_latency
+        self.queue_window = queue_window
+        self.pressure_penalty = pressure_penalty
+        self.stats = DramStats()
+        self._outstanding = 0
+
+    def access_latency(self, write: bool = False) -> int:
+        if write:
+            self.stats.writes += 1
+        else:
+            self.stats.reads += 1
+        # A coarse open-loop contention model: every full window of
+        # concurrently tracked requests adds one penalty quantum.
+        self._outstanding = (self._outstanding + 1) % (self.queue_window * 4)
+        pressure = self._outstanding // self.queue_window
+        return self.base_latency + pressure * self.pressure_penalty

@@ -1,0 +1,128 @@
+"""Machine and latency parameter sets.
+
+The defaults mirror the paper's Table 2 (a Skylake-SP-like part simulated in
+gem5): 16 out-of-order cores at 2.1 GHz, 32 KB 8-way L1D, 1 MB 16-way L2,
+32 MB 16-way shared LLC split into 16 NUCA slices (one CHA per slice),
+DDR4-2400 memory.
+
+Latency anchors are approximate-cycle values calibrated so that the *ratios*
+the paper reports hold (see DESIGN.md §5):
+
+* CHA→local-slice data access is ~4.1× faster than core→LLC;
+* CHA→DRAM is ~1.6× faster than core→DRAM;
+* a software cuckoo lookup costs ~210 instructions (Table 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from .tlb import TlbParams
+
+KB = 1024
+MB = 1024 * KB
+CACHE_LINE_BYTES = 64
+
+
+@dataclass(frozen=True)
+class LatencyParams:
+    """Access latencies in cycles (load-to-use, from the requester's view)."""
+
+    l1_hit: int = 4
+    l2_hit: int = 14
+    llc_hit: int = 62          # core -> LLC slice, incl. average ring hops
+    dram: int = 230            # core -> DRAM
+    hop: int = 1               # one interconnect hop (ring stop to ring stop)
+    cha_llc_hit: int = 8       # CHA-side access into its local LLC slice
+    cha_dram: int = 140        # CHA -> DRAM (skips core-side queues)
+    snoop_invalidate: int = 60 # cross-core invalidation round trip
+    dispatch: int = 5          # core -> query distributor -> accelerator
+    result_return: int = 5     # accelerator -> core / register write-back
+
+
+@dataclass(frozen=True)
+class CoreParams:
+    """Out-of-order core cost model parameters."""
+
+    frequency_ghz: float = 2.1
+    issue_width: int = 4
+    base_cpi: float = 0.5      # achieved CPI on non-stalled instruction mix
+    #: Fraction of compute cycles *exposed* (not hidden behind memory or
+    #: neighbouring instructions by the OoO window).  With base_cpi=0.5 this
+    #: charges mix.total * 0.125 exposed compute cycles per operation, while
+    #: the front-end floor (total / issue_width) bounds throughput from below.
+    compute_overlap: float = 0.25
+    mlp: int = 4               # independent outstanding misses (MSHR-limited)
+    rob_entries: int = 192
+    lq_entries: int = 128
+    sq_entries: int = 128
+
+
+@dataclass(frozen=True)
+class CacheParams:
+    """One cache level's geometry."""
+
+    size_bytes: int
+    associativity: int
+    line_bytes: int = CACHE_LINE_BYTES
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.associativity * self.line_bytes)
+
+
+@dataclass(frozen=True)
+class HaloParams:
+    """HALO accelerator configuration (paper §4.7)."""
+
+    scoreboard_entries: int = 10     # on-the-fly queries per accelerator
+    metadata_cache_tables: int = 10  # cached table-metadata entries (640 B)
+    hash_latency: int = 3            # fully pipelined hash unit latency
+    hash_issue_interval: int = 1     # pipelined: 1 new hash per cycle
+    compare_latency: int = 2         # signature/key comparator
+    enabled_lock_bits: bool = True
+
+
+@dataclass(frozen=True)
+class MachineParams:
+    """The whole simulated machine."""
+
+    cores: int = 16
+    llc_slices: int = 16
+    l1d: CacheParams = field(default_factory=lambda: CacheParams(32 * KB, 8))
+    l2: CacheParams = field(default_factory=lambda: CacheParams(1 * MB, 16))
+    llc_slice: CacheParams = field(
+        default_factory=lambda: CacheParams(2 * MB, 16)
+    )  # 16 x 2MB = 32MB shared LLC
+    latency: LatencyParams = field(default_factory=LatencyParams)
+    core: CoreParams = field(default_factory=CoreParams)
+    halo: HaloParams = field(default_factory=HaloParams)
+    dram_bytes: int = 32 * 1024 * MB
+    #: On-chip interconnect topology: "ring" or "mesh".
+    interconnect: str = "ring"
+    #: D-TLB model; None = perfect translation (the DPDK-hugepage steady
+    #: state the paper measures).  Use TlbParams.small_pages() to expose
+    #: 4 KB-page walk costs (see docs/MODELING.md).
+    tlb: Optional[TlbParams] = None
+
+    @property
+    def llc_total_bytes(self) -> int:
+        return self.llc_slice.size_bytes * self.llc_slices
+
+    def scaled(self, **overrides) -> "MachineParams":
+        """Return a copy with selected fields replaced (ablation helper)."""
+        return replace(self, **overrides)
+
+
+#: The paper's Table 2 machine.
+SKYLAKE_SP_16C = MachineParams()
+
+#: A small machine for fast unit tests.
+TINY_MACHINE = MachineParams(
+    cores=2,
+    llc_slices=2,
+    l1d=CacheParams(4 * KB, 4),
+    l2=CacheParams(16 * KB, 4),
+    llc_slice=CacheParams(64 * KB, 8),
+)

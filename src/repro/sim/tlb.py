@@ -1,0 +1,92 @@
+"""TLB model: why DPDK backs its tables with hugepages.
+
+The paper's software baseline "use[s] contiguous memory allocation for the
+hash table for performance reason" — in practice DPDK hugepage memory,
+whose 2 MB pages let a few dozen TLB entries cover the whole table.  With
+4 KB pages, a multi-megabyte table's random bucket accesses miss the
+D-TLB constantly and each miss costs a page walk.
+
+By default the simulator models the hugepage steady state (translation is
+free — `MachineParams.tlb = None`); the TLB becomes visible only in the
+ablation configs (`TlbParams.small_pages()` / `.hugepages()`), which is
+faithful to how the paper's numbers were gathered.
+
+HALO-side accesses skip the TLB: the lookup instructions carry addresses
+the core already translated at issue, and the accelerator's own accesses
+are physical (its boundary check, §4.7, replaces protection).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TlbParams:
+    """One D-TLB level's geometry and miss cost."""
+
+    entries: int = 64
+    page_bytes: int = 4096
+    walk_cycles: int = 35     # page-table walk on a miss
+
+    @classmethod
+    def small_pages(cls) -> "TlbParams":
+        """4 KB pages: 64 entries reach only 256 KB."""
+        return cls(entries=64, page_bytes=4096, walk_cycles=35)
+
+    @classmethod
+    def hugepages(cls) -> "TlbParams":
+        """2 MB pages: 32 entries reach 64 MB — DPDK's configuration."""
+        return cls(entries=32, page_bytes=2 * 1024 * 1024, walk_cycles=35)
+
+    @property
+    def reach_bytes(self) -> int:
+        return self.entries * self.page_bytes
+
+
+@dataclass
+class TlbStats:
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.misses / total if total else 0.0
+
+
+class Tlb:
+    """A fully-associative LRU D-TLB for one core."""
+
+    def __init__(self, params: TlbParams) -> None:
+        if params.entries < 1:
+            raise ValueError("TLB needs at least one entry")
+        if params.page_bytes & (params.page_bytes - 1):
+            raise ValueError("page size must be a power of two")
+        self.params = params
+        self.stats = TlbStats()
+        self._entries: OrderedDict = OrderedDict()
+
+    def page_of(self, addr: int) -> int:
+        return addr // self.params.page_bytes
+
+    def access(self, addr: int) -> int:
+        """Translate ``addr``; returns the added latency (0 on a hit)."""
+        page = self.page_of(addr)
+        if page in self._entries:
+            self._entries.move_to_end(page)
+            self.stats.hits += 1
+            return 0
+        self.stats.misses += 1
+        if len(self._entries) >= self.params.entries:
+            self._entries.popitem(last=False)
+        self._entries[page] = True
+        return self.params.walk_cycles
+
+    def flush(self) -> None:
+        self._entries.clear()
+
+    @property
+    def resident_pages(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,196 @@
+"""Memory-access traces bridging functional data structures and the simulator.
+
+The functional substrates (hash tables, classifiers, NFs) execute for real —
+they insert, displace, and look up actual keys.  Alongside the functional
+result they emit a :class:`MemTrace`: the ordered list of memory operations
+the equivalent C code would perform, with *dependency groups* marking which
+accesses are serialised behind each other (pointer chases) and which may
+overlap (independent bucket reads issued back to back).
+
+The simulator replays a trace through a :class:`~repro.sim.hierarchy.
+MemoryHierarchy` from either a core or a CHA to obtain cycle costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable, Iterator, List
+
+
+class MemOpKind(Enum):
+    LOAD = "load"
+    STORE = "store"
+
+
+@dataclass(frozen=True)
+class MemOp:
+    """One memory operation performed by functional code.
+
+    ``dep`` is a dependency-group index: operation *i* with ``dep=d`` cannot
+    start before all operations with group ``< d`` have completed; operations
+    sharing a group are independent and may overlap up to the core's MLP.
+    """
+
+    addr: int
+    size: int = 8
+    kind: MemOpKind = MemOpKind.LOAD
+    dep: int = 0
+
+    @property
+    def is_store(self) -> bool:
+        return self.kind is MemOpKind.STORE
+
+
+@dataclass
+class InstructionMix:
+    """Instruction counts for the non-traced (compute) part of an operation.
+
+    Mirrors the paper's Table 1 categories.  ``loads``/``stores`` here count
+    *instructions*, which the trace's :class:`MemOp` entries realise as actual
+    addresses; ``arithmetic`` and ``others`` are pure compute.
+    """
+
+    loads: int = 0
+    stores: int = 0
+    arithmetic: int = 0
+    others: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.loads + self.stores + self.arithmetic + self.others
+
+    def __add__(self, other: "InstructionMix") -> "InstructionMix":
+        return InstructionMix(
+            loads=self.loads + other.loads,
+            stores=self.stores + other.stores,
+            arithmetic=self.arithmetic + other.arithmetic,
+            others=self.others + other.others,
+        )
+
+    def fractions(self) -> dict:
+        """Category shares of the total instruction count."""
+        total = self.total or 1
+        return {
+            "memory": (self.loads + self.stores) / total,
+            "load": self.loads / total,
+            "store": self.stores / total,
+            "arithmetic": self.arithmetic / total,
+            "others": self.others / total,
+        }
+
+
+class MemTrace:
+    """An ordered collection of :class:`MemOp` plus an instruction mix."""
+
+    __slots__ = ("ops", "mix")
+
+    def __init__(self, ops: Iterable[MemOp] = (), mix: InstructionMix = None) -> None:
+        self.ops: List[MemOp] = list(ops)
+        self.mix = mix if mix is not None else InstructionMix()
+
+    def __iter__(self) -> Iterator[MemOp]:
+        return iter(self.ops)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def load(self, addr: int, size: int = 8, dep: int = 0) -> None:
+        self.ops.append(MemOp(addr, size, MemOpKind.LOAD, dep))
+
+    def store(self, addr: int, size: int = 8, dep: int = 0) -> None:
+        self.ops.append(MemOp(addr, size, MemOpKind.STORE, dep))
+
+    def extend(self, other: "MemTrace") -> None:
+        """Append ``other``'s ops, shifting its dep groups after ours."""
+        shift = self.max_dep + 1 if self.ops else 0
+        for op in other.ops:
+            self.ops.append(MemOp(op.addr, op.size, op.kind, op.dep + shift))
+        self.mix = self.mix + other.mix
+
+    @property
+    def max_dep(self) -> int:
+        return max((op.dep for op in self.ops), default=0)
+
+    def dependency_chains(self) -> List[List[MemOp]]:
+        """Group ops by dependency group, ordered."""
+        groups: dict = {}
+        for op in self.ops:
+            groups.setdefault(op.dep, []).append(op)
+        return [groups[key] for key in sorted(groups)]
+
+    def touched_lines(self, line_bytes: int = 64) -> set:
+        lines = set()
+        for op in self.ops:
+            first = op.addr // line_bytes
+            last = (op.addr + max(op.size, 1) - 1) // line_bytes
+            lines.update(range(first, last + 1))
+        return lines
+
+
+class Tracer:
+    """Collects traces during functional execution.
+
+    Data structures accept an optional tracer; when absent they run purely
+    functionally with zero overhead (``NULL_TRACER`` pattern).
+    """
+
+    __slots__ = ("trace", "_dep", "enabled")
+
+    def __init__(self) -> None:
+        self.trace = MemTrace()
+        self._dep = 0
+        self.enabled = True
+
+    def begin(self) -> None:
+        """Start a fresh trace for the next operation."""
+        self.trace = MemTrace()
+        self._dep = 0
+
+    def barrier(self) -> None:
+        """Subsequent accesses depend on all previous ones."""
+        self._dep += 1
+
+    def load(self, addr: int, size: int = 8) -> None:
+        self.trace.load(addr, size, self._dep)
+
+    def store(self, addr: int, size: int = 8) -> None:
+        self.trace.store(addr, size, self._dep)
+
+    def count(self, loads: int = 0, stores: int = 0, arithmetic: int = 0,
+              others: int = 0) -> None:
+        mix = self.trace.mix
+        mix.loads += loads
+        mix.stores += stores
+        mix.arithmetic += arithmetic
+        mix.others += others
+
+    def take(self) -> MemTrace:
+        """Return the current trace and reset."""
+        trace = self.trace
+        self.begin()
+        return trace
+
+
+class NullTracer(Tracer):
+    """A tracer that records nothing (fast path for pure functional use)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.enabled = False
+
+    def load(self, addr: int, size: int = 8) -> None:  # noqa: D102
+        pass
+
+    def store(self, addr: int, size: int = 8) -> None:  # noqa: D102
+        pass
+
+    def count(self, loads: int = 0, stores: int = 0, arithmetic: int = 0,
+              others: int = 0) -> None:  # noqa: D102
+        pass
+
+    def barrier(self) -> None:  # noqa: D102
+        pass
+
+
+NULL_TRACER = NullTracer()

@@ -1,0 +1,81 @@
+"""SRAM-based TCAM emulation (Z-TCAM-style, paper refs [75-77]).
+
+Partitions a ternary table into small sub-tables, each realised in an SRAM
+block with added match logic.  Compared with a native TCAM of the same
+capacity it consumes ~45% less power and ~57% less area (paper §6.4), at a
+slightly higher search latency (the partitioned match pipeline adds stages).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .tcam import Tcam, TcamMatch, TernaryRule
+
+#: The partition/match pipeline adds a couple of stages over native TCAM.
+SRAM_TCAM_SEARCH_CYCLES = 7
+
+#: Relative savings vs a native TCAM of the same capacity (paper §6.4).
+POWER_SAVING = 0.45
+AREA_SAVING = 0.57
+
+
+@dataclass
+class PartitionStats:
+    partition_searches: int = 0
+
+
+class SramTcam:
+    """A partitioned SRAM emulation of a TCAM."""
+
+    def __init__(self, capacity_rules: int, key_bits: int = 104,
+                 partition_rules: int = 64) -> None:
+        if partition_rules < 1:
+            raise ValueError("partition size must be positive")
+        self.capacity = capacity_rules
+        self.key_bits = key_bits
+        self.partition_rules = partition_rules
+        partitions = max(1, (capacity_rules + partition_rules - 1)
+                         // partition_rules)
+        self._partitions: List[Tcam] = [
+            Tcam(partition_rules, key_bits) for _ in range(partitions)]
+        self.partition_stats = PartitionStats()
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self._partitions)
+
+    def install(self, rule: TernaryRule) -> int:
+        """Place the rule in the least-loaded partition with room."""
+        if self._count >= self.capacity:
+            raise OverflowError("SRAM-TCAM full")
+        target = min((p for p in self._partitions if not p.full),
+                     key=len, default=None)
+        if target is None:
+            raise OverflowError("all partitions full")
+        cost = target.install(rule)
+        self._count += 1
+        return cost
+
+    def search(self, key: int) -> Optional[TcamMatch]:
+        """All partitions match in parallel; priority-arbitrate the winners."""
+        best: Optional[TcamMatch] = None
+        for partition in self._partitions:
+            self.partition_stats.partition_searches += 1
+            match = partition.search(key)
+            if match is None:
+                continue
+            if best is None or match.rule.priority > best.rule.priority:
+                best = match
+        if best is not None:
+            best = TcamMatch(rule=best.rule, index=best.index,
+                             latency=SRAM_TCAM_SEARCH_CYCLES)
+        return best
+
+    def search_latency(self) -> int:
+        return SRAM_TCAM_SEARCH_CYCLES

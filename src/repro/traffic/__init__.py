@@ -1,0 +1,27 @@
+"""Workload generation: flow sets, packet streams, and the paper's named
+traffic profiles (the IXIA-substitute)."""
+
+from .generator import FlowSet, PacketStream, key_stream, random_keys
+from .persistence import load_flow_set, replay, save_flow_set
+from .profiles import (
+    FIGURE3_PROFILES,
+    GROUP_MASKS,
+    RULE_MASKS,
+    TrafficProfile,
+    profile_by_name,
+)
+
+__all__ = [
+    "FIGURE3_PROFILES",
+    "FlowSet",
+    "PacketStream",
+    "GROUP_MASKS",
+    "RULE_MASKS",
+    "TrafficProfile",
+    "key_stream",
+    "load_flow_set",
+    "replay",
+    "save_flow_set",
+    "profile_by_name",
+    "random_keys",
+]

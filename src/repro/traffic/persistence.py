@@ -1,0 +1,81 @@
+"""Workload persistence: save and reload flow sets and packet traces.
+
+Reproducibility helper: a generated workload (flow population plus the
+exact packet order a run consumed) can be written to a compact JSON-lines
+file and replayed bit-identically later or on another machine — the
+equivalent of keeping the pcap an IXIA run was driven by.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Tuple, Union
+
+from ..classifier.flow import FiveTuple
+from .generator import FlowSet
+
+_PathLike = Union[str, Path]
+
+_FORMAT = "repro-flows-v1"
+
+
+def _flow_to_list(flow: FiveTuple) -> list:
+    return [flow.src_ip, flow.dst_ip, flow.src_port, flow.dst_port,
+            flow.proto]
+
+
+def _flow_from_list(values: list) -> FiveTuple:
+    if len(values) != 5:
+        raise ValueError(f"malformed flow record: {values!r}")
+    return FiveTuple(*values)
+
+
+def save_flow_set(flow_set: FlowSet, path: _PathLike,
+                  packet_indices: Iterable[int] = ()) -> int:
+    """Write a flow set (and optionally a packet-order trace) to ``path``.
+
+    ``packet_indices`` are indices into the flow set, one per packet.
+    Returns the number of records written.
+    """
+    path = Path(path)
+    packet_indices = list(packet_indices)
+    records = 0
+    with path.open("w", encoding="ascii") as handle:
+        header = {"format": _FORMAT, "flows": len(flow_set),
+                  "packets": len(packet_indices)}
+        handle.write(json.dumps(header) + "\n")
+        for flow in flow_set.flows:
+            handle.write(json.dumps(_flow_to_list(flow)) + "\n")
+            records += 1
+        if packet_indices:
+            handle.write(json.dumps({"trace": packet_indices}) + "\n")
+    return records
+
+
+def load_flow_set(path: _PathLike) -> Tuple[FlowSet, List[int]]:
+    """Read a flow set and its packet trace back; inverse of
+    :func:`save_flow_set`."""
+    path = Path(path)
+    with path.open("r", encoding="ascii") as handle:
+        header = json.loads(handle.readline())
+        if header.get("format") != _FORMAT:
+            raise ValueError(f"{path}: not a {_FORMAT} file")
+        flow_count = int(header["flows"])
+        flows = []
+        for _ in range(flow_count):
+            flows.append(_flow_from_list(json.loads(handle.readline())))
+        trace: List[int] = []
+        tail = handle.readline()
+        if tail.strip():
+            record = json.loads(tail)
+            trace = [int(i) for i in record.get("trace", [])]
+            if any(not 0 <= i < flow_count for i in trace):
+                raise ValueError(f"{path}: trace index out of range")
+    return FlowSet(tuple(flows)), trace
+
+
+def replay(flow_set: FlowSet, trace: List[int]):
+    """Yield the traced packet flows in order."""
+    for index in trace:
+        yield flow_set[index]

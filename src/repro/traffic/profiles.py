@@ -1,0 +1,178 @@
+"""Named workload profiles from the paper's evaluation.
+
+§3.2 defines three data-centre scenarios realised as five configurations
+(Figure 3):
+
+* **Small number of flows** (overlay networks, many flows encapsulated
+  under one header) — two configurations: 10K and 100K flows, exact rules.
+* **Many flows** (routing to containers: few rules, flows from many
+  addresses) — 100K and 1M flows over ~10 wildcard rules.
+* **Many flows and rules** (gateway / ToR router) — 1M flows over 20 hot
+  wildcard rules.
+
+Each profile knows how to build its rule set and flow population.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from ..classifier.flow import FlowMask
+from ..classifier.rules import Action, Rule
+from .generator import FlowSet
+
+#: Wildcard masks used by the synthetic rule sets: routing/ACL-style
+#: prefix+port patterns.  Each distinct mask becomes one MegaFlow tuple, so
+#: mask diversity drives the tuple counts of the paper's scenarios (OVS
+#: deployments commonly run 5-20 tuples, §5.2).
+RULE_MASKS = [
+    FlowMask.prefixes(src_prefix=0, dst_prefix=16, src_port=False,
+                      dst_port=False),
+    FlowMask.prefixes(src_prefix=0, dst_prefix=24, src_port=False,
+                      dst_port=False),
+    FlowMask.prefixes(src_prefix=8, dst_prefix=16, src_port=False,
+                      dst_port=True),
+    FlowMask.prefixes(src_prefix=16, dst_prefix=16, src_port=False,
+                      dst_port=False),
+    FlowMask.prefixes(src_prefix=24, dst_prefix=8, src_port=False,
+                      dst_port=False),
+    FlowMask.prefixes(src_prefix=0, dst_prefix=32, src_port=False,
+                      dst_port=True),
+    FlowMask.prefixes(src_prefix=8, dst_prefix=24, src_port=True,
+                      dst_port=False),
+    FlowMask.prefixes(src_prefix=16, dst_prefix=24, src_port=False,
+                      dst_port=True),
+    FlowMask.prefixes(src_prefix=24, dst_prefix=16, src_port=False,
+                      dst_port=False),
+    FlowMask.prefixes(src_prefix=32, dst_prefix=0, src_port=True,
+                      dst_port=False),
+    FlowMask.prefixes(src_prefix=8, dst_prefix=8, src_port=False,
+                      dst_port=False, proto=False),
+    FlowMask.prefixes(src_prefix=0, dst_prefix=16, src_port=True,
+                      dst_port=True),
+    FlowMask.prefixes(src_prefix=16, dst_prefix=0, src_port=False,
+                      dst_port=True),
+    FlowMask.prefixes(src_prefix=24, dst_prefix=24, src_port=False,
+                      dst_port=False),
+    FlowMask.prefixes(src_prefix=32, dst_prefix=16, src_port=False,
+                      dst_port=False),
+    FlowMask.prefixes(src_prefix=0, dst_prefix=8, src_port=False,
+                      dst_port=True, proto=False),
+    FlowMask.prefixes(src_prefix=8, dst_prefix=32, src_port=False,
+                      dst_port=False),
+    FlowMask.prefixes(src_prefix=16, dst_prefix=8, src_port=True,
+                      dst_port=False),
+    FlowMask.prefixes(src_prefix=24, dst_prefix=0, src_port=False,
+                      dst_port=True),
+]
+
+#: Masks that cover a whole destination group (see ``make_flow``): source
+#: fields no finer than /8, destination prefixes that keep the group octets.
+#: Rules rotate through these so each profile yields several tuples.
+GROUP_MASKS = [
+    FlowMask.prefixes(src_prefix=0, dst_prefix=16, src_port=False,
+                      dst_port=False),
+    FlowMask.prefixes(src_prefix=0, dst_prefix=24, src_port=False,
+                      dst_port=True),
+    FlowMask.prefixes(src_prefix=8, dst_prefix=16, src_port=False,
+                      dst_port=False),
+    FlowMask.prefixes(src_prefix=8, dst_prefix=24, src_port=False,
+                      dst_port=False),
+    FlowMask.prefixes(src_prefix=0, dst_prefix=24, src_port=False,
+                      dst_port=False),
+    FlowMask.prefixes(src_prefix=0, dst_prefix=16, src_port=False,
+                      dst_port=True),
+    FlowMask.prefixes(src_prefix=8, dst_prefix=16, src_port=False,
+                      dst_port=True),
+    FlowMask.prefixes(src_prefix=0, dst_prefix=16, src_port=False,
+                      dst_port=False, proto=False),
+    FlowMask.prefixes(src_prefix=8, dst_prefix=24, src_port=False,
+                      dst_port=True),
+    FlowMask.prefixes(src_prefix=0, dst_prefix=24, src_port=False,
+                      dst_port=False, proto=False),
+    FlowMask.prefixes(src_prefix=8, dst_prefix=16, src_port=False,
+                      dst_port=False, proto=False),
+    FlowMask.prefixes(src_prefix=8, dst_prefix=24, src_port=False,
+                      dst_port=True, proto=False),
+]
+
+
+@dataclass(frozen=True)
+class TrafficProfile:
+    """One named Figure-3 configuration."""
+
+    name: str
+    description: str
+    num_flows: int
+    num_rules: int
+    zipf_s: float = 0.0
+    seed: int = 11
+
+    def flow_set(self) -> FlowSet:
+        return FlowSet.generate(self.num_flows, seed=self.seed,
+                                groups=self.num_rules)
+
+    def build_rules(self, flow_set: FlowSet) -> List[Rule]:
+        """Wildcard rules that collectively cover the flow population.
+
+        One rule per destination group, each under a rotating group-covering
+        mask, so the rule set partitions the traffic and multiple MegaFlow
+        tuples emerge (driving the tuple counts of the paper's scenarios).
+        """
+        rules: List[Rule] = []
+        for group in range(self.num_rules):
+            mask = GROUP_MASKS[group % len(GROUP_MASKS)]
+            # FlowSet.generate assigns groups round-robin, so flow ``group``
+            # belongs to destination group ``group``.
+            anchor = flow_set[group % len(flow_set)]
+            rules.append(Rule(
+                mask=mask,
+                match=mask.apply(anchor),
+                action=Action.output(group % 8),
+                priority=self.num_rules - group,
+            ))
+        # A catch-all so no packet punts to the controller mid-benchmark.
+        catch_all = FlowMask.prefixes(src_prefix=0, dst_prefix=0,
+                                      src_port=False, dst_port=False,
+                                      proto=False)
+        rules.append(Rule(mask=catch_all,
+                          match=catch_all.apply(flow_set[0]),
+                          action=Action.output(0), priority=0))
+        return rules
+
+    def build(self) -> Tuple[FlowSet, List[Rule]]:
+        flow_set = self.flow_set()
+        return flow_set, self.build_rules(flow_set)
+
+
+#: The five Figure-3 configurations (small -> large working sets).
+FIGURE3_PROFILES: List[TrafficProfile] = [
+    TrafficProfile(
+        name="small-10K",
+        description="overlay: 10K flows, exact rules, EMC-friendly",
+        num_flows=10_000, num_rules=4, zipf_s=1.1),
+    TrafficProfile(
+        name="small-100K",
+        description="overlay: 100K flows, exact rules",
+        num_flows=100_000, num_rules=4, zipf_s=1.0),
+    TrafficProfile(
+        name="many-flows-100K",
+        description="container routing: 100K flows, 10 rules",
+        num_flows=100_000, num_rules=10, zipf_s=0.6),
+    TrafficProfile(
+        name="many-flows-1M",
+        description="container routing: 1M flows, 10 rules",
+        num_flows=1_000_000, num_rules=10, zipf_s=0.4),
+    TrafficProfile(
+        name="many-flows-rules-1M",
+        description="gateway/ToR: 1M flows, 20 hot rules",
+        num_flows=1_000_000, num_rules=20, zipf_s=0.2),
+]
+
+
+def profile_by_name(name: str) -> TrafficProfile:
+    for profile in FIGURE3_PROFILES:
+        if profile.name == name:
+            return profile
+    raise KeyError(f"unknown traffic profile {name!r}")

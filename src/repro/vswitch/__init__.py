@@ -1,0 +1,30 @@
+"""The virtual switch: packets, packet I/O, and the instrumented pipeline."""
+
+from .actions import ACTION_CYCLES, ActionExecutor, ActionOutcome, PortStats
+from .packet import BUFFER_STRIDE, DEFAULT_PACKET_BYTES, Packet, PacketPool
+from .pktio import OTHERS_CYCLES, PMD_RX_TX_CYCLES, PREPROCESS_CYCLES, PacketIo
+from .switch import (
+    PacketRecord,
+    SwitchMode,
+    SwitchRunStats,
+    VirtualSwitch,
+)
+
+__all__ = [
+    "ACTION_CYCLES",
+    "ActionExecutor",
+    "ActionOutcome",
+    "PortStats",
+    "BUFFER_STRIDE",
+    "DEFAULT_PACKET_BYTES",
+    "OTHERS_CYCLES",
+    "PMD_RX_TX_CYCLES",
+    "PREPROCESS_CYCLES",
+    "Packet",
+    "PacketIo",
+    "PacketPool",
+    "PacketRecord",
+    "SwitchMode",
+    "SwitchRunStats",
+    "VirtualSwitch",
+]

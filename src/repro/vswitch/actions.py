@@ -1,0 +1,107 @@
+"""Action execution: what happens to a packet after classification.
+
+The match-action pipeline's second half.  Each action has a functional
+effect (forwarding, drop accounting, header rewrite) and a cycle cost, so
+switch runs produce correct per-port packet counts alongside their timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..classifier.flow import FiveTuple
+from ..classifier.rules import Action, ActionKind
+from .packet import Packet
+
+#: Per-action execution costs (cycles) — enqueue to a TX ring, drop
+#: accounting, header rewrite + checksum fix, clone for mirroring.
+ACTION_CYCLES = {
+    ActionKind.OUTPUT: 24.0,
+    ActionKind.DROP: 6.0,
+    ActionKind.NAT: 38.0,
+    ActionKind.MIRROR: 52.0,
+    ActionKind.CONTROLLER: 210.0,
+}
+
+
+@dataclass
+class PortStats:
+    packets: int = 0
+    bytes: int = 0
+
+
+@dataclass
+class ActionOutcome:
+    """What executing an action did to one packet."""
+
+    kind: ActionKind
+    cycles: float
+    output_port: Optional[int] = None
+    rewritten_flow: Optional[FiveTuple] = None
+    dropped: bool = False
+    punted: bool = False
+
+
+class ActionExecutor:
+    """Applies classified actions, keeping per-port statistics."""
+
+    def __init__(self, num_ports: int = 8) -> None:
+        if num_ports < 1:
+            raise ValueError("switch needs at least one port")
+        self.num_ports = num_ports
+        self.ports: Dict[int, PortStats] = {
+            port: PortStats() for port in range(num_ports)}
+        self.dropped = 0
+        self.punted = 0
+        self.mirrored = 0
+
+    def execute(self, packet: Packet, action: Action) -> ActionOutcome:
+        cycles = ACTION_CYCLES.get(action.kind, 10.0)
+        if action.kind is ActionKind.OUTPUT:
+            port = int(action.argument) % self.num_ports
+            stats = self.ports[port]
+            stats.packets += 1
+            stats.bytes += packet.size_bytes
+            return ActionOutcome(action.kind, cycles, output_port=port)
+        if action.kind is ActionKind.DROP:
+            self.dropped += 1
+            return ActionOutcome(action.kind, cycles, dropped=True)
+        if action.kind is ActionKind.NAT:
+            rewritten = self._rewrite(packet.flow, action.argument)
+            return ActionOutcome(action.kind, cycles,
+                                 rewritten_flow=rewritten)
+        if action.kind is ActionKind.MIRROR:
+            self.mirrored += 1
+            mirror_port, forward_port = self._mirror_ports(action.argument)
+            for port in (mirror_port, forward_port):
+                stats = self.ports[port]
+                stats.packets += 1
+                stats.bytes += packet.size_bytes
+            return ActionOutcome(action.kind, cycles,
+                                 output_port=forward_port)
+        if action.kind is ActionKind.CONTROLLER:
+            self.punted += 1
+            return ActionOutcome(action.kind, cycles, punted=True)
+        return ActionOutcome(action.kind, cycles)
+
+    @staticmethod
+    def _rewrite(flow: FiveTuple, argument) -> FiveTuple:
+        """Source rewrite: (new_ip, new_port) or default masquerade."""
+        if isinstance(argument, tuple) and len(argument) == 2:
+            new_ip, new_port = argument
+        else:
+            new_ip, new_port = (203 << 24) | 1, 40_000
+        return FiveTuple(src_ip=new_ip, dst_ip=flow.dst_ip,
+                         src_port=new_port, dst_port=flow.dst_port,
+                         proto=flow.proto)
+
+    def _mirror_ports(self, argument) -> Tuple[int, int]:
+        if isinstance(argument, tuple) and len(argument) == 2:
+            mirror, forward = argument
+        else:
+            mirror, forward = self.num_ports - 1, 0
+        return mirror % self.num_ports, forward % self.num_ports
+
+    def port_packet_counts(self) -> List[int]:
+        return [self.ports[port].packets for port in range(self.num_ports)]

@@ -1,0 +1,300 @@
+"""The virtual switch: per-packet pipeline with cycle breakdown.
+
+Mirrors the OVS-DPDK fast path the paper profiles in §3.2 (Figure 3):
+
+    packet IO -> pre-processing -> EMC lookup -> MegaFlow lookup -> others
+
+Each stage's cycles are accounted separately so the Figure 3 breakdown can
+be regenerated.  The classification stages run in one of three modes:
+
+* ``SOFTWARE`` — traced table operations replayed on a simulated core
+  (cuckoo hash + optimistic locking, the paper's software baseline);
+* ``HALO_BLOCKING`` — classification lookups issued as ``LOOKUP_B``;
+* ``HALO_NONBLOCKING`` — EMC via ``LOOKUP_B``; the MegaFlow tuple space
+  searched by batching ``LOOKUP_NB`` to all tuples at once (§5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Generator, Iterable, List
+
+from ..classifier.datapath import Classification, HitLayer
+from ..classifier.emc import DEFAULT_EMC_ENTRIES, ExactMatchCache
+from ..classifier.flow import FiveTuple
+from ..classifier.openflow import OpenFlowLayer
+from ..classifier.rules import Rule, megaflow_entry
+from ..classifier.tuple_space import TupleSpaceSearch
+from ..core.halo_system import HaloSystem
+from ..core.software import SoftwareLookupEngine
+from ..hashtable.locking import READ_SIDE_CYCLES
+from ..sim.stats import Breakdown
+from .actions import ActionExecutor
+from .packet import Packet, PacketPool
+from .pktio import PacketIo
+
+
+class SwitchMode(Enum):
+    SOFTWARE = "software"
+    HALO_BLOCKING = "halo-b"
+    HALO_NONBLOCKING = "halo-nb"
+
+
+@dataclass
+class PacketRecord:
+    """Cycle accounting for one processed packet."""
+
+    classification: Classification
+    breakdown: Breakdown
+
+    @property
+    def cycles(self) -> float:
+        return self.breakdown.total
+
+
+@dataclass
+class SwitchRunStats:
+    packets: int = 0
+    breakdown: Breakdown = field(default_factory=Breakdown)
+    layer_hits: dict = field(default_factory=dict)
+
+    @property
+    def cycles_per_packet(self) -> float:
+        return self.breakdown.total / self.packets if self.packets else 0.0
+
+    def classification_fraction(self) -> float:
+        """Share of time in flow classification (EMC + MegaFlow + OpenFlow)."""
+        total = self.breakdown.total or 1.0
+        classification = (self.breakdown["emc_lookup"]
+                          + self.breakdown["megaflow_lookup"]
+                          + self.breakdown["openflow_lookup"])
+        return classification / total
+
+
+class VirtualSwitch:
+    """An OVS-like switch instrumented for per-stage cycle accounting."""
+
+    def __init__(self, system: HaloSystem,
+                 mode: SwitchMode = SwitchMode.SOFTWARE,
+                 core_id: int = 0,
+                 emc_entries: int = DEFAULT_EMC_ENTRIES,
+                 megaflow_tuple_capacity: int = 4096,
+                 emc_enabled: bool = True) -> None:
+        self.system = system
+        self.mode = mode
+        self.core_id = core_id
+        self.emc_enabled = emc_enabled
+        allocator = system.hierarchy.allocator
+        tracer = system.tracer
+        self.emc = ExactMatchCache(emc_entries, allocator=allocator,
+                                   tracer=tracer)
+        self.megaflow = TupleSpaceSearch(
+            allocator=allocator, tracer=tracer,
+            tuple_capacity=megaflow_tuple_capacity, name="megaflow")
+        self.openflow = OpenFlowLayer(allocator=allocator, tracer=tracer)
+        self.pktio = PacketIo(system.hierarchy, core_id)
+        # A burst-sized mbuf ring: headers recycle through a bounded set of
+        # lines, as with a real PMD's RX burst working set.
+        self.pool = PacketPool(allocator, buffers=64)
+        self.software = SoftwareLookupEngine(system.hierarchy, core_id)
+        self.actions = ActionExecutor()
+        self.stats = SwitchRunStats()
+
+    # -- rule management ----------------------------------------------------------
+    def install_rules(self, rules: Iterable[Rule]) -> None:
+        self._rules: List[Rule] = list(rules)
+        for rule in self._rules:
+            self.openflow.install(rule)
+
+    def prewarm_megaflows(self, flows: Iterable[FiveTuple]) -> int:
+        """Pre-install the megaflows the given flows would create.
+
+        Models the steady state the paper measures: the MegaFlow layer is
+        populated, so the OpenFlow layer is "seldom accessed in practice"
+        (§3.1).  Returns the number of megaflow entries installed.
+        """
+        seen = set()
+        installed = 0
+        for flow in flows:
+            matches = [r for r in self._rules if r.matches(flow)]
+            if not matches:
+                continue
+            best = max(matches, key=lambda r: (r.priority, -r.rule_id))
+            entry = megaflow_entry(best, flow)
+            signature = (entry.mask, entry.match)
+            if signature in seen:
+                continue
+            seen.add(signature)
+            if self.megaflow.install(entry):
+                installed += 1
+        return installed
+
+    def warm(self) -> None:
+        """Install the classification tables into the LLC (steady state)."""
+        for layer_table in self._all_tables():
+            layout = layer_table.layout
+            self.system.hierarchy.warm_llc(layout.metadata.base,
+                                           layout.metadata.size)
+            self.system.hierarchy.warm_llc(layout.buckets.base,
+                                           layout.buckets.size)
+
+    def _all_tables(self):
+        yield self.emc.table
+        for entry in self.megaflow.tuples():
+            yield entry.table
+        for entry in self.openflow.tss.tuples():
+            yield entry.table
+
+    # -- software-mode stage execution -----------------------------------------------
+    def _software_op(self, breakdown: Breakdown, stage: str, func,
+                     *args, **kwargs):
+        """Run one traced table operation, charging its cycles to a stage."""
+        tracer = self.system.tracer
+        tracer.begin()
+        value = func(*args, **kwargs)
+        result = self.software.core.execute(
+            tracer.take(), lock_cycles=READ_SIDE_CYCLES)
+        breakdown.add(stage, result.cycles)
+        return value
+
+    def _classify_software(self, flow: FiveTuple,
+                           breakdown: Breakdown) -> Classification:
+        if self.emc_enabled:
+            rule = self._software_op(breakdown, "emc_lookup",
+                                     self.emc.lookup, flow)
+            if rule is not None:
+                return Classification(flow, rule, HitLayer.EMC)
+
+        searched = 0
+        for entry in self.megaflow.tuples():
+            searched += 1
+            self.megaflow.stats.tuple_lookups += 1
+            rule = self._software_op(breakdown, "megaflow_lookup",
+                                     entry.lookup, flow)
+            if rule is not None:
+                self.megaflow.stats.hits += 1
+                self._fill_caches(flow, rule, breakdown)
+                return Classification(flow, rule, HitLayer.MEGAFLOW,
+                                      tuples_searched=searched)
+        self.megaflow.stats.classifications += 1
+
+        return self._classify_openflow(flow, breakdown, searched)
+
+    def _classify_openflow(self, flow: FiveTuple, breakdown: Breakdown,
+                           searched: int) -> Classification:
+        matches: List[Rule] = []
+        for entry in self.openflow.tss.tuples():
+            searched += 1
+            rule = self._software_op(breakdown, "openflow_lookup",
+                                     entry.lookup, flow)
+            if rule is not None:
+                matches.append(rule)
+        if not matches:
+            return Classification(flow, None, HitLayer.MISS,
+                                  tuples_searched=searched)
+        best = max(matches, key=lambda r: (r.priority, -r.rule_id))
+        self._software_op(breakdown, "others", self.megaflow.install,
+                          megaflow_entry(best, flow))
+        self._fill_caches(flow, best, breakdown)
+        return Classification(flow, best, HitLayer.OPENFLOW,
+                              tuples_searched=searched)
+
+    def _fill_caches(self, flow: FiveTuple, rule: Rule,
+                     breakdown: Breakdown) -> None:
+        if self.emc_enabled:
+            self._software_op(breakdown, "others", self.emc.install,
+                              flow, rule)
+
+    # -- HALO-mode stage execution -------------------------------------------------------
+    def _classify_halo(self, flow: FiveTuple,
+                       breakdown: Breakdown) -> Classification:
+        isa = self.system.isa
+        engine = self.system.engine
+
+        def program() -> Generator:
+            # HALO replaces the software EMC: with accelerated tuple-space
+            # search there is no cache layer to maintain from the core, so
+            # the private caches stay clean (the Figure 12 property).  The
+            # hybrid controller covers the tiny-flow-count regime where the
+            # software EMC would win.
+            queries = self.megaflow.halo_queries(flow)
+            if queries:
+                if self.mode is SwitchMode.HALO_NONBLOCKING:
+                    pending = []
+                    for table, key in queries:
+                        process = yield from isa.lookup_nb(
+                            self.core_id, table, key)
+                        pending.append(process)
+                    results = yield from isa.snapshot_read_poll(
+                        self.core_id, pending)
+                else:
+                    results = []
+                    for table, key in queries:
+                        result = yield from isa.lookup_b(
+                            self.core_id, table, key)
+                        results.append(result)
+                        if result.found:
+                            break
+                for index, result in enumerate(results):
+                    if result.found:
+                        self.megaflow.stats.hits += 1
+                        return Classification(
+                            flow, result.value, HitLayer.MEGAFLOW,
+                            tuples_searched=index + 1)
+
+            # OpenFlow layer: search all tuples, keep the best match.
+            of_queries = self.openflow.tss.halo_queries(flow)
+            matches: List[Rule] = []
+            if of_queries:
+                pending = []
+                for table, key in of_queries:
+                    process = yield from isa.lookup_nb(
+                        self.core_id, table, key)
+                    pending.append(process)
+                results = yield from isa.snapshot_read_poll(
+                    self.core_id, pending)
+                matches = [r.value for r in results if r.found]
+            if not matches:
+                return Classification(flow, None, HitLayer.MISS)
+            best = max(matches, key=lambda r: (r.priority, -r.rule_id))
+            self.megaflow.install(megaflow_entry(best, flow))
+            return Classification(flow, best, HitLayer.OPENFLOW)
+
+        start = engine.now
+        classification = engine.run_process(program(), name="halo_classify")
+        elapsed = engine.now - start
+        stage = ("emc_lookup" if classification.layer is HitLayer.EMC
+                 else "megaflow_lookup"
+                 if classification.layer is HitLayer.MEGAFLOW
+                 else "openflow_lookup")
+        breakdown.add(stage, elapsed)
+        return classification
+
+    # -- the per-packet pipeline --------------------------------------------------------
+    def process_flow(self, flow: FiveTuple) -> PacketRecord:
+        """Process one packet carrying ``flow`` through the full pipeline."""
+        packet = self.pool.wrap(flow)
+        breakdown = Breakdown()
+        breakdown.add("packet_io", self.pktio.receive(packet))
+        breakdown.add("preprocess", self.pktio.preprocess(packet))
+        if self.mode is SwitchMode.SOFTWARE:
+            classification = self._classify_software(flow, breakdown)
+        else:
+            classification = self._classify_halo(flow, breakdown)
+        if classification.hit:
+            outcome = self.actions.execute(packet, classification.rule.action)
+            breakdown.add("others", outcome.cycles)
+        breakdown.add("others", self.pktio.finish(packet))
+
+        self.stats.packets += 1
+        self.stats.breakdown = self.stats.breakdown.merged(breakdown)
+        layer = classification.layer.value
+        self.stats.layer_hits[layer] = self.stats.layer_hits.get(layer, 0) + 1
+        return PacketRecord(classification=classification,
+                            breakdown=breakdown)
+
+    def process_stream(self, flows: Iterable[FiveTuple]) -> SwitchRunStats:
+        for flow in flows:
+            self.process_flow(flow)
+        return self.stats

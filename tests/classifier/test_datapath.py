@@ -1,0 +1,100 @@
+"""Three-layer OVS datapath."""
+
+import pytest
+
+from repro.classifier import (
+    Action,
+    FlowMask,
+    HitLayer,
+    OvsDatapath,
+    make_flow,
+    rule_for_flow,
+)
+
+GROUP_MASK = FlowMask.prefixes(dst_prefix=16, src_prefix=0,
+                               src_port=False, dst_port=False)
+
+
+@pytest.fixture
+def datapath():
+    path = OvsDatapath()
+    for group in range(4):
+        path.install_rule(rule_for_flow(make_flow(0, group=group),
+                                        Action.output(group), GROUP_MASK,
+                                        priority=10 - group))
+    return path
+
+
+def test_first_packet_goes_through_openflow(datapath):
+    result = datapath.classify(make_flow(5, group=1))
+    assert result.layer is HitLayer.OPENFLOW
+    assert result.rule.action.argument == 1
+
+
+def test_second_identical_packet_hits_emc(datapath):
+    flow = make_flow(5, group=1)
+    datapath.classify(flow)
+    result = datapath.classify(flow)
+    assert result.layer is HitLayer.EMC
+
+
+def test_same_megaflow_different_flow_hits_megaflow(datapath):
+    from repro.classifier import FiveTuple
+    first = make_flow(5, group=1)
+    datapath.classify(first)
+    # Same megaflow (same src /16, same destination), different exact header.
+    sibling = FiveTuple(first.src_ip, first.dst_ip, first.src_port + 1,
+                        first.dst_port, first.proto)
+    result = datapath.classify(sibling)
+    assert result.layer is HitLayer.MEGAFLOW
+
+
+def test_unmatched_packet_misses(datapath):
+    result = datapath.classify(make_flow(0, group=250))
+    assert result.layer is HitLayer.MISS
+    assert not result.hit
+
+
+def test_stats_accumulate(datapath):
+    flow = make_flow(5, group=2)
+    datapath.classify(flow)
+    datapath.classify(flow)
+    datapath.classify(make_flow(0, group=251))
+    stats = datapath.stats
+    assert stats.packets == 3
+    assert stats.openflow_hits == 1
+    assert stats.emc_hits == 1
+    assert stats.misses == 1
+    fractions = stats.layer_fractions()
+    assert fractions["emc"] == pytest.approx(1 / 3)
+
+
+def test_emc_disabled_path():
+    path = OvsDatapath(emc_enabled=False)
+    path.install_rule(rule_for_flow(make_flow(0, group=1), Action.output(0),
+                                    GROUP_MASK))
+    flow = make_flow(5, group=1)
+    path.classify(flow)
+    result = path.classify(flow)
+    assert result.layer is HitLayer.MEGAFLOW   # never EMC
+    assert path.stats.emc_hits == 0
+
+
+def test_classification_consistent_with_rule_semantics(datapath):
+    """Whatever layer answers, the returned rule must match the flow."""
+    for index in range(80):
+        flow = make_flow(index, group=index % 4)
+        result = datapath.classify(flow)
+        assert result.hit
+        assert result.rule.matches(flow)
+
+
+def test_install_megaflow_prepopulates():
+    path = OvsDatapath()
+    rule = rule_for_flow(make_flow(0, group=3), Action.output(1), GROUP_MASK)
+    path.install_rule(rule)
+    from repro.classifier.rules import megaflow_entry
+    flow = make_flow(9, group=3)
+    path.install_megaflow(megaflow_entry(rule, flow))
+    result = path.classify(flow)
+    assert result.layer is HitLayer.MEGAFLOW

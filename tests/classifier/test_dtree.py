@@ -1,0 +1,138 @@
+"""Decision-tree classifier (§4.8 extension)."""
+
+import pytest
+
+from repro.classifier import (
+    Action,
+    DecisionTreeClassifier,
+    FlowMask,
+    make_flow,
+    rule_for_flow,
+)
+from repro.core import HaloSystem
+from repro.sim import Tracer
+from repro.traffic import TrafficProfile
+
+GROUP_MASK = FlowMask.prefixes(dst_prefix=16, src_prefix=0,
+                               src_port=False, dst_port=False)
+
+
+def build_rules(groups=40):
+    return [rule_for_flow(make_flow(0, group=group),
+                          Action.output(group), GROUP_MASK,
+                          priority=groups - group)
+            for group in range(groups)]
+
+
+def linear_best(rules, flow):
+    matches = [rule for rule in rules if rule.matches(flow)]
+    if not matches:
+        return None
+    return max(matches, key=lambda r: (r.priority, -r.rule_id))
+
+
+def test_tree_matches_linear_scan():
+    rules = build_rules(40)
+    tree = DecisionTreeClassifier(rules)
+    for index in range(300):
+        flow = make_flow(index, group=index % 40)
+        expected = linear_best(rules, flow)
+        got = tree.classify_functional(flow)
+        assert (got is None) == (expected is None)
+        if expected is not None:
+            assert got.rule_id == expected.rule_id
+
+
+def test_tree_miss():
+    rules = build_rules(4)
+    tree = DecisionTreeClassifier(rules)
+    assert tree.classify_functional(make_flow(0, group=200)) is None
+
+
+def test_tree_actually_cuts():
+    rules = build_rules(64)
+    tree = DecisionTreeClassifier(rules, leaf_rules=4)
+    assert not tree.root.is_leaf
+    assert tree.num_nodes > 8
+    assert tree.depth() >= 2
+
+
+def test_leaf_rule_lists_bounded_when_separable():
+    rules = build_rules(64)
+    tree = DecisionTreeClassifier(rules, leaf_rules=4)
+
+    def leaves(node):
+        if node.is_leaf:
+            yield node
+        for child in node.children:
+            yield from leaves(child)
+
+    # Most leaves respect the binth (identical-range rules may exceed it).
+    small = sum(1 for leaf in leaves(tree.root)
+                if len(leaf.rules) <= 8)
+    total = sum(1 for _ in leaves(tree.root))
+    assert small >= total * 0.8
+
+
+def test_node_addresses_are_lines():
+    tree = DecisionTreeClassifier(build_rules(16))
+    path = tree.walk_path(make_flow(3, group=3))
+    for node in path:
+        assert node.addr % 64 == 0
+
+
+def test_traced_classification_records_dependent_walk():
+    tracer = Tracer()
+    rules = build_rules(64)
+    tree = DecisionTreeClassifier(rules, tracer=tracer)
+    tracer.begin()
+    tree.classify(make_flow(5, group=5))
+    trace = tracer.take()
+    chains = trace.dependency_chains()
+    assert len(chains) == len(tree.walk_path(make_flow(5, group=5)))
+    assert trace.mix.total > 0
+
+
+def test_stats_accumulate():
+    tree = DecisionTreeClassifier(build_rules(16))
+    tree.classify(make_flow(1, group=1))
+    tree.classify(make_flow(1, group=200))
+    assert tree.stats.classifications == 2
+    assert tree.stats.hits == 1
+    assert tree.stats.nodes_visited >= 2
+
+
+def test_halo_walk_faster_than_software():
+    """The §4.8 claim: tree walks benefit like bucket walks do."""
+    system = HaloSystem()
+    rules = build_rules(64)
+    tree = DecisionTreeClassifier(rules,
+                                  allocator=system.hierarchy.allocator,
+                                  tracer=system.tracer)
+    system.hierarchy.warm_llc(tree._region.base, tree.num_nodes * 64)
+    system.hierarchy.flush_private(0)
+    flow = make_flow(9, group=9)
+    engine = system.software_engine()
+    system.tracer.begin()
+    expected = tree.classify(flow)
+    software = engine.core.execute(system.tracer.take())
+    episode = tree.halo_walk(system, flow)
+    assert episode.results[0].rule_id == expected.rule_id
+    assert episode.cycles < software.cycles
+
+
+def test_invalid_cuts_rejected():
+    with pytest.raises(ValueError):
+        DecisionTreeClassifier(build_rules(4), cuts=3)
+
+
+def test_profile_rules_build_correct_tree():
+    profile = TrafficProfile(name="t", description="", num_flows=1000,
+                             num_rules=12)
+    flow_set, rules = profile.build()
+    tree = DecisionTreeClassifier(rules)
+    for flow in flow_set.flows[:150]:
+        expected = linear_best(rules, flow)
+        got = tree.classify_functional(flow)
+        assert got is not None and expected is not None
+        assert got.priority == expected.priority

@@ -1,0 +1,67 @@
+"""Exact Match Cache layer."""
+
+from repro.classifier import Action, ExactMatchCache, make_flow, rule_for_flow
+
+
+def make_rule(flow):
+    return rule_for_flow(flow, Action.output(1))
+
+
+def test_miss_then_hit_after_install():
+    emc = ExactMatchCache(capacity=64)
+    flow = make_flow(1)
+    assert emc.lookup(flow) is None
+    emc.install(flow, make_rule(flow))
+    rule = emc.lookup(flow)
+    assert rule is not None and rule.matches(flow)
+    assert emc.stats.hits == 1
+    assert emc.stats.lookups == 2
+
+
+def test_install_refreshes_existing_entry():
+    emc = ExactMatchCache(capacity=64)
+    flow = make_flow(2)
+    first = make_rule(flow)
+    second = make_rule(flow)
+    emc.install(flow, first)
+    emc.install(flow, second)
+    assert emc.lookup(flow) is second
+    assert len(emc) == 1
+
+
+def test_capacity_respected_with_eviction():
+    emc = ExactMatchCache(capacity=32)
+    for index in range(500):
+        flow = make_flow(index)
+        emc.install(flow, make_rule(flow))
+    assert len(emc) <= 32 + 8   # capacity plus at most one bucket of slack
+    assert emc.stats.evictions > 0
+
+
+def test_eviction_keeps_cache_functional():
+    emc = ExactMatchCache(capacity=32)
+    flows = [make_flow(index) for index in range(200)]
+    for flow in flows:
+        emc.install(flow, make_rule(flow))
+    hits = sum(1 for flow in flows if emc.lookup(flow) is not None)
+    assert hits > 0                    # recent entries survive
+    assert hits < len(flows)           # old entries were evicted
+
+
+def test_hit_rate_metric():
+    emc = ExactMatchCache(capacity=64)
+    flow = make_flow(9)
+    emc.install(flow, make_rule(flow))
+    for _ in range(9):
+        emc.lookup(flow)
+    emc.lookup(make_flow(10))
+    assert 0.8 <= emc.stats.hit_rate <= 0.95
+
+
+def test_no_bfs_on_full_cache():
+    """Installs stay O(1): no cuckoo displacement at full load."""
+    emc = ExactMatchCache(capacity=64)
+    for index in range(2000):
+        flow = make_flow(index)
+        emc.install(flow, make_rule(flow))
+    assert emc.table.stats.kicks == 0

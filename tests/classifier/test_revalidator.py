@@ -1,0 +1,116 @@
+"""Megaflow revalidation and idle expiry."""
+
+import pytest
+
+from repro.classifier import (
+    Action,
+    FlowMask,
+    HitLayer,
+    OvsDatapath,
+    Revalidator,
+    make_flow,
+    rule_for_flow,
+)
+
+GROUP_MASK = FlowMask.prefixes(dst_prefix=16, src_prefix=0,
+                               src_port=False, dst_port=False)
+
+
+@pytest.fixture
+def setup():
+    datapath = OvsDatapath(emc_enabled=False)
+    rules = [rule_for_flow(make_flow(0, group=group),
+                           Action.output(group), GROUP_MASK,
+                           priority=5 - group)
+             for group in range(3)]
+    for rule in rules:
+        datapath.install_rule(rule)
+    revalidator = Revalidator(datapath, idle_timeout=100)
+    return datapath, revalidator, rules
+
+
+def _drive(datapath, revalidator, flow, now):
+    classification = datapath.classify(flow)
+    revalidator.observe(classification, now)
+    return classification
+
+
+def test_megaflows_tracked_on_install(setup):
+    datapath, revalidator, _rules = setup
+    _drive(datapath, revalidator, make_flow(1, group=0), now=0)
+    assert revalidator.tracked_entries == 1
+
+
+def test_hit_refreshes_idle_clock(setup):
+    datapath, revalidator, _rules = setup
+    flow = make_flow(1, group=0)
+    _drive(datapath, revalidator, flow, now=0)
+    _drive(datapath, revalidator, flow, now=90)   # refresh before timeout
+    assert revalidator.sweep(now=150) == 0        # 150-90 < 100: survives
+    assert revalidator.tracked_entries == 1
+
+
+def test_idle_megaflow_expires(setup):
+    datapath, revalidator, _rules = setup
+    flow = make_flow(1, group=0)
+    _drive(datapath, revalidator, flow, now=0)
+    assert revalidator.sweep(now=500) == 1
+    assert revalidator.tracked_entries == 0
+    # The next identical packet misses MegaFlow and rebuilds the entry.
+    classification = datapath.classify(flow)
+    assert classification.layer is HitLayer.OPENFLOW
+
+
+def test_sweep_keeps_active_expires_idle(setup):
+    datapath, revalidator, _rules = setup
+    hot = make_flow(1, group=0)
+    cold = make_flow(1, group=1)
+    _drive(datapath, revalidator, hot, now=0)
+    _drive(datapath, revalidator, cold, now=0)
+    _drive(datapath, revalidator, hot, now=400)   # keep hot alive
+    assert revalidator.sweep(now=450) == 1
+    assert revalidator.tracked_entries == 1
+    assert datapath.classify(hot).layer is HitLayer.MEGAFLOW
+
+
+def test_revalidation_removes_stale_megaflows(setup):
+    datapath, revalidator, rules = setup
+    flow = make_flow(1, group=0)
+    _drive(datapath, revalidator, flow, now=0)
+    assert datapath.classify(flow).layer is HitLayer.MEGAFLOW
+    # The operator removes the rule the megaflow was derived from.
+    datapath.openflow.remove(rules[0])
+    assert revalidator.revalidate() == 1
+    result = datapath.classify(flow)
+    assert result.layer is HitLayer.MISS     # cache no longer lies
+
+
+def test_revalidation_keeps_valid_megaflows(setup):
+    datapath, revalidator, _rules = setup
+    flow = make_flow(1, group=2)
+    _drive(datapath, revalidator, flow, now=0)
+    assert revalidator.revalidate() == 0
+    assert datapath.classify(flow).layer is HitLayer.MEGAFLOW
+
+
+def test_revalidation_after_priority_change(setup):
+    """A higher-priority overlapping rule invalidates existing megaflows."""
+    datapath, revalidator, rules = setup
+    flow = make_flow(1, group=0)
+    _drive(datapath, revalidator, flow, now=0)
+    override = rule_for_flow(make_flow(0, group=0), Action.drop(),
+                             GROUP_MASK, priority=99)
+    datapath.install_rule(override)
+    assert revalidator.revalidate() == 1
+    fresh = datapath.classify(flow)
+    assert fresh.rule.action == Action.drop()
+
+
+def test_stats(setup):
+    datapath, revalidator, rules = setup
+    _drive(datapath, revalidator, make_flow(1, group=0), now=0)
+    revalidator.sweep(now=1000)
+    stats = revalidator.stats
+    assert stats.observed == 1
+    assert stats.sweeps == 1
+    assert stats.idle_expired == 1

@@ -1,0 +1,89 @@
+"""Rules and megaflow refinement."""
+
+import pytest
+
+from repro.classifier import Action, ActionKind, FlowMask, Rule, make_flow, rule_for_flow
+from repro.classifier.rules import megaflow_entry, megaflow_mask_for
+
+
+def test_rule_matches_its_anchor():
+    flow = make_flow(10, group=2)
+    mask = FlowMask.prefixes(dst_prefix=16, src_prefix=0,
+                             src_port=False, dst_port=False)
+    rule = rule_for_flow(flow, Action.output(1), mask)
+    assert rule.matches(flow)
+
+
+def test_rule_matches_whole_group():
+    mask = FlowMask.prefixes(dst_prefix=16, src_prefix=0,
+                             src_port=False, dst_port=False)
+    anchor = make_flow(0, group=3)
+    rule = rule_for_flow(anchor, Action.output(1), mask)
+    for index in range(1, 40):
+        assert rule.matches(make_flow(index, group=3))
+    assert not rule.matches(make_flow(0, group=4))
+
+
+def test_rule_requires_premasked_match():
+    flow = make_flow(1)
+    mask = FlowMask.prefixes(dst_prefix=8, src_port=False)
+    with pytest.raises(ValueError):
+        Rule(mask=mask, match=flow, action=Action.drop())
+
+
+def test_rule_ids_unique():
+    flow = make_flow(1)
+    first = rule_for_flow(flow, Action.drop())
+    second = rule_for_flow(flow, Action.drop())
+    assert first.rule_id != second.rule_id
+
+
+def test_action_constructors():
+    assert Action.output(3).kind is ActionKind.OUTPUT
+    assert Action.output(3).argument == 3
+    assert Action.drop().kind is ActionKind.DROP
+
+
+def test_megaflow_mask_refines_destination():
+    rule_mask = FlowMask.prefixes(dst_prefix=16, src_prefix=0,
+                                  src_port=False, dst_port=False)
+    refined = megaflow_mask_for(rule_mask)
+    assert refined.dst_ip_mask == 0xFFFFFFFF
+    assert refined.dst_port_mask == rule_mask.dst_port_mask
+    assert refined.src_port_mask == rule_mask.src_port_mask
+
+
+def test_megaflow_mask_source_refinement_depends_on_rule():
+    wild = FlowMask.prefixes(src_prefix=0, dst_prefix=16,
+                             src_port=False, dst_port=False)
+    prefixed = FlowMask.prefixes(src_prefix=8, dst_prefix=16,
+                                 src_port=False, dst_port=False)
+    assert (megaflow_mask_for(wild).src_ip_mask
+            != megaflow_mask_for(prefixed).src_ip_mask)
+
+
+def test_megaflow_entry_matches_the_flow():
+    mask = FlowMask.prefixes(dst_prefix=16, src_prefix=0,
+                             src_port=False, dst_port=False)
+    anchor = make_flow(0, group=1)
+    rule = rule_for_flow(anchor, Action.output(2), mask, priority=5)
+    flow = make_flow(17, group=1)
+    entry = megaflow_entry(rule, flow)
+    assert entry.matches(flow)
+    assert entry.action == rule.action
+    assert entry.priority == rule.priority
+
+
+def test_megaflow_entry_is_finer_than_rule():
+    """Flows matching the rule but differing in dst do not match the entry."""
+    mask = FlowMask.prefixes(dst_prefix=16, src_prefix=0,
+                             src_port=False, dst_port=False)
+    anchor = make_flow(0, group=1)
+    rule = rule_for_flow(anchor, Action.output(2), mask)
+    flow_a = make_flow(17, group=1)
+    entry = megaflow_entry(rule, flow_a)
+    # Another flow in the same group with a different full destination.
+    flow_b = next(make_flow(i, group=1) for i in range(1, 300)
+                  if make_flow(i, group=1).dst_ip != flow_a.dst_ip)
+    assert rule.matches(flow_b)
+    assert not entry.matches(flow_b)

@@ -1,0 +1,140 @@
+"""The per-CHA HALO accelerator."""
+
+import pytest
+
+from repro.core import HaloSystem
+from repro.core.query import LookupQuery, ResultDestination
+
+from ..conftest import make_keys
+
+
+@pytest.fixture
+def loaded_system():
+    system = HaloSystem()
+    table = system.create_table(512, name="acc_test")
+    keys = make_keys(300, seed=61)
+    for index, key in enumerate(keys):
+        table.insert(key, index)
+    system.warm_table(table)
+    return system, table, keys
+
+
+def serve_one(system, accelerator, query):
+    process = system.engine.process(accelerator.serve(query))
+    system.engine.run()
+    return process.result
+
+
+def test_serve_returns_correct_value(loaded_system):
+    system, table, keys = loaded_system
+    accelerator = system.accelerators[0]
+    query = LookupQuery(table=table, key=keys[5],
+                        key_addr=table._key_scratch)
+    result = serve_one(system, accelerator, query)
+    assert result.found
+    assert result.value == 5
+    assert result.accelerator_slice == 0
+
+
+def test_serve_miss(loaded_system):
+    system, table, keys = loaded_system
+    accelerator = system.accelerators[1]
+    query = LookupQuery(table=table, key=make_keys(1, seed=999)[0],
+                        key_addr=table._key_scratch)
+    result = serve_one(system, accelerator, query)
+    assert not result.found
+    assert result.value is None
+
+
+def test_metadata_cache_warms_after_first_query(loaded_system):
+    system, table, keys = loaded_system
+    accelerator = system.accelerators[2]
+    for key in keys[:3]:
+        serve_one(system, accelerator,
+                  LookupQuery(table=table, key=key,
+                              key_addr=table._key_scratch))
+    assert accelerator.stats.metadata_misses == 1
+    assert accelerator.stats.metadata_hits == 2
+
+
+def test_flow_register_observes_queries(loaded_system):
+    system, table, keys = loaded_system
+    accelerator = system.accelerators[3]
+    for key in keys[:10]:
+        serve_one(system, accelerator,
+                  LookupQuery(table=table, key=key,
+                              key_addr=table._key_scratch))
+    assert accelerator.flow_register.stats.observations == 10
+    assert accelerator.flow_register.estimate() > 0
+
+
+def test_service_time_recorded(loaded_system):
+    system, table, keys = loaded_system
+    accelerator = system.accelerators[4]
+    result = serve_one(system, accelerator,
+                       LookupQuery(table=table, key=keys[0],
+                                   key_addr=table._key_scratch))
+    assert result.service_cycles > 0
+    assert accelerator.stats.service.count == 1
+    assert accelerator.stats.queries == 1
+
+
+def test_memory_result_destination_requires_address():
+    system = HaloSystem()
+    table = system.create_table(32)
+    with pytest.raises(ValueError):
+        LookupQuery(table=table, key=b"x" * 16, key_addr=0,
+                    destination=ResultDestination.MEMORY)
+
+
+def test_same_table_queries_serialise(loaded_system):
+    """Two concurrent queries to one table finish back to back."""
+    system, table, keys = loaded_system
+    accelerator = system.accelerators[5]
+    completions = []
+
+    def submit(key):
+        result = yield system.engine.process(accelerator.serve(
+            LookupQuery(table=table, key=key,
+                        key_addr=table._key_scratch)))
+        completions.append(system.engine.now)
+
+    system.engine.process(submit(keys[0]))
+    system.engine.process(submit(keys[1]))
+    system.engine.run()
+    assert len(completions) == 2
+    gap = abs(completions[1] - completions[0])
+    assert gap >= 15   # roughly one service time apart, not simultaneous
+
+
+def test_different_table_queries_overlap(loaded_system):
+    system, table, keys = loaded_system
+    other = system.create_table(512, name="acc_test2")
+    other_keys = make_keys(50, seed=62)
+    for index, key in enumerate(other_keys):
+        other.insert(key, index)
+    system.warm_table(other)
+    accelerator = system.accelerators[6]
+    completions = []
+
+    def submit(use_table, key):
+        yield system.engine.process(accelerator.serve(
+            LookupQuery(table=use_table, key=key,
+                        key_addr=use_table._key_scratch)))
+        completions.append(system.engine.now)
+
+    system.engine.process(submit(table, keys[0]))
+    system.engine.process(submit(other, other_keys[0]))
+    system.engine.run()
+    gap = abs(completions[1] - completions[0])
+    assert gap <= 10   # overlapped execution across tables
+
+
+def test_hash_unit_counts(loaded_system):
+    system, table, keys = loaded_system
+    accelerator = system.accelerators[7]
+    for key in keys[:4]:
+        serve_one(system, accelerator,
+                  LookupQuery(table=table, key=key,
+                              key_addr=table._key_scratch))
+    assert accelerator.stats.hash_operations == 4

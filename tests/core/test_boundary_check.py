@@ -1,0 +1,103 @@
+"""§4.7 boundary checks: the accelerator rejects out-of-table accesses."""
+
+import pytest
+
+from repro.core import BoundaryViolation, HaloSystem
+from repro.core.query import LookupQuery
+from repro.hashtable.cuckoo import LookupPlan
+
+from ..conftest import make_keys
+
+
+class CorruptedTable:
+    """A table whose probe plan points outside its own regions —
+    modelling a corrupted bucket pointer / hostile metadata."""
+
+    def __init__(self, real_table, bad_bucket=False, bad_kv=False):
+        self._real = real_table
+        self._bad_bucket = bad_bucket
+        self._bad_kv = bad_kv
+
+    def __getattr__(self, name):
+        return getattr(self._real, name)
+
+    def probe(self, key):
+        plan = self._real.probe(key)
+        evil = LookupPlan(
+            key=plan.key,
+            primary_hash=plan.primary_hash,
+            signature=plan.signature,
+            primary_index=plan.primary_index,
+            secondary_index=plan.secondary_index,
+            primary_addr=(0xDEAD000 if self._bad_bucket
+                          else plan.primary_addr),
+            secondary_addr=plan.secondary_addr,
+            kv_probes_primary=([0xBEEF000] if self._bad_kv
+                               else plan.kv_probes_primary),
+            kv_probes_secondary=plan.kv_probes_secondary,
+            found=plan.found,
+            found_in_secondary=plan.found_in_secondary,
+            value=plan.value,
+            slot=plan.slot,
+        )
+        return evil
+
+
+@pytest.fixture
+def loaded():
+    system = HaloSystem()
+    table = system.create_table(256, name="bounds")
+    keys = make_keys(100, seed=55)
+    for index, key in enumerate(keys):
+        table.insert(key, index)
+    system.warm_table(table)
+    return system, table, keys
+
+
+def _serve(system, table, key):
+    accelerator = system.accelerators[0]
+    query = LookupQuery(table=table, key=key,
+                        key_addr=table._key_scratch)
+    process = system.engine.process(accelerator.serve(query))
+    system.engine.run()
+    if not process.done:
+        raise RuntimeError("query did not finish")
+    return process.result
+
+
+def test_legitimate_queries_pass_boundary_check(loaded):
+    system, table, keys = loaded
+    result = _serve(system, table, keys[0])
+    assert result.found
+    assert system.accelerators[0].stats.boundary_violations == 0
+
+
+def test_corrupted_bucket_pointer_rejected(loaded):
+    system, table, keys = loaded
+    evil = CorruptedTable(table, bad_bucket=True)
+    with pytest.raises(BoundaryViolation):
+        _serve(system, evil, keys[0])
+    assert system.accelerators[0].stats.boundary_violations == 1
+
+
+def test_corrupted_kv_pointer_rejected(loaded):
+    system, table, keys = loaded
+    evil = CorruptedTable(table, bad_kv=True)
+    with pytest.raises(BoundaryViolation):
+        _serve(system, evil, keys[0])
+
+
+def test_violation_releases_scoreboard_and_locks(loaded):
+    """A faulting query must not wedge the accelerator or leak lock bits."""
+    system, table, keys = loaded
+    evil = CorruptedTable(table, bad_bucket=True)
+    with pytest.raises(BoundaryViolation):
+        _serve(system, evil, keys[0])
+    accelerator = system.accelerators[0]
+    assert accelerator.scoreboard.occupancy == 0
+    layout = table.layout
+    for bucket in range(layout.num_buckets):
+        assert not system.hierarchy.line_locked(layout.bucket_addr(bucket))
+    # The accelerator keeps serving normal traffic afterwards.
+    result = _serve(system, table, keys[1])
+    assert result.found and result.value == 1

@@ -1,0 +1,97 @@
+"""Query distributor (paper §4.3)."""
+
+from repro.core import HaloSystem
+from repro.core.query import LookupQuery
+
+from ..conftest import make_keys
+
+
+def build(num_tables=8, entries=128):
+    system = HaloSystem()
+    tables = []
+    for index in range(num_tables):
+        table = system.create_table(entries, name=f"dist{index}")
+        keys = make_keys(64, seed=70 + index)
+        for position, key in enumerate(keys):
+            table.insert(key, position)
+        system.warm_table(table)
+        tables.append((table, keys))
+    return system, tables
+
+
+def test_target_slice_is_stable_per_table():
+    system, tables = build(num_tables=1)
+    table, keys = tables[0]
+    query_a = LookupQuery(table=table, key=keys[0],
+                          key_addr=table._key_scratch)
+    query_b = LookupQuery(table=table, key=keys[1],
+                          key_addr=table._key_scratch)
+    assert (system.distributor.target_slice(query_a)
+            == system.distributor.target_slice(query_b))
+
+
+def test_tables_spread_across_accelerators():
+    system, tables = build(num_tables=16)
+    slices = {system.distributor.target_slice(
+        LookupQuery(table=table, key=keys[0],
+                    key_addr=table._key_scratch))
+        for table, keys in tables}
+    assert len(slices) >= 6
+
+
+def test_dispatch_returns_completed_result():
+    system, tables = build(num_tables=1)
+    table, keys = tables[0]
+    query = LookupQuery(table=table, key=keys[3],
+                        key_addr=table._key_scratch)
+    process = system.distributor.dispatch(query)
+    system.engine.run()
+    assert process.done
+    assert process.result.found
+    assert process.result.value == 3
+
+
+def test_dispatch_stamps_issue_time():
+    system, tables = build(num_tables=1)
+    table, keys = tables[0]
+    system.engine.run_process(_advance(system, 100))
+    query = LookupQuery(table=table, key=keys[0],
+                        key_addr=table._key_scratch)
+    system.distributor.dispatch(query)
+    assert query.issued_at == 100
+    system.engine.run()
+
+
+def _advance(system, cycles):
+    yield system.engine.timeout(cycles)
+
+
+def test_per_slice_dispatch_accounting():
+    system, tables = build(num_tables=4)
+    for table, keys in tables:
+        for key in keys[:3]:
+            system.distributor.dispatch(
+                LookupQuery(table=table, key=key,
+                            key_addr=table._key_scratch))
+    system.engine.run()
+    stats = system.distributor.stats
+    assert stats.dispatched == 12
+    assert sum(stats.per_slice.values()) == 12
+
+
+def test_busy_bit_raised_under_load():
+    system, tables = build(num_tables=1)
+    table, keys = tables[0]
+    depth = system.machine.halo.scoreboard_entries
+    for key in (keys * 3)[: depth + 5]:
+        system.distributor.dispatch(
+            LookupQuery(table=table, key=key,
+                        key_addr=table._key_scratch))
+    system.engine.run()
+    slice_id = system.distributor.target_slice(
+        LookupQuery(table=table, key=keys[0],
+                    key_addr=table._key_scratch))
+    scoreboard = system.accelerators[slice_id].scoreboard
+    assert scoreboard.stats.busy_rejections >= 1     # busy bit was raised
+    assert scoreboard.stats.peak_occupancy <= depth  # never oversubscribed
+    assert scoreboard.stats.completed == depth + 5

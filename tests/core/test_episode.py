@@ -1,0 +1,62 @@
+"""Episode bookkeeping and run_program semantics."""
+
+import pytest
+
+from repro.core import HaloSystem
+from repro.core.halo_system import Episode
+
+
+def test_episode_metrics():
+    episode = Episode(operations=100, cycles=21_000.0)
+    assert episode.cycles_per_op == pytest.approx(210.0)
+    # 100 ops in 21000 cycles at 2.1 GHz = 10 Mops.
+    assert episode.throughput_mops(2.1) == pytest.approx(10.0)
+
+
+def test_empty_episode():
+    episode = Episode(operations=0, cycles=0.0)
+    assert episode.cycles_per_op == 0.0
+    assert episode.throughput_mops() == 0.0
+
+
+def test_run_program_scalar_result(system):
+    def program():
+        yield system.engine.timeout(10)
+        return "value"
+
+    episode = system.run_program(program())
+    assert episode.operations == 1
+    assert episode.results == ["value"]
+    assert episode.cycles == 10
+
+
+def test_run_program_list_result(system):
+    def program():
+        yield system.engine.timeout(5)
+        return [1, 2, 3]
+
+    episode = system.run_program(program())
+    assert episode.operations == 3
+    assert episode.results == [1, 2, 3]
+
+
+def test_run_programs_measures_overlap(system):
+    def worker(delay):
+        yield system.engine.timeout(delay)
+        return [delay]
+
+    episode = system.run_programs([worker(50), worker(80), worker(30)])
+    assert episode.operations == 3
+    assert episode.cycles == 80            # parallel: max, not sum
+    assert sorted(episode.results) == [30, 50, 80]
+
+
+def test_engine_time_is_monotonic_across_episodes(system):
+    def program():
+        yield system.engine.timeout(7)
+        return "x"
+
+    system.run_program(program())
+    first_end = system.engine.now
+    system.run_program(program())
+    assert system.engine.now == first_end + 7

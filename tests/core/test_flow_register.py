@@ -1,0 +1,95 @@
+"""Linear-counting flow register (paper §4.6)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import FlowRegister, estimate_flows
+
+
+def test_empty_register_estimates_zero():
+    register = FlowRegister(32)
+    assert register.estimate() == pytest.approx(0.0)
+
+
+def test_duplicate_observations_do_not_inflate():
+    register = FlowRegister(32)
+    for _ in range(1000):
+        register.observe(0xDEADBEEF)
+    assert register.estimate() == pytest.approx(32 * math.log(32 / 31))
+
+
+def test_estimate_formula():
+    register = FlowRegister(8)
+    register._array = 0b00001111   # 4 set, 4 unset
+    assert register.estimate() == pytest.approx(8 * math.log(2))
+
+
+def test_accuracy_up_to_twice_the_bits():
+    """The paper's headline: ~2x more flows than bits, accurately."""
+    rng = np.random.default_rng(42)
+    errors = []
+    for _ in range(30):
+        true_count = 64
+        estimate = estimate_flows(
+            (int(h) for h in rng.integers(0, 1 << 62, size=true_count)), 32)
+        errors.append(abs(estimate - true_count) / true_count)
+    assert float(np.mean(errors)) < 0.25
+
+
+def test_saturation_reports_lower_bound():
+    register = FlowRegister(8)
+    for value in range(200):
+        register.observe(value * 0x9E3779B9)
+    assert register.is_saturated()
+    estimate = register.estimate()
+    assert estimate >= 8 * math.log(8) * 0.99
+    assert register.stats.saturations >= 1
+
+
+def test_scan_and_reset_clears_state():
+    register = FlowRegister(32)
+    for value in range(10):
+        register.observe(value * 977)
+    first = register.scan_and_reset()
+    assert first > 0
+    assert register.estimate() == pytest.approx(0.0)
+    assert register.last_estimate == pytest.approx(first)
+    assert register.stats.scans == 1
+
+
+def test_minimum_size_enforced():
+    with pytest.raises(ValueError):
+        FlowRegister(1)
+
+
+def test_observation_counting():
+    register = FlowRegister(16)
+    for value in range(5):
+        register.observe(value)
+    assert register.stats.observations == 5
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.sets(st.integers(0, 1 << 60), min_size=0, max_size=40),
+       st.sampled_from([16, 32, 64, 128]))
+def test_estimate_bounded_and_monotone_in_bits_set(hashes, bits):
+    register = FlowRegister(bits)
+    previous = 0.0
+    for value in hashes:
+        register.observe(value)
+        estimate = register.estimate()
+        assert estimate >= 0.0
+        assert estimate >= previous - 1e-9   # set bits only accumulate
+        previous = estimate
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.sets(st.integers(0, 1 << 60), min_size=1, max_size=24))
+def test_estimate_never_exceeds_saturation_bound(hashes):
+    register = FlowRegister(32)
+    for value in hashes:
+        register.observe(value)
+    assert register.estimate() <= 32 * math.log(32) + 1e-9

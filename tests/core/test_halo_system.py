@@ -1,0 +1,111 @@
+"""Top-level HaloSystem episodes."""
+
+import pytest
+
+from repro.core import ComputeMode, HaloSystem
+
+from ..conftest import make_keys
+
+
+@pytest.fixture
+def loaded():
+    system = HaloSystem()
+    table = system.create_table(4096, name="sys_test")
+    keys = make_keys(2500, seed=91)
+    for index, key in enumerate(keys):
+        table.insert(key, index)
+    system.warm_table(table)
+    system.hierarchy.flush_private(0)
+    return system, table, keys
+
+
+def test_blocking_episode_correct_and_timed(loaded):
+    system, table, keys = loaded
+    episode = system.run_blocking_lookups(table, keys[:50])
+    assert episode.operations == 50
+    assert all(result.found for result in episode.results)
+    assert [result.value for result in episode.results] == list(range(50))
+    assert episode.cycles_per_op > 0
+    assert episode.throughput_mops() > 0
+
+
+def test_nonblocking_episode_correct(loaded):
+    system, table, keys = loaded
+    episode = system.run_nonblocking_lookups(table, keys[:40])
+    assert [result.value for result in episode.results] == list(range(40))
+
+
+def test_software_episode_correct(loaded):
+    system, table, keys = loaded
+    episode = system.run_software_lookups(table, keys[:40])
+    assert episode.results == list(range(40))
+
+
+def test_halo_beats_software_on_llc_table(loaded):
+    """The Figure 9 headline at an LLC-resident size."""
+    system, table, keys = loaded
+    sample = keys[:120]
+    software = system.run_software_lookups(table, sample)
+    blocking = system.run_blocking_lookups(table, sample)
+    speedup = software.cycles_per_op / blocking.cycles_per_op
+    assert speedup > 1.5
+
+
+def test_all_three_modes_agree_on_values(loaded):
+    system, table, keys = loaded
+    sample = keys[40:80]
+    software = system.run_software_lookups(table, sample)
+    blocking = system.run_blocking_lookups(table, sample)
+    nonblocking = system.run_nonblocking_lookups(table, sample)
+    assert (software.results
+            == [r.value for r in blocking.results]
+            == [r.value for r in nonblocking.results])
+
+
+def test_run_programs_concurrent_cores(loaded):
+    system, table, keys = loaded
+
+    def worker(core_id, sample):
+        results = []
+        for key in sample:
+            result = yield from system.isa.lookup_b(core_id, table, key)
+            results.append(result.value)
+        return results
+
+    episode = system.run_programs([worker(core, keys[core * 10:(core + 1) * 10])
+                                   for core in range(4)])
+    assert episode.operations == 40
+    assert sorted(episode.results) == list(range(40))
+
+
+def test_adaptive_mode_switches_to_software_for_few_flows():
+    system = HaloSystem()
+    table = system.create_table(64, name="adaptive")
+    keys = make_keys(8, seed=92)
+    for index, key in enumerate(keys):
+        table.insert(key, index)
+    system.warm_table(table)
+    stream = [keys[i % len(keys)] for i in range(1024)]
+    assert system.hybrid.mode is ComputeMode.HALO
+    system.run_adaptive_lookups(table, stream, window=256)
+    assert system.hybrid.mode is ComputeMode.SOFTWARE
+
+
+def test_adaptive_mode_stays_halo_for_many_flows(loaded):
+    system, table, keys = loaded
+    system.run_adaptive_lookups(table, keys[:1024], window=256)
+    assert system.hybrid.mode is ComputeMode.HALO
+
+
+def test_flush_table_forces_dram(loaded):
+    system, table, keys = loaded
+    warm = system.run_blocking_lookups(table, keys[:30])
+    system.flush_table(table)
+    cold = system.run_blocking_lookups(table, keys[30:60])
+    assert cold.cycles_per_op > warm.cycles_per_op * 1.5
+
+
+def test_create_table_uses_system_allocator(loaded):
+    system, table, _keys = loaded
+    region = system.hierarchy.allocator.region_of(table.layout.buckets.base)
+    assert region is not None

@@ -1,0 +1,76 @@
+"""Hybrid software/hardware mode controller (paper §4.6)."""
+
+import pytest
+
+from repro.core import ComputeMode, FlowRegister, HybridController
+
+
+def controller(threshold=64, mode=ComputeMode.HALO, registers=1,
+               hysteresis=0.25):
+    return HybridController([FlowRegister(32) for _ in range(registers)],
+                            threshold=threshold, hysteresis=hysteresis,
+                            initial_mode=mode)
+
+
+def feed(register, count, base=0):
+    from repro.hashtable import mix64
+    for value in range(count):
+        register.observe(mix64(base + value))
+
+
+def test_switches_to_software_below_threshold():
+    ctl = controller()
+    feed(ctl.registers[0], 10)
+    assert ctl.end_window() is ComputeMode.SOFTWARE
+    assert ctl.stats.switches_to_software == 1
+
+
+def test_stays_halo_above_threshold():
+    ctl = controller(registers=4)
+    for index, register in enumerate(ctl.registers):
+        feed(register, 40, base=index * 1000)
+    assert ctl.end_window() is ComputeMode.HALO
+
+
+def test_switches_back_to_halo():
+    ctl = controller(mode=ComputeMode.SOFTWARE)
+    from repro.hashtable import mix64
+    for value in range(300):
+        ctl.observe_software_lookup(mix64(value))
+    assert ctl.end_window() is ComputeMode.HALO
+    assert ctl.stats.switches_to_halo == 1
+
+
+def test_hysteresis_prevents_flapping():
+    """An estimate inside the hysteresis band keeps the current mode."""
+    ctl = controller(threshold=20, hysteresis=0.5)
+    feed(ctl.registers[0], 14)   # below 20 but above 20*0.5=10
+    assert ctl.end_window() is ComputeMode.HALO
+
+    ctl2 = controller(threshold=20, hysteresis=0.5,
+                      mode=ComputeMode.SOFTWARE)
+    from repro.hashtable import mix64
+    for value in range(24):      # above 20 but below 20*1.5=30
+        ctl2.observe_software_lookup(mix64(value))
+    assert ctl2.end_window() is ComputeMode.SOFTWARE
+
+
+def test_windows_reset_registers():
+    ctl = controller()
+    feed(ctl.registers[0], 100)
+    ctl.end_window()
+    # Fresh window with no traffic: estimate ~0, stays/goes software.
+    assert ctl.end_window() is ComputeMode.SOFTWARE
+    assert ctl.stats.windows == 2
+
+
+def test_requires_registers():
+    with pytest.raises(ValueError):
+        HybridController([])
+
+
+def test_last_estimate_recorded():
+    ctl = controller()
+    feed(ctl.registers[0], 20)
+    ctl.end_window()
+    assert ctl.last_estimate > 0

@@ -1,0 +1,116 @@
+"""The LOOKUP_B / LOOKUP_NB / SNAPSHOT_READ instruction models."""
+
+import pytest
+
+from repro.core import HaloSystem, RESULTS_PER_LINE
+
+from ..conftest import make_keys
+
+
+@pytest.fixture
+def loaded():
+    system = HaloSystem()
+    table = system.create_table(512, name="isa_test")
+    keys = make_keys(200, seed=81)
+    for index, key in enumerate(keys):
+        table.insert(key, index)
+    system.warm_table(table)
+    return system, table, keys
+
+
+def test_lookup_b_returns_result(loaded):
+    system, table, keys = loaded
+
+    def program():
+        result = yield from system.isa.lookup_b(0, table, keys[7])
+        return result
+
+    result = system.engine.run_process(program())
+    assert result.found and result.value == 7
+    assert system.isa.stats.lookup_b == 1
+
+
+def test_lookup_b_blocks_for_full_latency(loaded):
+    system, table, keys = loaded
+
+    def program():
+        yield from system.isa.lookup_b(0, table, keys[0])
+        return system.engine.now
+
+    finish = system.engine.run_process(program())
+    assert finish >= 30   # dispatch + service + return, not instantaneous
+
+
+def test_lookup_nb_returns_quickly(loaded):
+    system, table, keys = loaded
+    issue_times = []
+
+    def program():
+        start = system.engine.now
+        process = yield from system.isa.lookup_nb(0, table, keys[0])
+        issue_times.append(system.engine.now - start)
+        result = yield process
+        return result
+
+    result = system.engine.run_process(program())
+    assert result.found
+    assert issue_times[0] <= 2   # store-like issue cost only
+
+
+def test_snapshot_poll_collects_batch(loaded):
+    system, table, keys = loaded
+
+    def program():
+        pending = []
+        for key in keys[:5]:
+            process = yield from system.isa.lookup_nb(0, table, key)
+            pending.append(process)
+        results = yield from system.isa.snapshot_read_poll(0, pending)
+        return results
+
+    results = system.engine.run_process(program())
+    assert [r.value for r in results] == [0, 1, 2, 3, 4]
+    assert system.isa.stats.snapshot_reads >= 1
+
+
+def test_lookup_batch_preserves_order(loaded):
+    system, table, keys = loaded
+    sample = keys[:RESULTS_PER_LINE * 2 + 3]
+
+    def program():
+        results = yield from system.isa.lookup_batch(0, table, sample)
+        return results
+
+    results = system.engine.run_process(program())
+    assert len(results) == len(sample)
+    assert [r.value for r in results] == list(range(len(sample)))
+
+
+def test_lookup_batch_handles_misses(loaded):
+    system, table, keys = loaded
+    bogus = make_keys(3, seed=999)
+
+    def program():
+        results = yield from system.isa.lookup_batch(
+            0, table, [keys[0], bogus[0], keys[1]])
+        return results
+
+    results = system.engine.run_process(program())
+    assert results[0].found and results[2].found
+    assert not results[1].found
+
+
+def test_result_slots_line_aligned(loaded):
+    system, _table, _keys = loaded
+    line = system.isa.result_line()
+    assert line % 64 == 0
+
+
+def test_nb_stats_counted(loaded):
+    system, table, keys = loaded
+
+    def program():
+        yield from system.isa.lookup_batch(0, table, keys[:4])
+
+    system.engine.run_process(program())
+    assert system.isa.stats.lookup_nb == 4

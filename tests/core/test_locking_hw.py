@@ -1,0 +1,79 @@
+"""Hardware-assisted lock bits (paper §4.4)."""
+
+from repro.core import HardwareLockManager
+from repro.sim import MemoryHierarchy
+
+
+def test_lease_locks_and_releases(hierarchy):
+    manager = HardwareLockManager(hierarchy)
+    addr = 0x40000
+    hierarchy.warm_llc(addr, 128)
+    lease = manager.lock_lines([addr, addr + 64])
+    assert hierarchy.line_locked(addr)
+    assert hierarchy.line_locked(addr + 64)
+    lease.release_all()
+    assert not hierarchy.line_locked(addr)
+    assert not hierarchy.line_locked(addr + 64)
+
+
+def test_lease_context_manager(hierarchy):
+    manager = HardwareLockManager(hierarchy)
+    addr = 0x41000
+    hierarchy.warm_llc(addr, 64)
+    with manager.lock_lines([addr]):
+        assert hierarchy.line_locked(addr)
+    assert not hierarchy.line_locked(addr)
+
+
+def test_disabled_manager_locks_nothing(hierarchy):
+    manager = HardwareLockManager(hierarchy, enabled=False)
+    addr = 0x42000
+    hierarchy.warm_llc(addr, 64)
+    lease = manager.lock_lines([addr])
+    assert not hierarchy.line_locked(addr)
+    lease.release_all()
+
+
+def test_absent_line_not_locked(hierarchy):
+    manager = HardwareLockManager(hierarchy)
+    lease = manager.lock_lines([0x43000])   # never brought into LLC
+    assert not hierarchy.line_locked(0x43000)
+    assert lease.lines == []
+    lease.release_all()
+
+
+def test_locked_line_rejects_store_invalidation(hierarchy):
+    """The §4.4 scenario: a concurrent writer gets a snoop miss + retry."""
+    manager = HardwareLockManager(hierarchy)
+    addr = 0x44000
+    hierarchy.warm_llc(addr, 64)
+    with manager.lock_lines([addr]):
+        result = hierarchy.core_access(0, addr, write=True)
+        assert result.lock_retries >= 1
+    unlocked = hierarchy.core_access(0, addr, write=True)
+    assert unlocked.lock_retries == 0
+
+
+def test_stats_count_operations(hierarchy):
+    manager = HardwareLockManager(hierarchy)
+    addr = 0x45000
+    hierarchy.warm_llc(addr, 64)
+    lease = manager.lock_lines([addr])
+    lease.release_all()
+    assert manager.stats.lock_operations == 1
+    assert manager.stats.unlock_operations == 1
+
+
+def test_query_cannot_leak_locks(system):
+    """After any HALO episode, no lock bits remain set (no stuck lines)."""
+    from ..conftest import make_keys
+    table = system.create_table(256)
+    keys = make_keys(100, seed=51)
+    for index, key in enumerate(keys):
+        table.insert(key, index)
+    system.warm_table(table)
+    system.run_blocking_lookups(table, keys[:20])
+    system.run_nonblocking_lookups(table, keys[20:40])
+    layout = table.layout
+    for bucket in range(layout.num_buckets):
+        assert not system.hierarchy.line_locked(layout.bucket_addr(bucket))

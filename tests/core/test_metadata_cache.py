@@ -1,0 +1,75 @@
+"""Per-accelerator metadata cache (paper §4.3)."""
+
+import pytest
+
+from repro.core import MetadataCache
+from repro.sim.coherence import SnoopFilter
+
+
+def make_cache(capacity=10, snoop=None):
+    return MetadataCache(slice_id=2, capacity_tables=capacity,
+                         snoop_filter=snoop)
+
+
+def test_miss_then_hit():
+    cache = make_cache()
+    assert not cache.lookup(100)
+    cache.fill(100)
+    assert cache.lookup(100)
+    assert cache.stats.hits == 1
+    assert cache.stats.misses == 1
+
+
+def test_lru_eviction_at_capacity():
+    cache = make_cache(capacity=3)
+    for line in (1, 2, 3):
+        cache.fill(line)
+    cache.lookup(1)              # refresh
+    victim = cache.fill(4)
+    assert victim == 2           # LRU among {2, 3}
+    assert 1 in cache and 4 in cache
+    assert len(cache) == 3
+
+
+def test_paper_capacity_ten_tables():
+    cache = make_cache(capacity=10)
+    for line in range(12):
+        cache.fill(line)
+    assert len(cache) == 10
+
+
+def test_snoop_invalidation():
+    cache = make_cache()
+    cache.fill(50)
+    assert cache.snoop_invalidate(50)
+    assert 50 not in cache
+    assert not cache.snoop_invalidate(50)
+    assert cache.stats.coherence_invalidations == 1
+
+
+def test_cv_bit_tracking():
+    snoop = SnoopFilter(cores=4, slices=4)
+    cache = make_cache(capacity=2, snoop=snoop)
+    cache.fill(7)
+    assert snoop.metadata_holder(7) == 2
+    cache.fill(8)
+    cache.fill(9)   # evicts 7
+    assert snoop.metadata_holder(7) == -1
+    assert snoop.metadata_holder(9) == 2
+
+
+def test_writer_rfo_invalidates_metadata_copy():
+    """A core's read-for-ownership snoops into the metadata cache."""
+    snoop = SnoopFilter(cores=4, slices=4)
+    cache = make_cache(snoop=snoop)
+    cache.fill(30)
+    outcome = snoop.invalidate_for_store(30, writer_core=0)
+    assert outcome["metadata_snoop"]
+    # The CHA-side cache must drop its copy on the snoop.
+    cache.snoop_invalidate(30)
+    assert 30 not in cache
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        make_cache(capacity=0)

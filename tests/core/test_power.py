@@ -1,0 +1,93 @@
+"""HALO and TCAM power/area models (Table 4)."""
+
+import pytest
+
+from repro.core import (
+    HALO_AREA_TILES,
+    HALO_DYNAMIC_NANOJOULE_PER_QUERY,
+    HALO_STATIC_MILLIWATTS,
+    energy_efficiency_ratio,
+    halo_envelope,
+)
+from repro.tcam import (
+    TCAM_TABLE4,
+    capacity_for_rules,
+    halo_vs_tcam_efficiency,
+    sram_tcam_envelope,
+    tcam_envelope,
+)
+
+KB = 1024
+
+
+def test_halo_envelope_paper_numbers():
+    env = halo_envelope(1)
+    assert env.static_milliwatts == HALO_STATIC_MILLIWATTS == 97.2
+    assert env.dynamic_nanojoule_per_query == 1.76
+    assert env.area_tiles == HALO_AREA_TILES == 0.012
+
+
+def test_halo_scales_linearly_with_accelerators():
+    env = halo_envelope(16)
+    assert env.static_milliwatts == pytest.approx(16 * 97.2)
+    assert env.area_tiles == pytest.approx(16 * 0.012)
+    assert env.dynamic_nanojoule_per_query == 1.76   # per query, not per unit
+
+
+def test_tcam_table4_anchor_points_exact():
+    for capacity, (area, static, dynamic) in TCAM_TABLE4.items():
+        env = tcam_envelope(capacity)
+        assert env.area_tiles == area
+        assert env.static_milliwatts == static
+        assert env.dynamic_nanojoule_per_query == dynamic
+
+
+def test_tcam_interpolation_monotone():
+    values = [tcam_envelope(c).static_milliwatts
+              for c in (1 * KB, 4 * KB, 10 * KB, 40 * KB, 100 * KB,
+                        400 * KB, 1024 * KB)]
+    assert values == sorted(values)
+
+
+def test_tcam_extrapolation_beyond_1mb():
+    env = tcam_envelope(2048 * KB)
+    assert env.static_milliwatts > tcam_envelope(1024 * KB).static_milliwatts
+
+
+def test_sram_tcam_savings():
+    tcam = tcam_envelope(100 * KB)
+    sram = sram_tcam_envelope(100 * KB)
+    assert sram.static_milliwatts == pytest.approx(tcam.static_milliwatts
+                                                   * 0.55)
+    assert sram.area_tiles == pytest.approx(tcam.area_tiles * 0.43)
+
+
+def test_headline_48x_efficiency():
+    assert halo_vs_tcam_efficiency(1024 * KB) == pytest.approx(48.2, abs=0.1)
+
+
+def test_efficiency_grows_at_lower_query_rates():
+    """TCAM's static power makes it even worse at finite rates."""
+    saturated = halo_vs_tcam_efficiency(1024 * KB)
+    moderate = halo_vs_tcam_efficiency(1024 * KB, queries_per_second=10e6)
+    assert moderate > saturated
+
+
+def test_energy_accounting():
+    env = halo_envelope(1)
+    energy = env.energy_nanojoules(queries=1000, seconds=1e-3)
+    static_nj = 97.2e-3 * 1e-3 * 1e9
+    assert energy == pytest.approx(static_nj + 1760.0)
+    assert env.energy_per_query_nj(0) == float("inf")
+
+
+def test_capacity_for_rules_matches_paper_density():
+    # "1MB TCAM ... about 100K 5-tuple rules" (§6.4).
+    assert capacity_for_rules(100_000) == pytest.approx(1024 * KB, rel=0.01)
+
+
+def test_efficiency_ratio_helper():
+    halo = halo_envelope(1)
+    tcam = tcam_envelope(1024 * KB)
+    ratio = energy_efficiency_ratio(halo, tcam, float("inf"))
+    assert ratio == pytest.approx(48.2, abs=0.1)

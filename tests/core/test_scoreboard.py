@@ -1,0 +1,67 @@
+"""Accelerator scoreboard and busy bit."""
+
+from repro.core import Scoreboard
+from repro.sim import Engine
+
+
+def test_admits_up_to_capacity():
+    engine = Engine()
+    scoreboard = Scoreboard(engine, entries=3)
+    granted = []
+    for index in range(3):
+        event = scoreboard.admit()
+        assert event.triggered
+        granted.append(event)
+    assert scoreboard.busy
+    assert scoreboard.occupancy == 3
+
+
+def test_busy_bit_clears_on_completion():
+    engine = Engine()
+    scoreboard = Scoreboard(engine, entries=1)
+    scoreboard.admit()
+    assert scoreboard.busy
+    scoreboard.complete()
+    assert not scoreboard.busy
+
+
+def test_waiters_granted_in_order():
+    engine = Engine()
+    scoreboard = Scoreboard(engine, entries=1)
+    order = []
+
+    def worker(tag, hold):
+        yield scoreboard.admit()
+        order.append(tag)
+        yield engine.timeout(hold)
+        scoreboard.complete()
+
+    for tag in range(3):
+        engine.process(worker(tag, 5))
+    engine.run()
+    assert order == [0, 1, 2]
+    assert scoreboard.stats.completed == 3
+
+
+def test_busy_rejections_counted():
+    engine = Engine()
+    scoreboard = Scoreboard(engine, entries=1)
+
+    def worker():
+        yield scoreboard.admit()
+        yield engine.timeout(2)
+        scoreboard.complete()
+
+    for _ in range(4):
+        engine.process(worker())
+    engine.run()
+    assert scoreboard.stats.busy_rejections >= 2
+    assert scoreboard.stats.admitted == 4
+
+
+def test_paper_depth_of_ten():
+    engine = Engine()
+    scoreboard = Scoreboard(engine, entries=10)
+    for _ in range(10):
+        scoreboard.admit()
+    assert scoreboard.busy

@@ -1,0 +1,40 @@
+"""System summary observability."""
+
+from repro.core import HaloSystem
+from repro.traffic import random_keys
+
+
+def test_summary_idle_machine():
+    text = HaloSystem().summary()
+    assert "16 cores" in text
+    assert "accelerators: idle" in text
+    assert "mode halo" in text
+
+
+def test_summary_after_traffic():
+    system = HaloSystem()
+    table = system.create_table(512)
+    keys = random_keys(200, seed=5)
+    for index, key in enumerate(keys):
+        table.insert(key, index)
+    system.warm_table(table)
+    system.run_blocking_lookups(table, keys[:25])
+    system.run_nonblocking_lookups(table, keys[25:50])
+    text = system.summary()
+    assert "50 queries" in text
+    assert "25 LOOKUP_B" in text
+    assert "25 LOOKUP_NB" in text
+    assert "SNAPSHOT_READ" in text
+    assert "metadata hit" in text
+    assert "locks" in text
+
+
+def test_summary_counts_software_cache_traffic():
+    system = HaloSystem()
+    table = system.create_table(512)
+    keys = random_keys(100, seed=6)
+    for index, key in enumerate(keys):
+        table.insert(key, index)
+    system.run_software_lookups(table, keys[:30])
+    text = system.summary()
+    assert "L1D" in text and "n/a" not in text.splitlines()[1]

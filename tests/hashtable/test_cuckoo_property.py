@@ -1,0 +1,92 @@
+"""Property-based tests: the cuckoo table behaves like a dict."""
+
+from hypothesis import given, settings, strategies as st
+from hypothesis.stateful import Bundle, RuleBasedStateMachine, invariant, rule
+
+from repro.hashtable import CuckooHashTable
+
+keys_strategy = st.binary(min_size=16, max_size=16)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.dictionaries(keys_strategy, st.integers(), max_size=120))
+def test_matches_dict_after_bulk_insert(entries):
+    table = CuckooHashTable(512)
+    for key, value in entries.items():
+        assert table.insert(key, value)
+    assert len(table) == len(entries)
+    for key, value in entries.items():
+        assert table.lookup(key) == value
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.tuples(keys_strategy, st.integers()),
+                min_size=1, max_size=80))
+def test_last_write_wins(pairs):
+    table = CuckooHashTable(512)
+    model = {}
+    for key, value in pairs:
+        table.insert(key, value)
+        model[key] = value
+    for key, value in model.items():
+        assert table.lookup(key) == value
+    assert len(table) == len(model)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.sets(keys_strategy, min_size=1, max_size=60), st.data())
+def test_delete_removes_exactly_the_key(keys, data):
+    keys = sorted(keys)
+    table = CuckooHashTable(256)
+    for index, key in enumerate(keys):
+        table.insert(key, index)
+    victim = data.draw(st.sampled_from(keys))
+    assert table.delete(victim)
+    for index, key in enumerate(keys):
+        expected = None if key == victim else index
+        assert table.lookup(key) == expected
+
+
+class CuckooMachine(RuleBasedStateMachine):
+    """Stateful model-based testing against a plain dict."""
+
+    def __init__(self):
+        super().__init__()
+        self.table = CuckooHashTable(256)
+        self.model = {}
+
+    inserted = Bundle("inserted")
+
+    @rule(target=inserted, key=keys_strategy, value=st.integers())
+    def insert(self, key, value):
+        ok = self.table.insert(key, value)
+        if ok:
+            self.model[key] = value
+        return key
+
+    @rule(key=inserted)
+    def lookup_present(self, key):
+        assert self.table.lookup(key) == self.model.get(key)
+
+    @rule(key=keys_strategy)
+    def lookup_any(self, key):
+        assert self.table.lookup(key) == self.model.get(key)
+
+    @rule(key=inserted)
+    def delete(self, key):
+        expected = key in self.model
+        assert self.table.delete(key) == expected
+        self.model.pop(key, None)
+
+    @invariant()
+    def size_matches(self):
+        assert len(self.table) == len(self.model)
+
+    @invariant()
+    def load_factor_bounded(self):
+        assert 0.0 <= self.table.load_factor <= 1.0
+
+
+TestCuckooStateMachine = CuckooMachine.TestCase
+TestCuckooStateMachine.settings = settings(
+    max_examples=25, stateful_step_count=40, deadline=None)

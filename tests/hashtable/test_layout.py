@@ -1,0 +1,77 @@
+"""Table memory layout."""
+
+import pytest
+
+from repro.hashtable import StandaloneAllocator, allocate_table, next_power_of_two
+from repro.sim import CACHE_LINE_BYTES
+
+
+def make_layout(num_buckets=64, assoc=8, key_bytes=16):
+    allocator = StandaloneAllocator()
+    return allocate_table(allocator, "t", num_buckets, assoc, key_bytes)
+
+
+def test_bucket_addresses_line_aligned():
+    layout = make_layout()
+    for bucket in range(layout.num_buckets):
+        assert layout.bucket_addr(bucket) % CACHE_LINE_BYTES == 0
+
+
+def test_bucket_addresses_contiguous():
+    layout = make_layout()
+    assert (layout.bucket_addr(1) - layout.bucket_addr(0)
+            == CACHE_LINE_BYTES)
+
+
+def test_bucket_index_bounds():
+    layout = make_layout(num_buckets=8)
+    with pytest.raises(IndexError):
+        layout.bucket_addr(8)
+    with pytest.raises(IndexError):
+        layout.bucket_addr(-1)
+
+
+def test_kv_slots_do_not_overlap():
+    layout = make_layout()
+    assert layout.kv_addr(1) - layout.kv_addr(0) == layout.kv_slot_bytes
+    assert layout.kv_slot_bytes >= layout.key_bytes + layout.value_bytes
+
+
+def test_kv_index_bounds():
+    layout = make_layout(num_buckets=4, assoc=8)
+    layout.kv_addr(31)
+    with pytest.raises(IndexError):
+        layout.kv_addr(32)
+
+
+def test_regions_disjoint():
+    layout = make_layout()
+    assert layout.metadata.end <= layout.buckets.base
+    assert layout.buckets.end <= layout.key_values.base
+
+
+def test_non_power_of_two_buckets_rejected():
+    allocator = StandaloneAllocator()
+    with pytest.raises(ValueError):
+        allocate_table(allocator, "t", 100, 8, 16)
+
+
+def test_oversized_associativity_rejected():
+    allocator = StandaloneAllocator()
+    with pytest.raises(ValueError):
+        allocate_table(allocator, "t", 64, 9, 16)
+
+
+def test_total_bytes():
+    layout = make_layout(num_buckets=64, assoc=8, key_bytes=16)
+    expected = (CACHE_LINE_BYTES                 # metadata
+                + 64 * CACHE_LINE_BYTES          # buckets
+                + 64 * 8 * layout.kv_slot_bytes) # kv
+    assert layout.total_bytes == expected
+
+
+def test_next_power_of_two():
+    assert next_power_of_two(1) == 1
+    assert next_power_of_two(2) == 2
+    assert next_power_of_two(3) == 4
+    assert next_power_of_two(1000) == 1024

@@ -1,0 +1,68 @@
+"""Software optimistic locking (paper §3.4)."""
+
+import pytest
+
+from repro.hashtable import OptimisticLock, READ_SIDE_CYCLES, WRITE_SIDE_CYCLES
+
+
+def test_read_validates_when_no_writes():
+    lock = OptimisticLock()
+    token = lock.read_begin()
+    assert lock.read_validate(token)
+    assert lock.stats.read_retries == 0
+
+
+def test_concurrent_write_invalidates_reader():
+    lock = OptimisticLock()
+    token = lock.read_begin()
+    lock.write_begin()
+    lock.write_end()
+    assert not lock.read_validate(token)
+    assert lock.stats.read_retries == 1
+    # A retry after the write completes succeeds.
+    token = lock.read_begin()
+    assert lock.read_validate(token)
+
+
+def test_in_progress_write_invalidates_reader():
+    lock = OptimisticLock()
+    token = lock.read_begin()
+    lock.write_begin()
+    assert not lock.read_validate(token)
+    lock.write_end()
+
+
+def test_nested_write_rejected():
+    lock = OptimisticLock()
+    lock.write_begin()
+    with pytest.raises(RuntimeError):
+        lock.write_begin()
+
+
+def test_unmatched_write_end_rejected():
+    lock = OptimisticLock()
+    with pytest.raises(RuntimeError):
+        lock.write_end()
+
+
+def test_cost_model_scales_with_retries():
+    lock = OptimisticLock()
+    base = lock.read_overhead_cycles()
+    retried = lock.read_overhead_cycles(retries=1, probe_cycles=100)
+    assert base == READ_SIDE_CYCLES
+    assert retried == pytest.approx(2 * READ_SIDE_CYCLES + 100)
+    assert lock.write_overhead_cycles() == WRITE_SIDE_CYCLES
+
+
+def test_locking_share_near_paper_figure(system, keys16):
+    """READ_SIDE_CYCLES lands near 13.1% of an LLC-resident lookup."""
+    table = system.create_table(1 << 14)
+    from ..conftest import make_keys
+    keys = make_keys(8000, seed=31)
+    for index, key in enumerate(keys):
+        table.insert(key, index)
+    system.warm_table(table)
+    system.hierarchy.flush_private(0)
+    episode = system.run_software_lookups(table, keys[:100])
+    share = READ_SIDE_CYCLES / episode.cycles_per_op
+    assert 0.09 <= share <= 0.18

@@ -1,0 +1,96 @@
+"""Single-function hash table (SFH baseline)."""
+
+import pytest
+
+from repro.hashtable import SingleHashTable
+from repro.sim import Tracer
+
+from ..conftest import make_keys
+
+
+def test_insert_lookup_delete():
+    table = SingleHashTable(expected_keys=64)
+    keys = make_keys(40, seed=21)
+    for index, key in enumerate(keys):
+        assert table.insert(key, index)
+    for index, key in enumerate(keys):
+        assert table.lookup(key) == index
+    assert table.delete(keys[0])
+    assert table.lookup(keys[0]) is None
+    assert len(table) == 39
+
+
+def test_update_in_place():
+    table = SingleHashTable(expected_keys=16)
+    key = make_keys(1, seed=22)[0]
+    table.insert(key, "a")
+    table.insert(key, "b")
+    assert table.lookup(key) == "b"
+    assert len(table) == 1
+
+
+def test_low_utilisation_vs_cuckoo():
+    """SFH sized for the same keys runs at ~20% or less slot utilisation."""
+    keys = make_keys(2000, seed=23)
+    table = SingleHashTable(expected_keys=2000)
+    for index, key in enumerate(keys):
+        table.insert(key, index)
+    assert table.load_factor < 0.35
+
+
+def test_overflow_chaining_never_loses_keys():
+    """Even a deliberately undersized table keeps every key reachable."""
+    keys = make_keys(300, seed=24)
+    table = SingleHashTable(expected_keys=8)   # tiny: forces chaining
+    for index, key in enumerate(keys):
+        assert table.insert(key, index)
+    assert table.stats.overflows > 0
+    for index, key in enumerate(keys):
+        assert table.lookup(key) == index
+
+
+def test_chain_hops_cost_extra_dependent_reads():
+    tracer = Tracer()
+    table = SingleHashTable(expected_keys=2, assoc=2, tracer=tracer)
+    keys = make_keys(40, seed=25)
+    for index, key in enumerate(keys):
+        table.insert(key, index)
+    # Find a key deep in a chain.
+    deep_key = None
+    for key in keys:
+        index, _sig = table._index(key)
+        bucket = table._buckets[index]
+        position = next(i for i, (s, k, v) in enumerate(bucket) if k == key)
+        if position >= table.assoc:
+            deep_key = key
+            break
+    assert deep_key is not None
+    tracer.begin()
+    table.lookup(deep_key)
+    trace = tracer.take()
+    assert trace.dependency_chains()  # chained reads recorded
+    assert len(trace) >= 3
+
+
+def test_bigger_footprint_than_cuckoo():
+    from repro.hashtable import CuckooHashTable
+    keys = make_keys(1000, seed=26)
+    sfh = SingleHashTable(expected_keys=1000)
+    cuckoo = CuckooHashTable(int(1000 / 0.9))
+    assert (sfh.layout.buckets.size + sfh.layout.key_values.size
+            > cuckoo.layout.buckets.size + cuckoo.layout.key_values.size)
+
+
+def test_key_length_enforced():
+    table = SingleHashTable(expected_keys=8)
+    with pytest.raises(ValueError):
+        table.lookup(b"bad")
+
+
+def test_histogram():
+    table = SingleHashTable(expected_keys=32)
+    keys = make_keys(20, seed=27)
+    for index, key in enumerate(keys):
+        table.insert(key, index)
+    histogram = table.bucket_occupancy_histogram()
+    assert sum(entries * count for entries, count in histogram.items()) == 20

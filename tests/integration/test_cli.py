@@ -1,0 +1,45 @@
+"""The `python -m repro` experiment runner."""
+
+import pytest
+
+from repro.__main__ import EXPERIMENTS, main
+
+
+def test_list_names_every_experiment(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in EXPERIMENTS:
+        assert name in out
+
+
+def test_default_is_list(capsys):
+    assert main([]) == 0
+    assert "experiments" in capsys.readouterr().out
+
+
+def test_registry_covers_all_eval_items():
+    expected = {"fig03", "fig04", "fig08", "fig09", "fig10", "fig11",
+                "fig12", "fig13", "tab01", "tab04", "sec34", "updates", "multicore", "keysize"}
+    assert set(EXPERIMENTS) == expected
+
+
+def test_run_quick_tab04(capsys):
+    assert main(["run", "tab04"]) == 0
+    out = capsys.readouterr().out
+    assert "48.2" in out
+
+
+def test_run_quick_fig08(capsys):
+    assert main(["run", "fig08", "--quick"]) == 0
+    assert "Figure 8b" in capsys.readouterr().out
+
+
+def test_run_quick_tab01(capsys):
+    assert main(["run", "tab01", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "instructions/lookup" in out
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "fig99"])

@@ -1,0 +1,59 @@
+"""§3.4 concurrency experiment (scaled down)."""
+
+import pytest
+
+from repro.analysis.experiments import sec34_concurrency
+
+
+@pytest.fixture(scope="module")
+def result():
+    return sec34_concurrency.run(table_entries=1 << 12, lookups=120)
+
+
+def test_lock_share_near_paper(result):
+    assert 0.08 <= result.software_lock_share <= 0.25   # paper: 13.1%
+
+
+def test_writer_contention_causes_retries(result):
+    assert result.software_retry_rate > 0.05
+    assert (result.software_cycles_contended
+            > result.software_cycles_idle)
+
+
+def test_halo_immune_to_contention(result):
+    halo_overhead = abs(result.halo_cycles_contended
+                        / result.halo_cycles_idle - 1)
+    software_overhead = (result.software_cycles_contended
+                         / result.software_cycles_idle - 1)
+    assert halo_overhead < 0.05
+    assert halo_overhead < software_overhead
+
+
+def test_report_renders(result):
+    text = sec34_concurrency.report(result)
+    assert "§3.4" in text and "paper" in text
+
+
+def test_plain_inserts_do_not_invalidate_readers():
+    """Only cuckoo moves bump the optimistic version (rte_hash model)."""
+    from repro.hashtable import CuckooHashTable
+    from tests.conftest import make_keys
+    table = CuckooHashTable(1024)
+    keys = make_keys(50, seed=99)
+    token = table.lock.read_begin()
+    for index, key in enumerate(keys):
+        table.insert(key, index)          # plenty of room: no kicks
+    assert table.stats.kicks == 0
+    assert table.lock.read_validate(token)
+
+
+def test_cuckoo_move_invalidates_readers():
+    from repro.hashtable import CuckooHashTable
+    from tests.conftest import make_keys
+    table = CuckooHashTable(64)
+    keys = make_keys(70, seed=98)
+    token = table.lock.read_begin()
+    for index, key in enumerate(keys):
+        table.insert(key, index)          # overfull: kicks must happen
+    assert table.stats.kicks > 0
+    assert not table.lock.read_validate(token)

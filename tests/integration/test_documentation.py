@@ -1,0 +1,78 @@
+"""Documentation stays consistent with the code."""
+
+import pathlib
+import re
+
+import pytest
+
+import repro
+
+ROOT = pathlib.Path(repro.__file__).resolve().parents[2]
+
+
+def test_required_documents_exist():
+    for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md",
+                 "docs/MODELING.md"):
+        path = ROOT / name
+        assert path.exists(), name
+        assert path.stat().st_size > 1_000
+
+
+def test_design_lists_every_experiment_bench():
+    text = (ROOT / "DESIGN.md").read_text()
+    for bench in ("bench_fig03_breakdown", "bench_fig04_hash_analysis",
+                  "bench_tab01_instructions", "bench_fig08_flow_register",
+                  "bench_fig09_single_lookup",
+                  "bench_fig10_latency_breakdown",
+                  "bench_fig11_tuple_space", "bench_fig12_collocation",
+                  "bench_tab04_power_area", "bench_fig13_nf_speedup"):
+        assert bench in text, bench
+
+
+def test_every_bench_file_is_documented_somewhere():
+    docs = "".join((ROOT / name).read_text()
+                   for name in ("DESIGN.md", "EXPERIMENTS.md"))
+    for bench in (ROOT / "benchmarks").glob("bench_*.py"):
+        assert bench.name.replace(".py", "") in docs.replace(".py", ""), \
+            f"{bench.name} missing from DESIGN.md/EXPERIMENTS.md"
+
+
+def test_readme_quickstart_snippet_runs():
+    """The README's quickstart code block must actually execute."""
+    text = (ROOT / "README.md").read_text()
+    match = re.search(r"```python\n(.*?)```", text, re.DOTALL)
+    assert match, "README lost its quickstart snippet"
+    namespace = {}
+    exec(compile(match.group(1), "<README quickstart>", "exec"), namespace)
+
+
+def test_every_public_module_has_a_docstring():
+    missing = []
+    for path in (ROOT / "src" / "repro").rglob("*.py"):
+        source = path.read_text()
+        if not source.strip():
+            continue
+        import ast
+        module = ast.parse(source)
+        if ast.get_docstring(module) is None:
+            missing.append(str(path))
+    assert missing == []
+
+
+def test_cli_registry_matches_experiment_modules():
+    from repro.__main__ import EXPERIMENTS
+    from repro.analysis import experiments
+    module_names = set(experiments.__all__)
+    # Every CLI entry is backed by a real experiment module.
+    mapping = {
+        "fig03": "fig03_breakdown", "fig04": "fig04_hash",
+        "fig08": "fig08_flow_register", "fig09": "fig09_single_lookup",
+        "fig10": "fig10_breakdown", "fig11": "fig11_tuple_space",
+        "fig12": "fig12_collocation", "fig13": "fig13_nf_speedup",
+        "tab01": "tab01_instructions", "tab04": "tab04_power",
+        "sec34": "sec34_concurrency", "updates": "updates_comparison",
+        "multicore": "multicore_scaling", "keysize": "keysize_sweep",
+    }
+    assert set(EXPERIMENTS) == set(mapping)
+    for module_name in mapping.values():
+        assert module_name in module_names

@@ -1,0 +1,133 @@
+"""Cross-module integration: the headline paper behaviours, end to end."""
+
+import pytest
+
+from repro.core import ComputeMode, HaloSystem
+from repro.traffic import FlowSet, PacketStream, TrafficProfile, random_keys
+from repro.vswitch import SwitchMode, VirtualSwitch
+
+
+@pytest.fixture(scope="module")
+def llc_system():
+    """A system with an LLC-resident (beyond-L2) table."""
+    system = HaloSystem()
+    table = system.create_table(1 << 16, name="e2e")
+    keys = random_keys(40_000, seed=71)
+    for index, key in enumerate(keys):
+        table.insert(key, index)
+    system.warm_table(table)
+    for core in range(system.machine.cores):
+        system.hierarchy.flush_private(core)
+    return system, table, keys
+
+
+def test_headline_single_table_speedup(llc_system):
+    """Figure 9: HALO ~3.3x over software for LLC-resident tables."""
+    system, table, keys = llc_system
+    sample = keys[:250]
+    software = system.run_software_lookups(table, sample)
+    blocking = system.run_blocking_lookups(table, sample)
+    nonblocking = system.run_nonblocking_lookups(table, sample)
+    speedup_b = software.cycles_per_op / blocking.cycles_per_op
+    speedup_nb = software.cycles_per_op / nonblocking.cycles_per_op
+    assert 2.2 <= speedup_b <= 4.5
+    assert 2.2 <= speedup_nb <= 4.5
+    # B and NB close on a single table (paper: within ~5%).
+    assert abs(speedup_nb / speedup_b - 1.0) < 0.35
+
+
+def test_headline_tuple_space_scaling():
+    """Figure 11: NB mode scales with tuple count; B mode does not."""
+    from repro.analysis.experiments.fig11_tuple_space import run_point
+    small = run_point(5, packets=15, seed=3)
+    large = run_point(20, packets=15, seed=3)
+    nb_small = small.normalized_throughput()["halo-nb"]
+    nb_large = large.normalized_throughput()["halo-nb"]
+    b_large = large.normalized_throughput()["halo-b"]
+    assert nb_large > nb_small * 1.8
+    assert nb_large > 10.0
+    assert b_large < 5.0
+
+
+def test_switch_pipeline_agrees_with_datapath():
+    """The instrumented switch and the plain datapath classify alike."""
+    from repro.classifier import OvsDatapath
+    profile = TrafficProfile(name="t", description="", num_flows=2000,
+                             num_rules=6)
+    flow_set, rules = profile.build()
+    system = HaloSystem()
+    switch = VirtualSwitch(system, SwitchMode.SOFTWARE)
+    switch.install_rules(rules)
+    datapath = OvsDatapath()
+    for rule in rules:
+        datapath.install_rule(rule)
+    stream = PacketStream(flow_set, zipf_s=0.5, seed=7)
+    for flow in stream.take(60):
+        switch_result = switch.process_flow(flow).classification
+        datapath_result = datapath.classify(flow)
+        assert switch_result.hit == datapath_result.hit
+        if switch_result.hit:
+            assert switch_result.rule.matches(flow)
+            assert datapath_result.rule.matches(flow)
+
+
+def test_hybrid_mode_end_to_end():
+    """§4.6: few flows -> software mode; many flows -> HALO mode."""
+    system = HaloSystem()
+    small_table = system.create_table(64, name="hot")
+    hot_keys = random_keys(8, seed=72)
+    for index, key in enumerate(hot_keys):
+        small_table.insert(key, index)
+    stream = [hot_keys[i % 8] for i in range(600)]
+    system.run_adaptive_lookups(small_table, stream, window=200)
+    assert system.hybrid.mode is ComputeMode.SOFTWARE
+
+    big_table = system.create_table(4096, name="cold")
+    many_keys = random_keys(3000, seed=73)
+    for index, key in enumerate(many_keys):
+        big_table.insert(key, index)
+    system.run_adaptive_lookups(big_table, many_keys[:600], window=200)
+    assert system.hybrid.mode is ComputeMode.HALO
+
+
+def test_multicore_halo_scales(llc_system):
+    """Cores driving distinct tables scale across the accelerators."""
+    system, _table, _keys = llc_system
+    from repro.traffic import random_keys as rand_keys
+    tables = []
+    keysets = []
+    for index in range(4):
+        per_core = system.create_table(2048, name=f"mc{index}")
+        key_list = rand_keys(1200, seed=200 + index)
+        for position, key in enumerate(key_list):
+            per_core.insert(key, position)
+        system.warm_table(per_core)
+        tables.append(per_core)
+        keysets.append(key_list)
+
+    def worker(core_id, use_table, sample):
+        results = []
+        for key in sample:
+            result = yield from system.isa.lookup_b(core_id, use_table, key)
+            results.append(result.value)
+        return results
+
+    single = system.run_programs([worker(0, tables[0], keysets[0][:60])])
+    single_rate = single.operations / single.cycles
+
+    multi = system.run_programs([
+        worker(core, tables[core], keysets[core][60:120])
+        for core in range(4)])
+    multi_rate = multi.operations / multi.cycles
+    assert multi_rate > single_rate * 2.0
+
+
+def test_lock_bits_protect_concurrent_update(llc_system):
+    """§4.4: a software writer racing an accelerator query pays retries."""
+    system, table, keys = llc_system
+    plan = table.probe(keys[0])
+    system.hierarchy.warm_llc(plan.primary_addr, 64)
+    assert system.hierarchy.lock_line(plan.primary_addr)
+    write = system.hierarchy.core_access(0, plan.primary_addr, write=True)
+    assert write.lock_retries >= 1
+    system.hierarchy.unlock_line(plan.primary_addr)

@@ -1,0 +1,47 @@
+"""The virtual switch under HALO modes: the Figure-3-meets-HALO story."""
+
+import pytest
+
+from repro.analysis.experiments import fig03_breakdown
+from repro.traffic import FIGURE3_PROFILES
+from repro.vswitch import SwitchMode
+
+
+@pytest.fixture(scope="module")
+def heavy_profile_rows():
+    profile = FIGURE3_PROFILES[-1]   # gateway: most rules, most tuples
+    software = fig03_breakdown.run_profile(
+        profile, max_flows=8_000, packets=250, warmup=150,
+        mode=SwitchMode.SOFTWARE)
+    halo = fig03_breakdown.run_profile(
+        profile, max_flows=8_000, packets=250, warmup=150,
+        mode=SwitchMode.HALO_NONBLOCKING)
+    return software, halo
+
+
+def test_halo_switch_cuts_packet_cost(heavy_profile_rows):
+    software, halo = heavy_profile_rows
+    assert halo.cycles_per_packet < software.cycles_per_packet * 0.7
+
+
+def test_halo_attacks_the_classification_stages(heavy_profile_rows):
+    software, halo = heavy_profile_rows
+    software_classification = (software.breakdown["emc_lookup"]
+                               + software.breakdown["megaflow_lookup"])
+    halo_classification = (halo.breakdown["emc_lookup"]
+                           + halo.breakdown["megaflow_lookup"])
+    assert halo_classification < software_classification * 0.6
+    # The non-classification stages are untouched.
+    assert halo.breakdown["packet_io"] == pytest.approx(
+        software.breakdown["packet_io"], rel=0.05)
+    assert halo.breakdown["preprocess"] == pytest.approx(
+        software.breakdown["preprocess"], rel=0.3)
+
+
+def test_both_modes_hit_the_same_layers(heavy_profile_rows):
+    software, halo = heavy_profile_rows
+    # Software serves hot flows from the EMC; the HALO pipeline classifies
+    # everything through accelerated TSS — every packet must still hit.
+    assert software.layer_hits.get("miss", 0) == 0
+    assert halo.layer_hits.get("miss", 0) == 0
+    assert sum(halo.layer_hits.values()) == sum(software.layer_hits.values())

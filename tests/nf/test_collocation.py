@@ -1,0 +1,53 @@
+"""Collocation harness (Figure 12)."""
+
+import pytest
+
+from repro.nf import AclFunction
+from repro.nf.collocation import CollocationResult, run_collocation
+from repro.vswitch import SwitchMode
+
+
+@pytest.fixture(scope="module")
+def software_result():
+    return run_collocation(
+        lambda system: AclFunction(system.hierarchy),
+        num_flows=5000, switch_mode=SwitchMode.SOFTWARE,
+        packets=150, warmup=150)
+
+
+@pytest.fixture(scope="module")
+def halo_result():
+    return run_collocation(
+        lambda system: AclFunction(system.hierarchy),
+        num_flows=5000, switch_mode=SwitchMode.HALO_NONBLOCKING,
+        packets=150, warmup=150)
+
+
+def test_software_switch_pollutes_l1(software_result):
+    assert (software_result.colocated_l1_miss_ratio
+            > software_result.solo_l1_miss_ratio + 0.05)
+
+
+def test_software_switch_slows_nf(software_result):
+    assert software_result.throughput_drop > 0.0
+
+
+def test_halo_switch_barely_pollutes(halo_result):
+    assert halo_result.l1_miss_increase < 0.10
+
+
+def test_halo_drop_much_smaller_than_software(software_result, halo_result):
+    assert (halo_result.throughput_drop
+            < software_result.throughput_drop)
+
+
+def test_result_metrics_consistent(software_result):
+    result = software_result
+    assert isinstance(result, CollocationResult)
+    assert result.solo_cycles_per_packet > 0
+    assert result.colocated_cycles_per_packet > 0
+    assert result.nf_name == "acl"
+    assert 0.0 <= result.solo_l1_miss_ratio <= 1.0
+    expected_drop = 1.0 - (result.solo_cycles_per_packet
+                           / result.colocated_cycles_per_packet)
+    assert result.throughput_drop == pytest.approx(expected_drop)

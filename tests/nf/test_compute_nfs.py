@@ -1,0 +1,133 @@
+"""Compute-bound collocation NFs: ACL, Snort-like IDS, mTCP stack."""
+
+import pytest
+
+from repro.classifier import FiveTuple, make_flow
+from repro.nf import (
+    AclFunction,
+    IdsFunction,
+    PatternAutomaton,
+    TcpStackFunction,
+    TcpState,
+)
+from repro.sim import MemoryHierarchy
+
+
+@pytest.fixture
+def hierarchy():
+    return MemoryHierarchy()
+
+
+# -- ACL ------------------------------------------------------------------------
+def test_acl_classifies_and_accounts(hierarchy):
+    acl = AclFunction(hierarchy)
+    cycles = acl.process(make_flow(1))
+    assert cycles > 0
+    assert acl.permitted + acl.denied == 1
+    assert acl.stats.packets == 1
+
+
+def test_acl_rule_matching(hierarchy):
+    acl = AclFunction(hierarchy, num_rules=6)
+    assert len(acl.rules) == 6
+    rule = acl.rules[0]
+    inside = FiveTuple(rule.src_lo + 1, 1, 1, 1, 17)
+    assert rule.matches(inside)
+    outside = FiveTuple((rule.src_hi + (1 << 24)) & 0xFFFFFFFF, 1, 1, 1, 17)
+    if not (rule.src_lo <= outside.src_ip <= rule.src_hi):
+        assert not rule.matches(outside)
+
+
+# -- IDS (pattern automaton) -------------------------------------------------------
+def test_automaton_finds_patterns():
+    automaton = PatternAutomaton([b"abc", b"bcd", b"zzz"])
+    matches = automaton.scan(b"xxabcdyy")
+    found = {pattern for _offset, pattern in matches}
+    assert found == {b"abc", b"bcd"}
+
+
+def test_automaton_overlapping_patterns():
+    automaton = PatternAutomaton([b"aa", b"aaa"])
+    matches = automaton.scan(b"aaaa")
+    assert sum(1 for _o, p in matches if p == b"aa") == 3
+    assert sum(1 for _o, p in matches if p == b"aaa") == 2
+
+
+def test_automaton_no_false_positives():
+    automaton = PatternAutomaton([b"attack"])
+    assert automaton.scan(b"perfectly benign payload") == []
+
+
+def test_automaton_match_offsets():
+    automaton = PatternAutomaton([b"cd"])
+    matches = automaton.scan(b"abcd")
+    assert matches == [(3, b"cd")]
+
+
+def test_ids_deterministic_payloads(hierarchy):
+    ids = IdsFunction(hierarchy)
+    flow = make_flow(7)
+    assert ids._payload_for(flow) == ids._payload_for(flow)
+    assert ids._payload_for(flow) != ids._payload_for(make_flow(8))
+
+
+def test_ids_processes_packets(hierarchy):
+    ids = IdsFunction(hierarchy)
+    for index in range(10):
+        ids.process(make_flow(index))
+    assert ids.stats.packets == 10
+    assert ids.stats.cycles_per_packet > 0
+
+
+# -- mTCP --------------------------------------------------------------------------
+def test_tcp_connection_lifecycle(hierarchy):
+    stack = TcpStackFunction(hierarchy, max_connections=1024)
+    flow = make_flow(3)
+    stack.process(flow)
+    block = stack.connection_of(flow)
+    assert block is not None
+    assert block.state is TcpState.SYN_RCVD
+    stack.process(flow)
+    assert block.state is TcpState.ESTABLISHED
+    assert stack.established == 1
+    assert block.packets == 2
+
+
+def test_tcp_distinct_connections(hierarchy):
+    stack = TcpStackFunction(hierarchy, max_connections=1024)
+    for index in range(20):
+        stack.process(make_flow(index))
+    assert len(stack.connections) == 20
+
+
+def test_tcp_sequence_advances(hierarchy):
+    stack = TcpStackFunction(hierarchy, max_connections=64)
+    flow = make_flow(9)
+    stack.process(flow)
+    stack.process(flow)
+    assert stack.connection_of(flow).rcv_next == 2 * 1460
+
+
+# -- shared NF machinery --------------------------------------------------------------
+def test_working_set_sampling_bounds(hierarchy):
+    acl = AclFunction(hierarchy)
+    region = acl.working_set.region
+    for _ in range(200):
+        addr = acl.working_set.sample_addr()
+        assert region.base <= addr < region.end
+
+
+def test_warm_brings_working_set_in(hierarchy):
+    acl = AclFunction(hierarchy)
+    acl.warm()
+    region = acl.working_set.region
+    assert hierarchy.llc_resident_fraction(region.base,
+                                           min(region.size, 4096)) > 0.9
+
+
+def test_l1_miss_ratio_metric(hierarchy):
+    acl = AclFunction(hierarchy)
+    for index in range(30):
+        acl.process(make_flow(index))
+    ratio = acl.l1d_miss_ratio()
+    assert 0.0 <= ratio <= 1.0

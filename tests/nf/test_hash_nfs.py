@@ -1,0 +1,108 @@
+"""Hash-table network functions: NAT, prads, packet filter (Figure 13)."""
+
+import pytest
+
+from repro.core import HaloSystem
+from repro.nf import (
+    NatFunction,
+    PacketFilterFunction,
+    PradsFunction,
+    Translation,
+)
+from repro.traffic import FlowSet, PacketStream
+
+
+@pytest.fixture
+def flows():
+    return FlowSet.generate(3000, seed=41)
+
+
+def test_nat_translates_known_endpoints(flows):
+    system = HaloSystem()
+    nat = NatFunction(system, table_entries=2000)
+    installed = nat.populate_from_flows(flows.flows)
+    assert installed > 0
+    nat.process(flows[0])
+    assert nat.lookup_hits == 1
+
+
+def test_nat_miss_creates_binding(flows):
+    system = HaloSystem()
+    nat = NatFunction(system, table_entries=2000)
+    before = len(nat.table)
+    nat.process(flows[5])          # no bindings yet -> slow path
+    assert nat.lookup_misses == 1
+    assert len(nat.table) == before + 1
+    nat.process(flows[5])          # now bound
+    assert nat.lookup_hits == 1
+
+
+def test_nat_binding_capacity_guard(flows):
+    system = HaloSystem()
+    nat = NatFunction(system, table_entries=8)
+    for flow in flows.flows[:60]:
+        nat.process(flow)
+    assert len(nat.table) <= nat.table.capacity
+
+
+def test_nat_key_is_source_endpoint(flows):
+    system = HaloSystem()
+    nat = NatFunction(system, table_entries=64)
+    flow = flows[0]
+    key = nat.key_of(flow)
+    assert len(key) == 16
+    nat.add_binding(flow, Translation(wan_ip=1, wan_port=2))
+    assert nat.table.lookup(key) == Translation(wan_ip=1, wan_port=2)
+
+
+def test_prads_builds_asset_records(flows):
+    system = HaloSystem()
+    prads = PradsFunction(system, table_entries=2000)
+    prads.populate_from_flows(flows.flows)
+    flow = flows[3]
+    prads.process(flow)
+    record = prads.table.lookup(prads.key_of(flow))
+    assert record is not None
+    assert record.packets_seen == 1
+    assert (flow.proto, flow.dst_port) in record.services
+
+
+def test_prads_discovers_new_assets(flows):
+    system = HaloSystem()
+    prads = PradsFunction(system, table_entries=100)
+    prads.process(flows[0])
+    assert prads.lookup_misses == 1
+    assert len(prads.table) == 1
+
+
+def test_filter_drops_matching_packets(flows):
+    system = HaloSystem()
+    nf = PacketFilterFunction(system, table_entries=128)
+    installed = nf.install_rules_from_flows(flows.flows, count=50)
+    assert installed == 50
+    nf.process(flows[0])       # flow 0's pattern was installed
+    assert nf.dropped == 1
+    # A flow whose pattern was not installed passes.
+    unfiltered = next(flow for flow in flows.flows[60:]
+                      if nf.table.lookup(nf.key_of(flow)) is None)
+    nf.process(unfiltered)
+    assert nf.passed == 1
+
+
+def test_measure_speedup_runs_both_modes(flows):
+    system = HaloSystem()
+    nat = NatFunction(system, table_entries=2000)
+    nat.populate_from_flows(flows.flows)
+    stream = PacketStream(flows, zipf_s=0.8, seed=42)
+    software, halo, speedup = nat.measure_speedup(stream.take(60))
+    assert software.packets == halo.packets == 60
+    assert speedup > 1.3   # HALO helps (Figure 13 shape)
+
+
+def test_throughput_metric(flows):
+    system = HaloSystem()
+    nat = NatFunction(system, table_entries=500)
+    nat.populate_from_flows(flows.flows)
+    nat.run(flows.flows[:20])
+    assert nat.stats.throughput_mpps() > 0
+    assert nat.stats.cycles_per_packet > 0

@@ -1,0 +1,118 @@
+"""MemC3-style key-value store (§4.8 extension)."""
+
+import pytest
+
+from repro.core import HaloSystem
+from repro.nf import KeyValueStore
+
+
+@pytest.fixture
+def store():
+    system = HaloSystem()
+    kv = KeyValueStore(system, capacity=4096)
+    return system, kv
+
+
+def test_set_get_roundtrip(store):
+    _system, kv = store
+    kv.set(b"alpha", 1)
+    kv.set(b"beta", {"nested": True})
+    value, cycles = kv.get(b"alpha")
+    assert value == 1 and cycles > 0
+    value, _ = kv.get(b"beta")
+    assert value == {"nested": True}
+
+
+def test_get_missing(store):
+    _system, kv = store
+    value, _cycles = kv.get(b"nothing")
+    assert value is None
+    assert kv.stats.hit_rate == 0.0
+
+
+def test_update_overwrites(store):
+    _system, kv = store
+    kv.set(b"k", "old")
+    kv.set(b"k", "new")
+    assert kv.get(b"k")[0] == "new"
+    assert len(kv) == 1
+
+
+def test_variable_length_keys(store):
+    _system, kv = store
+    long_key = b"a-very-long-key-" * 8
+    short_key = b"s"
+    kv.set(long_key, "long")
+    kv.set(short_key, "short")
+    assert kv.get(long_key)[0] == "long"
+    assert kv.get(short_key)[0] == "short"
+
+
+def test_folded_key_collision_is_detected(store):
+    """A folded index collision must not return the wrong value."""
+    _system, kv = store
+    kv.set(b"stored-key-1234567890", "value")
+    # A different long key almost certainly folds elsewhere, but even if it
+    # collided, the stored full key comparison rejects it.
+    value, _ = kv.get(b"another-key-1234567890")
+    assert value is None
+
+
+def test_delete(store):
+    _system, kv = store
+    kv.set(b"gone", 1)
+    assert kv.delete(b"gone")
+    assert kv.get(b"gone")[0] is None
+    assert not kv.delete(b"gone")
+
+
+def test_halo_gets_agree_with_software(store):
+    system, kv = store
+    keys = [b"key-%04d" % index for index in range(300)]
+    for index, key in enumerate(keys):
+        kv.set(key, index)
+    kv.warm()
+    software = [kv.get(key)[0] for key in keys[:50]]
+    kv.use_halo = True
+    halo = [kv.get(key)[0] for key in keys[:50]]
+    assert software == halo == list(range(50))
+
+
+def test_halo_faster_on_large_store():
+    from repro.nf.kvstore import _index_key
+    system = HaloSystem()
+    kv = KeyValueStore(system, capacity=1 << 16)
+    keys = [b"item-%06d" % index for index in range(40_000)]
+    for index, key in enumerate(keys):
+        kv.table.insert(_index_key(key), (key, index))
+    kv.warm()
+    system.hierarchy.flush_private(0)
+    sample = keys[:150]
+    software_cycles = sum(kv.get(key)[1] for key in sample)
+    kv.use_halo = True
+    halo_cycles = sum(kv.get(key)[1] for key in sample)
+    assert software_cycles / halo_cycles > 1.5
+
+
+def test_batched_gets_with_snapshot_read(store):
+    system, kv = store
+    keys = [b"batch-%03d" % index for index in range(40)]
+    for index, key in enumerate(keys):
+        kv.set(key, index)
+    kv.warm()
+    kv.use_halo = True
+    values, cycles = kv.get_many(keys)
+    assert values == list(range(40))
+    assert cycles > 0
+    assert kv.stats.hit_rate > 0.9
+
+
+def test_stats_tracking(store):
+    _system, kv = store
+    kv.set(b"a", 1)
+    kv.get(b"a")
+    kv.get(b"b")
+    assert kv.stats.sets == 1
+    assert kv.stats.gets == 2
+    assert kv.stats.get_hits == 1
+    assert kv.stats.get_cycles.count == 2

@@ -1,0 +1,125 @@
+"""Cross-cutting property-based invariants (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.hashtable import CuckooHashTable, hash_bytes, secondary_index, signature_of
+from repro.sim import Cache, CacheParams, Engine
+from repro.sim.interconnect import Interconnect
+from repro.sim.params import LatencyParams
+
+
+# -- cache invariants ---------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 500), st.booleans()),
+                max_size=150))
+def test_cache_never_exceeds_capacity(accesses):
+    cache = Cache("prop", CacheParams(16 * 64, 4, 64))
+    for line, write in accesses:
+        if not cache.lookup(line, write=write):
+            cache.fill(line, dirty=write)
+        # Capacity invariant holds after every operation.
+        assert cache.resident_lines <= 16
+        for set_index in range(cache.num_sets):
+            bucket = cache._sets.get(set_index, {})
+            assert len(bucket) <= cache.assoc
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(0, 100), min_size=1, max_size=100))
+def test_cache_hit_after_fill_without_eviction(lines):
+    cache = Cache("prop", CacheParams(1 << 16, 8, 64))  # big: no eviction
+    for line in lines:
+        cache.fill(line)
+    for line in lines:
+        assert cache.lookup(line)
+
+
+# -- hashing invariants ---------------------------------------------------------------
+@settings(max_examples=120, deadline=None)
+@given(st.binary(min_size=0, max_size=64), st.integers(0, 2 ** 32))
+def test_hash_stable_and_in_range(data, seed):
+    value = hash_bytes(data, seed)
+    assert value == hash_bytes(data, seed)
+    assert 0 <= value < (1 << 64)
+    assert 0 <= signature_of(value) < (1 << 16)
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.integers(0, 4095), st.integers(0, 0xFFFF))
+def test_secondary_index_involution(index, signature):
+    mask = 4095
+    alternative = secondary_index(index, signature, mask)
+    assert 0 <= alternative <= mask
+    assert secondary_index(alternative, signature, mask) == index
+
+
+# -- cuckoo layout invariants ------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(st.sets(st.binary(min_size=16, max_size=16), min_size=1,
+               max_size=100))
+def test_probe_addresses_inside_table_regions(keys):
+    table = CuckooHashTable(256)
+    for index, key in enumerate(sorted(keys)):
+        table.insert(key, index)
+    layout = table.layout
+    for key in keys:
+        plan = table.probe(key)
+        assert layout.buckets.contains(plan.primary_addr)
+        assert layout.buckets.contains(plan.secondary_addr)
+        for kv_addr in plan.kv_probes:
+            assert layout.key_values.contains(kv_addr)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.sets(st.binary(min_size=16, max_size=16), min_size=1,
+               max_size=120))
+def test_cuckoo_size_equals_distinct_inserts(keys):
+    table = CuckooHashTable(512)
+    for key in keys:
+        table.insert(key, 0)
+    assert len(table) == len(keys)
+    occupied = sum(entries * count for entries, count
+                   in table.bucket_occupancy_histogram().items())
+    assert occupied == len(keys)
+
+
+# -- interconnect invariants -----------------------------------------------------------
+@settings(max_examples=100, deadline=None)
+@given(st.integers(2, 32), st.integers(0, 1 << 48))
+def test_slice_hash_in_range(stops, line):
+    ring = Interconnect(stops, LatencyParams())
+    assert 0 <= ring.slice_of_line(line) < stops
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(2, 32), st.integers(0, 63), st.integers(0, 63))
+def test_hops_triangle_bound(stops, a, b):
+    ring = Interconnect(stops, LatencyParams())
+    src, dst = a % stops, b % stops
+    hops = ring.hops(src, dst)
+    assert 0 <= hops <= stops // 2
+    assert hops == ring.hops(dst, src)
+
+
+# -- engine determinism ---------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(0, 50), min_size=1, max_size=20))
+def test_engine_event_ordering_deterministic(delays):
+    def run():
+        engine = Engine()
+        log = []
+
+        def worker(tag, delay):
+            yield engine.timeout(delay)
+            log.append((engine.now, tag))
+
+        for tag, delay in enumerate(delays):
+            engine.process(worker(tag, delay))
+        engine.run()
+        return log
+
+    first = run()
+    second = run()
+    assert first == second
+    times = [when for when, _tag in first]
+    assert times == sorted(times)

@@ -1,0 +1,69 @@
+"""Stateful end-to-end fuzz: the whole HaloSystem against a model dict.
+
+Random interleavings of inserts, deletes, software lookups, LOOKUP_B, and
+LOOKUP_NB batches must all agree with a plain dict — across displacements,
+cache evictions, lock bits, and accelerator scheduling.
+"""
+
+from hypothesis import settings, strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+
+from repro.core import HaloSystem
+
+keys16 = st.binary(min_size=16, max_size=16)
+
+
+class HaloSystemMachine(RuleBasedStateMachine):
+
+    @initialize()
+    def setup(self):
+        self.system = HaloSystem()
+        self.table = self.system.create_table(256, name="fuzz")
+        self.model = {}
+
+    @rule(key=keys16, value=st.integers())
+    def insert(self, key, value):
+        if self.table.insert(key, value):
+            self.model[key] = value
+
+    @rule(key=keys16)
+    def delete(self, key):
+        assert self.table.delete(key) == (key in self.model)
+        self.model.pop(key, None)
+
+    @rule(key=keys16)
+    def software_lookup(self, key):
+        value = self.system.run_software_lookups(
+            self.table, [key]).results[0]
+        assert value == self.model.get(key)
+
+    @rule(key=keys16)
+    def halo_blocking_lookup(self, key):
+        result = self.system.run_blocking_lookups(
+            self.table, [key]).results[0]
+        assert result.found == (key in self.model)
+        assert result.value == self.model.get(key)
+
+    @rule(keys=st.lists(keys16, min_size=1, max_size=6))
+    def halo_batch_lookup(self, keys):
+        episode = self.system.run_nonblocking_lookups(self.table, keys)
+        for key, result in zip(keys, episode.results):
+            assert result.value == self.model.get(key)
+
+    @invariant()
+    def sizes_agree(self):
+        if hasattr(self, "table"):
+            assert len(self.table) == len(self.model)
+
+    @invariant()
+    def no_leaked_lock_bits(self):
+        if hasattr(self, "table"):
+            layout = self.table.layout
+            for bucket in range(layout.num_buckets):
+                addr = layout.bucket_addr(bucket)
+                assert not self.system.hierarchy.line_locked(addr)
+
+
+TestHaloSystemFuzz = HaloSystemMachine.TestCase
+TestHaloSystemFuzz.settings = settings(
+    max_examples=12, stateful_step_count=25, deadline=None)

@@ -1,0 +1,68 @@
+"""Snoop filter and metadata-cache CV bits."""
+
+from repro.sim.coherence import SnoopFilter
+
+
+def make_filter():
+    return SnoopFilter(cores=4, slices=4)
+
+
+def test_fill_and_eviction_tracking():
+    snoop = make_filter()
+    snoop.record_fill(10, 0)
+    snoop.record_fill(10, 1)
+    assert snoop.sharers_of(10) == {0, 1}
+    snoop.record_eviction(10, 0)
+    assert snoop.sharers_of(10) == {1}
+    snoop.record_eviction(10, 1)
+    assert snoop.sharers_of(10) == set()
+
+
+def test_other_sharers_excludes_writer():
+    snoop = make_filter()
+    snoop.record_fill(5, 0)
+    snoop.record_fill(5, 2)
+    assert snoop.other_sharers(5, 0) == {2}
+
+
+def test_store_invalidates_others():
+    snoop = make_filter()
+    snoop.record_fill(7, 0)
+    snoop.record_fill(7, 1)
+    outcome = snoop.invalidate_for_store(7, 2)
+    assert outcome["sharers"] == 2
+    assert snoop.sharers_of(7) == {2}
+    assert snoop.stats.lines_invalidated == 2
+
+
+def test_store_with_no_sharers_registers_writer():
+    snoop = make_filter()
+    outcome = snoop.invalidate_for_store(9, 1)
+    assert outcome["sharers"] == 0
+    assert snoop.sharers_of(9) == {1}
+
+
+def test_locked_line_refuses_invalidation():
+    snoop = make_filter()
+    snoop.record_fill(11, 0)
+    outcome = snoop.invalidate_for_store(11, 1, locked=True)
+    assert outcome["snoop_miss"]
+    assert snoop.stats.snoop_misses == 1
+    assert snoop.sharers_of(11) == {0}   # untouched
+
+
+def test_metadata_cv_bit_lifecycle():
+    snoop = make_filter()
+    snoop.set_metadata_holder(20, 3)
+    assert snoop.metadata_holder(20) == 3
+    snoop.clear_metadata_holder(20)
+    assert snoop.metadata_holder(20) == -1
+
+
+def test_store_snoops_metadata_cache():
+    snoop = make_filter()
+    snoop.set_metadata_holder(30, 2)
+    outcome = snoop.invalidate_for_store(30, 0)
+    assert outcome["metadata_snoop"]
+    assert snoop.metadata_holder(30) == -1
+    assert snoop.stats.metadata_snoops == 1

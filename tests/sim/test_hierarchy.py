@@ -1,0 +1,168 @@
+"""Memory hierarchy: core path, CHA path, inclusion, lock bits."""
+
+import pytest
+
+from repro.sim import MemoryHierarchy, SKYLAKE_SP_16C, TINY_MACHINE
+
+
+def test_cold_access_goes_to_dram(hierarchy):
+    result = hierarchy.core_access(0, 0x100000)
+    assert result.level == "DRAM"
+    assert result.latency >= hierarchy.latency.cha_dram
+
+
+def test_second_access_hits_l1(hierarchy):
+    addr = 0x200000
+    hierarchy.core_access(0, addr)
+    result = hierarchy.core_access(0, addr)
+    assert result.level == "L1"
+    assert result.latency == hierarchy.latency.l1_hit
+
+
+def test_llc_hit_after_private_flush(hierarchy):
+    addr = 0x300000
+    hierarchy.core_access(0, addr)
+    hierarchy.flush_private(0)
+    result = hierarchy.core_access(0, addr)
+    assert result.level == "LLC"
+    assert result.latency > hierarchy.latency.l2_hit
+
+
+def test_llc_latency_exceeds_l2(hierarchy):
+    addr = 0x340000
+    hierarchy.core_access(0, addr)
+    hierarchy.flush_private(0)
+    llc = hierarchy.core_access(0, addr)
+    hierarchy.flush_private(0)
+    hierarchy.core_access(0, addr)
+    l1 = hierarchy.core_access(0, addr)
+    assert llc.latency > l1.latency
+
+
+def test_nuca_latency_varies_with_distance(hierarchy):
+    """Different slices cost different latencies from one core (NUCA)."""
+    latencies = set()
+    for offset in range(0, 64 * 64, 64):
+        addr = 0x400000 + offset
+        hierarchy.warm_llc(addr, 64)
+        result = hierarchy.core_access(15, addr)
+        if result.level == "LLC":
+            latencies.add(result.latency)
+        hierarchy.flush_private(15)
+    assert len(latencies) > 3
+
+
+def test_cross_core_read_from_private_cache(hierarchy):
+    addr = 0x500000
+    hierarchy.core_access(0, addr)          # core 0 holds the line
+    # Evict from LLC but keep private copies to force the PRIV path.
+    line = hierarchy.line_of(addr)
+    hierarchy.llc[hierarchy.slice_of(addr)].invalidate(line)
+    result = hierarchy.core_access(1, addr)
+    assert result.level == "PRIV"
+    assert result.latency > hierarchy.latency.llc_hit
+
+
+def test_store_invalidates_other_sharers(hierarchy):
+    addr = 0x600000
+    hierarchy.core_access(0, addr)
+    hierarchy.core_access(1, addr)
+    read_latency = hierarchy.core_access(1, addr).latency
+    result = hierarchy.core_access(2, addr, write=True)
+    assert result.latency >= hierarchy.latency.snoop_invalidate
+
+
+def test_cha_access_never_fills_private_caches(hierarchy):
+    addr = 0x700000
+    hierarchy.warm_llc(addr, 64)
+    before = [cache.resident_lines for cache in hierarchy.l1]
+    result = hierarchy.cha_access(3, addr)
+    assert result.level == "LLC"
+    after = [cache.resident_lines for cache in hierarchy.l1]
+    assert before == after
+
+
+def test_cha_llc_access_faster_than_core(hierarchy):
+    addr = 0x800000
+    hierarchy.warm_llc(addr, 64)
+    cha = hierarchy.cha_access(hierarchy.slice_of(addr), addr)
+    core = hierarchy.core_access(0, addr)
+    assert cha.latency < core.latency
+
+
+def test_cha_dram_access_faster_than_core_dram(hierarchy):
+    cha = hierarchy.cha_access(0, 0x900000)
+    core = hierarchy.core_access(0, 0xA00000)
+    assert cha.level == "DRAM" and core.level == "DRAM"
+    assert cha.latency < core.latency
+
+
+def test_cha_dram_fill_lands_in_llc(hierarchy):
+    addr = 0xB00000
+    hierarchy.cha_access(0, addr)
+    assert hierarchy.llc_resident_fraction(addr, 64) == 1.0
+
+
+def test_inclusive_llc_back_invalidates(tiny_hierarchy):
+    """Evicting a line from the small LLC drops private copies too."""
+    hierarchy = tiny_hierarchy
+    tracked = 0x10000
+    hierarchy.core_access(0, tracked)
+    line = hierarchy.line_of(tracked)
+    assert hierarchy.l1[0].contains(line)
+    # Flood the LLC until the tracked line is evicted.
+    addr = 0x100000
+    while hierarchy.llc[hierarchy.slice_of(tracked)].contains(line):
+        hierarchy.warm_llc(addr, 64)
+        addr += 64
+    assert not hierarchy.l1[0].contains(line)
+    assert not hierarchy.l2[0].contains(line)
+
+
+def test_lock_line_requires_residency(hierarchy):
+    addr = 0xC00000
+    assert not hierarchy.lock_line(addr)       # not resident yet
+    hierarchy.warm_llc(addr, 64)
+    assert hierarchy.lock_line(addr)
+    assert hierarchy.line_locked(addr)
+    assert hierarchy.unlock_line(addr)
+    assert not hierarchy.line_locked(addr)
+
+
+def test_store_against_locked_line_pays_retries(hierarchy):
+    addr = 0xD00000
+    hierarchy.warm_llc(addr, 64)
+    hierarchy.lock_line(addr)
+    locked = hierarchy.core_access(0, addr, write=True)
+    assert locked.lock_retries >= 1
+    hierarchy.unlock_line(addr)
+    unlocked = hierarchy.core_access(1, addr + 64, write=True)
+    assert unlocked.lock_retries == 0
+
+
+def test_warm_llc_installs_all_lines(hierarchy):
+    base, size = 0xE00000, 64 * 32
+    count = hierarchy.warm_llc(base, size)
+    assert count == 32
+    assert hierarchy.llc_resident_fraction(base, size) == 1.0
+
+
+def test_flush_region_evicts_everywhere(hierarchy):
+    base = 0xF00000
+    hierarchy.core_access(0, base)
+    hierarchy.flush_region(base, 64)
+    result = hierarchy.core_access(0, base)
+    assert result.level == "DRAM"
+
+
+def test_reset_stats(hierarchy):
+    hierarchy.core_access(0, 0x1000)
+    hierarchy.reset_stats()
+    assert hierarchy.l1[0].stats.accesses == 0
+    assert hierarchy.dram.stats.accesses == 0
+
+
+def test_slice_mapping_matches_interconnect(hierarchy):
+    addr = 0x123456
+    assert (hierarchy.slice_of(addr)
+            == hierarchy.interconnect.slice_of_line(hierarchy.line_of(addr)))

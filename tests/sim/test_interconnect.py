@@ -1,0 +1,78 @@
+"""Ring interconnect: slice hashing and hop latency."""
+
+import collections
+
+import pytest
+
+from repro.sim import Interconnect, LatencyParams
+
+
+@pytest.fixture
+def ring():
+    return Interconnect(16, LatencyParams())
+
+
+def test_slice_hash_deterministic(ring):
+    assert ring.slice_of_line(12345) == ring.slice_of_line(12345)
+
+
+def test_slice_hash_roughly_uniform(ring):
+    counts = collections.Counter(ring.slice_of_line(line)
+                                 for line in range(16_000))
+    for slice_id in range(16):
+        assert 16_000 / 16 * 0.8 < counts[slice_id] < 16_000 / 16 * 1.2
+
+
+def test_consecutive_lines_spread(ring):
+    slices = {ring.slice_of_line(line) for line in range(64)}
+    assert len(slices) >= 12   # near-perfect interleaving
+
+
+def test_hops_symmetric(ring):
+    for src in range(16):
+        for dst in range(16):
+            assert ring.hops(src, dst) == ring.hops(dst, src)
+
+
+def test_hops_shortest_path(ring):
+    assert ring.hops(0, 0) == 0
+    assert ring.hops(0, 1) == 1
+    assert ring.hops(0, 15) == 1   # wraps around
+    assert ring.hops(0, 8) == 8    # farthest point
+
+
+def test_transfer_latency_scales_with_hops(ring):
+    near = ring.transfer_latency(0, 1)
+    far = ring.transfer_latency(0, 8)
+    assert far == 8 * near
+
+
+def test_stats_accumulate(ring):
+    ring.transfer_latency(0, 4)
+    ring.transfer_latency(0, 2)
+    assert ring.stats.messages == 2
+    assert ring.stats.total_hops == 6
+    assert ring.average_hops() == pytest.approx(3.0)
+
+
+def test_table_hash_stable_per_table(ring):
+    table_addr = 0x1234000
+    assert (ring.slice_of_table(table_addr)
+            == ring.slice_of_table(table_addr))
+
+
+def test_table_hash_spreads_tables(ring):
+    slices = {ring.slice_of_table(0x10000 + index * 0x4000)
+              for index in range(40)}
+    assert len(slices) >= 10
+
+
+def test_single_stop_ring():
+    ring = Interconnect(1, LatencyParams())
+    assert ring.slice_of_line(999) == 0
+    assert ring.hops(0, 0) == 0
+
+
+def test_invalid_stop_count():
+    with pytest.raises(ValueError):
+        Interconnect(0, LatencyParams())

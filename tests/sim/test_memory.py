@@ -1,0 +1,87 @@
+"""Address allocator and DRAM model."""
+
+import pytest
+
+from repro.sim import AddressAllocator, Dram, OutOfSimulatedMemory
+
+
+def test_allocations_are_disjoint_and_aligned():
+    allocator = AddressAllocator(1 << 20)
+    regions = [allocator.alloc(1000, f"r{i}") for i in range(5)]
+    for region in regions:
+        assert region.base % 64 == 0
+    for first, second in zip(regions, regions[1:]):
+        assert first.end <= second.base
+
+
+def test_custom_alignment():
+    allocator = AddressAllocator(1 << 20)
+    region = allocator.alloc(100, align=4096)
+    assert region.base % 4096 == 0
+
+
+def test_alignment_must_be_power_of_two():
+    allocator = AddressAllocator(1 << 20)
+    with pytest.raises(ValueError):
+        allocator.alloc(100, align=100)
+
+
+def test_exhaustion_raises():
+    allocator = AddressAllocator(1024)
+    allocator.alloc(512)
+    with pytest.raises(OutOfSimulatedMemory):
+        allocator.alloc(4096)
+
+
+def test_zero_size_rejected():
+    allocator = AddressAllocator(1024)
+    with pytest.raises(ValueError):
+        allocator.alloc(0)
+
+
+def test_region_contains_and_offset():
+    allocator = AddressAllocator(1 << 20)
+    region = allocator.alloc(256, "data")
+    assert region.contains(region.base)
+    assert region.contains(region.end - 1)
+    assert not region.contains(region.end)
+    assert region.offset(region.base + 10) == 10
+    with pytest.raises(ValueError):
+        region.offset(region.end)
+
+
+def test_region_of_lookup():
+    allocator = AddressAllocator(1 << 20)
+    first = allocator.alloc(128, "a")
+    second = allocator.alloc(128, "b")
+    assert allocator.region_of(first.base + 5) is first
+    assert allocator.region_of(second.base) is second
+    assert allocator.region_of(second.end + 100) is None
+
+
+def test_bytes_used_monotonic():
+    allocator = AddressAllocator(1 << 20)
+    before = allocator.bytes_used
+    allocator.alloc(100)
+    assert allocator.bytes_used > before
+
+
+def test_dram_base_latency():
+    dram = Dram(base_latency=200)
+    latency = dram.access_latency()
+    assert latency >= 200
+    assert dram.stats.reads == 1
+
+
+def test_dram_write_accounting():
+    dram = Dram(base_latency=200)
+    dram.access_latency(write=True)
+    assert dram.stats.writes == 1
+    assert dram.stats.accesses == 1
+
+
+def test_dram_pressure_grows_bounded():
+    dram = Dram(base_latency=200, queue_window=4, pressure_penalty=10)
+    latencies = [dram.access_latency() for _ in range(64)]
+    assert max(latencies) <= 200 + 3 * 10
+    assert min(latencies) >= 200

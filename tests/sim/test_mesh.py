@@ -1,0 +1,66 @@
+"""Mesh interconnect topology."""
+
+import pytest
+
+from repro.sim import LatencyParams, MeshInterconnect, build_interconnect
+from repro.sim.interconnect import Interconnect
+
+
+@pytest.fixture
+def mesh():
+    return MeshInterconnect(16, LatencyParams())
+
+
+def test_factory_dispatch():
+    latency = LatencyParams()
+    assert type(build_interconnect("ring", 8, latency)) is Interconnect
+    assert isinstance(build_interconnect("mesh", 8, latency),
+                      MeshInterconnect)
+    with pytest.raises(ValueError):
+        build_interconnect("torus", 8, latency)
+
+
+def test_manhattan_distance(mesh):
+    # 16 stops -> 4x4 grid, row-major.
+    assert mesh.hops(0, 0) == 0
+    assert mesh.hops(0, 1) == 1       # same row, next column
+    assert mesh.hops(0, 4) == 1       # next row, same column
+    assert mesh.hops(0, 5) == 2       # diagonal neighbour
+    assert mesh.hops(0, 15) == 6      # opposite corner
+
+
+def test_mesh_symmetric(mesh):
+    for src in range(16):
+        for dst in range(16):
+            assert mesh.hops(src, dst) == mesh.hops(dst, src)
+
+
+def test_mesh_worst_case_shorter_than_ring_on_big_chips():
+    latency = LatencyParams()
+    stops = 64
+    ring = Interconnect(stops, latency)
+    mesh = MeshInterconnect(stops, latency)
+    ring_worst = max(ring.hops(0, dst) for dst in range(stops))
+    mesh_worst = max(mesh.hops(0, dst) for dst in range(stops))
+    assert mesh_worst < ring_worst
+
+
+def test_mesh_average_distance_reasonable(mesh):
+    total = sum(mesh.hops(src, dst)
+                for src in range(16) for dst in range(16))
+    average = total / (16 * 16)
+    assert 2.0 <= average <= 3.0   # 4x4 mesh analytic mean = 2.5
+
+
+def test_non_square_stop_count():
+    mesh = MeshInterconnect(6, LatencyParams())   # 3-column grid
+    assert mesh.columns == 3
+    assert mesh.hops(0, 5) == 3   # (0,0) -> (1,2)
+
+
+def test_mesh_slice_hash_same_as_ring():
+    latency = LatencyParams()
+    ring = Interconnect(16, latency)
+    mesh = MeshInterconnect(16, latency)
+    for line in range(0, 10_000, 97):
+        assert ring.slice_of_line(line) == mesh.slice_of_line(line)

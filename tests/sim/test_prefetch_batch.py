@@ -1,0 +1,63 @@
+"""CoreModel.execute_prefetch_batch semantics."""
+
+import pytest
+
+from repro.sim import CoreModel, InstructionMix, MemOp, MemTrace
+
+
+def make_trace(addrs_by_stage, instructions=40):
+    trace = MemTrace(mix=InstructionMix(arithmetic=instructions))
+    for stage, addrs in enumerate(addrs_by_stage):
+        for addr in addrs:
+            trace.load(addr, dep=stage)
+    return trace
+
+
+def test_empty_batch(hierarchy):
+    core = CoreModel(0, hierarchy)
+    result = core.execute_prefetch_batch([])
+    assert result.cycles == 0.0
+
+
+def test_same_stage_accesses_overlap_across_traces(hierarchy):
+    """Two lookups' stage-0 misses share one MLP wave."""
+    core = CoreModel(0, hierarchy)
+    traces = [make_trace([[0x100000 + i * 4096]]) for i in range(4)]
+    batched = core.execute_prefetch_batch(traces)
+    # Four cold accesses in one MLP-4 wave: one DRAM stall, not four.
+    single_stall = hierarchy.latency.dram - hierarchy.latency.l1_hit
+    assert batched.breakdown["memory"] <= single_stall * 1.5
+
+
+def test_chains_still_serialise_across_stages(hierarchy):
+    core = CoreModel(0, hierarchy)
+    trace = make_trace([[0x200000], [0x208000], [0x210000]])
+    result = core.execute_prefetch_batch([trace])
+    single_stall = hierarchy.latency.dram - hierarchy.latency.l1_hit
+    assert result.breakdown["memory"] >= 3 * single_stall * 0.9
+
+
+def test_front_end_floor_enforced(hierarchy):
+    core = CoreModel(0, hierarchy)
+    traces = [make_trace([], instructions=100) for _ in range(3)]
+    result = core.execute_prefetch_batch(traces)
+    assert result.cycles == pytest.approx(
+        300 / hierarchy.machine.core.issue_width)
+
+
+def test_lock_cycles_per_trace(hierarchy):
+    core = CoreModel(0, hierarchy)
+    traces = [make_trace([], instructions=400) for _ in range(5)]
+    result = core.execute_prefetch_batch(traces, lock_cycles_each=23)
+    assert result.breakdown["locking"] == 5 * 23
+
+
+def test_counters_accumulate(hierarchy):
+    core = CoreModel(0, hierarchy)
+    trace = MemTrace(mix=InstructionMix(loads=2, arithmetic=10))
+    trace.load(0x300000, dep=0)
+    trace.store(0x300040, dep=1)
+    result = core.execute_prefetch_batch([trace])
+    assert result.loads == 1 and result.stores == 1
+    assert result.instructions == 12
+    assert core.retired_instructions == 12

@@ -1,0 +1,80 @@
+"""Statistics helpers."""
+
+import math
+
+import pytest
+
+from repro.sim import Breakdown, RunningStats, geometric_mean, mpkl, throughput_mops
+from repro.sim.stats import speedup_table
+
+
+def test_breakdown_add_and_total():
+    breakdown = Breakdown()
+    breakdown.add("a", 10)
+    breakdown.add("a", 5)
+    breakdown.add("b", 5)
+    assert breakdown["a"] == 15
+    assert breakdown.total == 20
+    assert breakdown.fraction("a") == pytest.approx(0.75)
+
+
+def test_breakdown_missing_key_is_zero():
+    assert Breakdown()["nothing"] == 0.0
+    assert Breakdown().fraction("nothing") == 0.0
+
+
+def test_breakdown_scaled_and_merged():
+    first = Breakdown({"x": 10.0})
+    second = Breakdown({"x": 2.0, "y": 4.0})
+    merged = first.merged(second)
+    assert merged["x"] == 12.0
+    scaled = merged.scaled(0.5)
+    assert scaled["y"] == 2.0
+    # originals untouched
+    assert first["x"] == 10.0
+
+
+def test_breakdown_fractions_sum_to_one():
+    breakdown = Breakdown({"a": 3, "b": 7})
+    assert sum(breakdown.fractions().values()) == pytest.approx(1.0)
+
+
+def test_running_stats():
+    stats = RunningStats()
+    for value in (2.0, 4.0, 6.0):
+        stats.record(value)
+    assert stats.mean == pytest.approx(4.0)
+    assert stats.minimum == 2.0
+    assert stats.maximum == 6.0
+    assert stats.variance == pytest.approx(4.0)
+    assert stats.stddev == pytest.approx(2.0)
+    assert stats.total == pytest.approx(12.0)
+
+
+def test_running_stats_single_value():
+    stats = RunningStats()
+    stats.record(5.0)
+    assert stats.variance == 0.0
+
+
+def test_throughput_mops():
+    # 1000 ops in 1000 cycles at 2.1 GHz = 2100 Mops.
+    assert throughput_mops(1000, 1000, 2.1) == pytest.approx(2100.0)
+    assert throughput_mops(10, 0) == 0.0
+
+
+def test_mpkl():
+    assert mpkl(5, 1000) == pytest.approx(5.0)
+    assert mpkl(5, 0) == 0.0
+
+
+def test_geometric_mean():
+    assert geometric_mean([1, 100]) == pytest.approx(10.0)
+    assert geometric_mean([]) == 0.0
+    assert geometric_mean([0, -3]) == 0.0
+
+
+def test_speedup_table():
+    table = speedup_table({"a": 100.0, "b": 50.0}, {"a": 25.0, "b": 50.0})
+    assert table["a"] == pytest.approx(4.0)
+    assert table["b"] == pytest.approx(1.0)

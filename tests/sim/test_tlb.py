@@ -1,0 +1,71 @@
+"""D-TLB model and hugepage behaviour."""
+
+import pytest
+
+from repro.core import HaloSystem
+from repro.sim import MemoryHierarchy, SKYLAKE_SP_16C, Tlb, TlbParams
+from repro.traffic import random_keys
+
+
+def test_hit_after_fill():
+    tlb = Tlb(TlbParams(entries=4, page_bytes=4096))
+    assert tlb.access(0x1000) == 35     # cold miss: page walk
+    assert tlb.access(0x1FF8) == 0      # same page: hit
+    assert tlb.stats.hits == 1 and tlb.stats.misses == 1
+
+
+def test_lru_eviction():
+    tlb = Tlb(TlbParams(entries=2, page_bytes=4096))
+    tlb.access(0 * 4096)
+    tlb.access(1 * 4096)
+    tlb.access(0 * 4096)                # refresh page 0
+    tlb.access(2 * 4096)                # evicts page 1
+    assert tlb.access(0 * 4096) == 0
+    assert tlb.access(1 * 4096) == 35
+
+
+def test_reach():
+    assert TlbParams.small_pages().reach_bytes == 64 * 4096
+    assert TlbParams.hugepages().reach_bytes == 32 * 2 * 1024 * 1024
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        Tlb(TlbParams(entries=0))
+    with pytest.raises(ValueError):
+        Tlb(TlbParams(page_bytes=3000))
+
+
+def test_flush():
+    tlb = Tlb(TlbParams(entries=4))
+    tlb.access(0x1000)
+    tlb.flush()
+    assert tlb.resident_pages == 0
+    assert tlb.access(0x1000) == 35
+
+
+def test_default_machine_has_perfect_translation():
+    hierarchy = MemoryHierarchy(SKYLAKE_SP_16C)
+    assert hierarchy.tlbs is None
+
+
+def test_small_pages_slow_big_table_software_lookups():
+    """The DPDK-hugepage rationale, measured."""
+    def cycles(tlb):
+        system = HaloSystem(SKYLAKE_SP_16C.scaled(tlb=tlb))
+        table = system.create_table(1 << 14, name="tlb_test")
+        keys = random_keys(10_000, seed=3)
+        for index, key in enumerate(keys):
+            table.insert(key, index)
+        system.warm_table(table)
+        system.hierarchy.flush_private(0)
+        software = system.run_software_lookups(table, keys[:150])
+        halo = system.run_blocking_lookups(table, keys[150:300])
+        return software.cycles_per_op, halo.cycles_per_op
+
+    perfect_sw, perfect_halo = cycles(None)
+    huge_sw, _huge_halo = cycles(TlbParams.hugepages())
+    small_sw, small_halo = cycles(TlbParams.small_pages())
+    assert huge_sw == pytest.approx(perfect_sw, rel=0.05)   # hugepages ~free
+    assert small_sw > huge_sw + 3.0                         # 4K pages hurt
+    assert small_halo == pytest.approx(perfect_halo, rel=0.05)  # HALO immune

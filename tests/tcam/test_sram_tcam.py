@@ -1,0 +1,66 @@
+"""SRAM-based TCAM emulation."""
+
+import pytest
+
+from repro.classifier import make_flow
+from repro.tcam import (
+    SRAM_TCAM_SEARCH_CYCLES,
+    SramTcam,
+    TCAM_SEARCH_CYCLES,
+    TernaryRule,
+    exact_rule,
+)
+
+
+def test_partitioned_structure():
+    sram = SramTcam(256, partition_rules=64)
+    assert sram.num_partitions == 4
+
+
+def test_match_across_partitions():
+    sram = SramTcam(128, partition_rules=8)
+    flows = [make_flow(index) for index in range(60)]
+    for index, flow in enumerate(flows):
+        sram.install(exact_rule(flow.as_int(), sram.key_bits,
+                                priority=index, action=index))
+    for index, flow in enumerate(flows):
+        match = sram.search(flow.as_int())
+        assert match is not None and match.rule.action == index
+
+
+def test_priority_arbitration_across_partitions():
+    sram = SramTcam(32, partition_rules=2)
+    flow = make_flow(3)
+    # Same matching value at different priorities lands in different
+    # partitions (least-loaded placement).
+    for priority in (1, 5, 3):
+        sram.install(exact_rule(flow.as_int(), sram.key_bits,
+                                priority=priority, action=priority))
+    assert sram.search(flow.as_int()).rule.action == 5
+
+
+def test_search_latency_slower_than_tcam():
+    sram = SramTcam(64)
+    assert sram.search_latency() == SRAM_TCAM_SEARCH_CYCLES
+    assert SRAM_TCAM_SEARCH_CYCLES > TCAM_SEARCH_CYCLES
+
+
+def test_capacity_enforced():
+    sram = SramTcam(4, partition_rules=2)
+    for index in range(4):
+        sram.install(exact_rule(index, sram.key_bits))
+    with pytest.raises(OverflowError):
+        sram.install(exact_rule(99, sram.key_bits))
+
+
+def test_miss():
+    sram = SramTcam(16)
+    assert sram.search(12345) is None
+
+
+def test_wildcard_rule():
+    sram = SramTcam(16)
+    sram.install(TernaryRule(value=0x50, mask=0xF0, priority=1,
+                             action="nibble5"))
+    assert sram.search(0x5A).rule.action == "nibble5"
+    assert sram.search(0x6A) is None

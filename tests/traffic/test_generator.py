@@ -1,0 +1,84 @@
+"""Traffic generation."""
+
+import collections
+
+import pytest
+
+from repro.traffic import FlowSet, PacketStream, key_stream, random_keys
+
+
+def test_flow_set_deterministic():
+    first = FlowSet.generate(100, seed=5)
+    second = FlowSet.generate(100, seed=5)
+    assert list(first.flows) == list(second.flows)
+
+
+def test_flow_set_distinct_flows():
+    flows = FlowSet.generate(5000, seed=6)
+    assert len({flow.pack() for flow in flows.flows}) == 5000
+
+
+def test_flow_set_seed_changes_population():
+    assert (list(FlowSet.generate(50, seed=1).flows)
+            != list(FlowSet.generate(50, seed=2).flows))
+
+
+def test_grouped_flow_set_round_robin():
+    flows = FlowSet.generate(100, seed=7, groups=4)
+    group_octets = collections.Counter(flow.dst_ip >> 16 & 0xFF
+                                       for flow in flows.flows)
+    assert len(group_octets) == 4
+    assert all(count == 25 for count in group_octets.values())
+
+
+def test_uniform_stream_covers_flows():
+    flows = FlowSet.generate(50, seed=8)
+    stream = PacketStream(flows, zipf_s=0.0, seed=9)
+    seen = {flow.pack() for flow in stream.take(2000)}
+    assert len(seen) >= 45
+
+
+def test_zipf_stream_concentrates_traffic():
+    flows = FlowSet.generate(1000, seed=10)
+    skewed = PacketStream(flows, zipf_s=1.2, seed=11)
+    counts = collections.Counter(flow.pack() for flow in skewed.take(5000))
+    top_share = sum(count for _key, count in counts.most_common(10)) / 5000
+    assert top_share > 0.25
+
+    uniform = PacketStream(flows, zipf_s=0.0, seed=11)
+    counts_uniform = collections.Counter(
+        flow.pack() for flow in uniform.take(5000))
+    top_share_uniform = sum(
+        count for _key, count in counts_uniform.most_common(10)) / 5000
+    assert top_share > top_share_uniform * 2
+
+
+def test_stream_deterministic():
+    flows = FlowSet.generate(100, seed=12)
+    a = PacketStream(flows, zipf_s=0.5, seed=13).take(100)
+    b = PacketStream(flows, zipf_s=0.5, seed=13).take(100)
+    assert a == b
+
+
+def test_stream_rejects_empty_flow_set():
+    with pytest.raises(ValueError):
+        PacketStream(FlowSet(()))
+
+
+def test_key_stream_packs_flows():
+    flows = FlowSet.generate(20, seed=14)
+    keys = key_stream(flows, 50, seed=15)
+    assert len(keys) == 50
+    assert all(len(key) == 16 for key in keys)
+    valid = {flow.pack() for flow in flows.flows}
+    assert all(key in valid for key in keys)
+
+
+def test_random_keys_distinct():
+    keys = random_keys(3000, seed=16)
+    assert len(set(keys)) == 3000
+    assert all(len(key) == 16 for key in keys)
+
+
+def test_random_keys_deterministic():
+    assert random_keys(100, seed=17) == random_keys(100, seed=17)

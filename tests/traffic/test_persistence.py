@@ -1,0 +1,73 @@
+"""Workload save/load round trips."""
+
+import pytest
+
+from repro.traffic import (
+    FlowSet,
+    PacketStream,
+    load_flow_set,
+    replay,
+    save_flow_set,
+)
+
+
+def test_flow_set_roundtrip(tmp_path):
+    original = FlowSet.generate(200, seed=5, groups=4)
+    path = tmp_path / "flows.jsonl"
+    written = save_flow_set(original, path)
+    assert written == 200
+    loaded, trace = load_flow_set(path)
+    assert list(loaded.flows) == list(original.flows)
+    assert trace == []
+
+
+def test_packet_trace_roundtrip(tmp_path):
+    flow_set = FlowSet.generate(50, seed=6)
+    stream = PacketStream(flow_set, zipf_s=0.8, seed=7)
+    packets = stream.take(120)
+    indices = [flow_set.flows.index(flow) for flow in packets]
+    path = tmp_path / "trace.jsonl"
+    save_flow_set(flow_set, path, packet_indices=indices)
+    loaded, trace = load_flow_set(path)
+    assert [flow for flow in replay(loaded, trace)] == packets
+
+
+def test_reject_foreign_file(tmp_path):
+    path = tmp_path / "bogus.jsonl"
+    path.write_text('{"format": "something-else"}\n')
+    with pytest.raises(ValueError):
+        load_flow_set(path)
+
+
+def test_reject_out_of_range_trace(tmp_path):
+    flow_set = FlowSet.generate(3, seed=8)
+    path = tmp_path / "bad.jsonl"
+    save_flow_set(flow_set, path, packet_indices=[0, 1, 2])
+    text = path.read_text().replace('"trace": [0, 1, 2]',
+                                    '"trace": [0, 1, 9]')
+    path.write_text(text)
+    with pytest.raises(ValueError):
+        load_flow_set(path)
+
+
+def test_replayed_workload_classifies_identically(tmp_path):
+    """End to end: a saved workload reproduces a run exactly."""
+    from repro.classifier import OvsDatapath
+    from repro.traffic import TrafficProfile
+    profile = TrafficProfile(name="t", description="", num_flows=500,
+                             num_rules=4)
+    flow_set, rules = profile.build()
+    stream = PacketStream(flow_set, zipf_s=0.5, seed=9)
+    packets = stream.take(60)
+    indices = [flow_set.flows.index(flow) for flow in packets]
+    path = tmp_path / "workload.jsonl"
+    save_flow_set(flow_set, path, packet_indices=indices)
+
+    def run(flows):
+        datapath = OvsDatapath(emc_enabled=False)
+        for rule in rules:
+            datapath.install_rule(rule)
+        return [datapath.classify(flow).layer for flow in flows]
+
+    loaded, trace = load_flow_set(path)
+    assert run(packets) == run(list(replay(loaded, trace)))

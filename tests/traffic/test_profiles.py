@@ -1,0 +1,67 @@
+"""The paper's named traffic profiles."""
+
+import pytest
+
+from repro.traffic import FIGURE3_PROFILES, GROUP_MASKS, TrafficProfile, profile_by_name
+
+
+def test_five_profiles_defined():
+    assert len(FIGURE3_PROFILES) == 5
+    names = [profile.name for profile in FIGURE3_PROFILES]
+    assert len(set(names)) == 5
+
+
+def test_profiles_scale_up():
+    """Flows and rules grow across the five configurations (Fig. 3 x-axis)."""
+    flows = [profile.num_flows for profile in FIGURE3_PROFILES]
+    assert flows == sorted(flows)
+    assert FIGURE3_PROFILES[0].num_flows == 10_000
+    assert FIGURE3_PROFILES[-1].num_flows == 1_000_000
+    assert FIGURE3_PROFILES[-1].num_rules == 20
+
+
+def test_profile_by_name():
+    profile = profile_by_name("small-10K")
+    assert profile.num_flows == 10_000
+    with pytest.raises(KeyError):
+        profile_by_name("nope")
+
+
+def test_rules_cover_every_flow():
+    profile = TrafficProfile(name="t", description="", num_flows=2000,
+                             num_rules=10)
+    flow_set, rules = profile.build()
+    for flow in flow_set.flows[:500]:
+        assert any(rule.matches(flow) for rule in rules)
+
+
+def test_rules_partition_traffic():
+    """Each non-catch-all rule matches a meaningful share of flows."""
+    profile = TrafficProfile(name="t", description="", num_flows=1000,
+                             num_rules=5)
+    flow_set, rules = profile.build()
+    specific = rules[:-1]   # last is the catch-all
+    for rule in specific:
+        matched = sum(1 for flow in flow_set.flows if rule.matches(flow))
+        assert matched >= 1000 / 5 * 0.9
+
+
+def test_rule_masks_are_diverse():
+    profile = TrafficProfile(name="t", description="", num_flows=100,
+                             num_rules=12)
+    flow_set, rules = profile.build()
+    masks = {rule.mask for rule in rules[:-1]}
+    assert len(masks) >= 6
+
+
+def test_group_masks_distinct():
+    assert len(set(GROUP_MASKS)) == len(GROUP_MASKS)
+
+
+def test_priorities_descend():
+    profile = TrafficProfile(name="t", description="", num_flows=100,
+                             num_rules=4)
+    _flow_set, rules = profile.build()
+    priorities = [rule.priority for rule in rules]
+    assert priorities == sorted(priorities, reverse=True)
+    assert rules[-1].priority == 0   # catch-all lowest

@@ -1,0 +1,51 @@
+"""Packets and buffer pools."""
+
+import pytest
+
+from repro.sim import AddressAllocator
+from repro.vswitch import BUFFER_STRIDE, Packet, PacketPool
+from repro.classifier import make_flow
+
+
+def make_pool(buffers=8):
+    return PacketPool(AddressAllocator(1 << 30), buffers=buffers)
+
+
+def test_wrap_assigns_buffer():
+    pool = make_pool()
+    packet = pool.wrap(make_flow(1))
+    assert packet.buffer_addr >= pool.region.base
+    assert packet.size_bytes == 64
+    assert packet.key == make_flow(1).pack()
+
+
+def test_buffers_recycle_round_robin():
+    pool = make_pool(buffers=4)
+    addrs = [pool.wrap(make_flow(index)).buffer_addr for index in range(8)]
+    assert addrs[0] == addrs[4]
+    assert len(set(addrs[:4])) == 4
+
+
+def test_buffer_stride():
+    pool = make_pool(buffers=4)
+    a = pool.wrap(make_flow(0)).buffer_addr
+    b = pool.wrap(make_flow(1)).buffer_addr
+    assert b - a == BUFFER_STRIDE
+
+
+def test_packet_ids_unique():
+    pool = make_pool()
+    first = pool.wrap(make_flow(0))
+    second = pool.wrap(make_flow(0))
+    assert first.packet_id != second.packet_id
+
+
+def test_header_addr_is_buffer_start():
+    pool = make_pool()
+    packet = pool.wrap(make_flow(3))
+    assert packet.header_addr == packet.buffer_addr
+
+
+def test_pool_requires_buffers():
+    with pytest.raises(ValueError):
+        make_pool(buffers=0)

@@ -1,0 +1,53 @@
+"""Packet I/O cost model (DDIO, pre-processing)."""
+
+from repro.classifier import make_flow
+from repro.sim import MemoryHierarchy
+from repro.vswitch import PMD_RX_TX_CYCLES, PacketIo, PacketPool
+from repro.vswitch.pktio import OTHERS_CYCLES, PREPROCESS_CYCLES
+
+
+def setup(ddio=True):
+    hierarchy = MemoryHierarchy()
+    pktio = PacketIo(hierarchy, core_id=0, ddio=ddio)
+    pool = PacketPool(hierarchy.allocator, buffers=8)
+    return hierarchy, pktio, pool
+
+
+def test_receive_cost_constant():
+    _h, pktio, pool = setup()
+    packet = pool.wrap(make_flow(1))
+    assert pktio.receive(packet) == PMD_RX_TX_CYCLES
+    assert pktio.stats.rx_packets == 1
+
+
+def test_ddio_places_packet_in_llc():
+    hierarchy, pktio, pool = setup(ddio=True)
+    packet = pool.wrap(make_flow(2))
+    pktio.receive(packet)
+    line = hierarchy.line_of(packet.buffer_addr)
+    slice_id = hierarchy.interconnect.slice_of_line(line)
+    assert hierarchy.llc[slice_id].contains(line)
+
+
+def test_preprocess_cheap_with_ddio():
+    """DDIO avoids the DRAM read for the header."""
+    hierarchy, pktio, pool = setup(ddio=True)
+    packet = pool.wrap(make_flow(3))
+    pktio.receive(packet)
+    cost = pktio.preprocess(packet)
+    assert cost < PREPROCESS_CYCLES + hierarchy.latency.dram / 2
+    assert pktio.stats.header_reads_llc == 1
+
+
+def test_preprocess_expensive_without_ddio():
+    hierarchy, pktio, pool = setup(ddio=False)
+    packet = pool.wrap(make_flow(4))
+    pktio.receive(packet)
+    cost = pktio.preprocess(packet)
+    assert cost > PREPROCESS_CYCLES + 100
+    assert pktio.stats.header_reads_dram == 1
+
+
+def test_finish_cost():
+    _h, pktio, pool = setup()
+    assert pktio.finish(pool.wrap(make_flow(5))) == OTHERS_CYCLES
