@@ -6,9 +6,14 @@ Usage::
     python -m repro run fig11
     python -m repro run all
     python -m repro run fig09 --quick
+    python -m repro report [--quick] [--json metrics.json]
 
 Each experiment prints the same paper-vs-measured report the benchmark
-harness archives; ``--quick`` shrinks workloads for a fast look.
+harness archives; ``--quick`` shrinks workloads for a fast look.  The
+``report`` subcommand drives a demo workload (table lookups in all three
+modes plus a virtual-switch packet stream) and renders the per-component
+metrics breakdown from the observability registry; ``--json`` additionally
+writes the full metrics + trace-span export.
 """
 
 from __future__ import annotations
@@ -144,6 +149,61 @@ EXPERIMENTS: Dict[str, Tuple[str, Callable[[bool], str]]] = {
 }
 
 
+def run_report_demo(quick: bool = False):
+    """The demo workload behind ``python -m repro report``.
+
+    Exercises every instrumented layer on one machine: software, blocking
+    and non-blocking lookups against a shared table, an adaptive (hybrid)
+    episode, and a virtual-switch packet stream.  Returns the
+    :class:`~repro.core.halo_system.HaloSystem` with its registry loaded.
+    """
+    from .core.halo_system import HaloSystem
+    from .traffic.generator import FlowSet, PacketStream, random_keys
+    from .traffic.profiles import FIGURE3_PROFILES
+    from .vswitch.switch import SwitchMode, VirtualSwitch
+
+    lookups = 40 if quick else 200
+    system = HaloSystem()
+    table = system.create_table(1 << 10, name="report_demo")
+    keys = random_keys(600, seed=11)
+    for index, key in enumerate(keys):
+        table.insert(key, index)
+    system.warm_table(table)
+    system.hierarchy.flush_private(0)
+    system.run_software_lookups(table, keys[:lookups])
+    system.run_blocking_lookups(table, keys[:lookups])
+    system.run_nonblocking_lookups(table, keys[lookups:2 * lookups])
+    system.run_adaptive_lookups(table, keys[:lookups], window=64)
+
+    profile = FIGURE3_PROFILES[0]
+    flow_set = FlowSet.generate(min(profile.num_flows, 2000),
+                                seed=profile.seed, groups=profile.num_rules)
+    switch = VirtualSwitch(system, SwitchMode.SOFTWARE,
+                           megaflow_tuple_capacity=1 << 14)
+    switch.install_rules(profile.build_rules(flow_set))
+    switch.prewarm_megaflows(flow_set.flows)
+    switch.warm()
+    stream = PacketStream(flow_set, zipf_s=profile.zipf_s, seed=5)
+    switch.process_stream(stream.take(30 if quick else 120))
+    return system
+
+
+def _report(quick: bool, json_path=None) -> str:
+    from .obs import render_component_totals
+
+    system = run_report_demo(quick)
+    sections = [
+        system.report(),
+        render_component_totals(system.obs.metrics.snapshot()),
+        f"trace: {len(system.obs.trace)} query span trees recorded "
+        f"(export with --json)",
+    ]
+    if json_path:
+        system.obs.write_json(json_path)
+        sections.append(f"full metrics + spans written to {json_path}")
+    return "\n\n".join(sections)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -155,12 +215,27 @@ def main(argv=None) -> int:
                             choices=sorted(EXPERIMENTS) + ["all"])
     run_parser.add_argument("--quick", action="store_true",
                             help="shrink workloads for a fast look")
+    report_parser = subparsers.add_parser(
+        "report",
+        help="demo workload + per-component metrics breakdown")
+    report_parser.add_argument("--quick", action="store_true",
+                               help="shrink the demo workload")
+    report_parser.add_argument("--json", metavar="PATH", default=None,
+                               help="also write metrics + spans as JSON")
     args = parser.parse_args(argv)
 
     if args.command == "list" or args.command is None:
         print("experiments (python -m repro run <name> [--quick]):")
         for name, (description, _func) in sorted(EXPERIMENTS.items()):
             print(f"  {name:10s} {description}")
+        return 0
+
+    if args.command == "report":
+        try:
+            print(_report(args.quick, args.json))
+        except OSError as exc:
+            print(f"error: cannot write {args.json}: {exc}", file=sys.stderr)
+            return 1
         return 0
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" \

@@ -29,12 +29,24 @@ DEFAULT_OCCUPANCIES = (0.25, 0.50, 0.75, 0.90)
 
 SOLUTIONS = ("software", "halo-b", "halo-nb", "tcam", "sram-tcam")
 
+#: Registry metrics captured per point so every reported number can be
+#: traced back to a named observability metric (see docs/MODELING.md §7).
+TRACEABLE_METRICS = (
+    "halo.accelerator.service_cycles",
+    "halo.query.latency_cycles",
+    "mem.cha_access.cycles",
+    "mem.core_access.cycles",
+)
+
 
 @dataclass
 class Fig9Point:
     table_entries: int
     occupancy: float
     cycles_per_lookup: Dict[str, float] = field(default_factory=dict)
+    #: Snapshot of the :data:`TRACEABLE_METRICS` registry entries for this
+    #: point's system (histogram summary dicts); empty when obs is off.
+    registry_metrics: Dict[str, dict] = field(default_factory=dict)
 
     def normalized_throughput(self) -> Dict[str, float]:
         """Throughput normalised to software (the paper's y-axis)."""
@@ -79,6 +91,11 @@ def run_point(table_entries: int, occupancy: float = 0.5,
     # the paper's assumption that the rule set fits the device.
     point.cycles_per_lookup["tcam"] = float(TCAM_SEARCH_CYCLES)
     point.cycles_per_lookup["sram-tcam"] = float(SRAM_TCAM_SEARCH_CYCLES)
+    snapshot = system.obs.metrics.snapshot()
+    point.registry_metrics = {name: snapshot[name]
+                              for name in TRACEABLE_METRICS
+                              if isinstance(snapshot.get(name), dict)
+                              and snapshot[name].get("count")}
     return point
 
 
@@ -137,4 +154,21 @@ def report(size_points: List[Fig9Point],
                    < 0.25),
     ]
     sections.append(render_checks("Figure 9", checks))
+    footer = _traceable_footer(size_points[-1])
+    if footer:
+        sections.append(footer)
     return "\n\n".join(sections)
+
+
+def _traceable_footer(point: Fig9Point) -> str:
+    """Names the registry metrics behind the largest-table measurement."""
+    if not point.registry_metrics:
+        return ""
+    lines = [f"traceable metrics ({point.table_entries} entries, "
+             f"{point.occupancy * 100:.0f}% occupancy):"]
+    for name, summary in sorted(point.registry_metrics.items()):
+        lines.append(
+            f"  {name}: n={summary['count']} mean={summary['mean']:.1f} "
+            f"p50={summary['p50']:.1f} p95={summary['p95']:.1f} "
+            f"p99={summary['p99']:.1f}")
+    return "\n".join(lines)

@@ -9,7 +9,7 @@ eliminates the software locking overhead entirely (hardware lock bits).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict
 
 import numpy as np
@@ -21,11 +21,24 @@ from ...traffic.generator import random_keys
 from ..reporting import PaperCheck, format_table, render_checks
 
 
+#: Registry metrics captured per scenario so the breakdown is traceable to
+#: named observability metrics (see docs/MODELING.md §7).
+TRACEABLE_METRICS = (
+    "halo.accelerator.service_cycles",
+    "halo.query.latency_cycles",
+    "mem.cha_access.cycles",
+    "mem.core_access.cycles",
+)
+
+
 @dataclass
 class Fig10Cell:
     scenario: str            # "llc" | "dram"
     solution: str            # "software" | "halo"
     breakdown: Breakdown     # per-lookup cycles: compute / memory / locking
+    #: Histogram summaries for :data:`TRACEABLE_METRICS`, captured from the
+    #: scenario's registry once both solutions have run; empty when obs off.
+    registry_metrics: Dict[str, dict] = field(default_factory=dict)
 
     @property
     def total(self) -> float:
@@ -90,6 +103,11 @@ def run(table_entries: int = 1 << 16, lookups: int = 200,
             system.flush_table(table)
         cells[f"{scenario}/halo"] = _measure_halo(
             system, table, keys, scenario, lookups, seed + 1)
+        snapshot = system.obs.metrics.snapshot()
+        cells[f"{scenario}/halo"].registry_metrics = {
+            name: snapshot[name] for name in TRACEABLE_METRICS
+            if isinstance(snapshot.get(name), dict)
+            and snapshot[name].get("count")}
     return cells
 
 
@@ -129,4 +147,16 @@ def report(cells: Dict[str, Fig10Cell]) -> str:
                    f"{cells['llc/halo'].breakdown['locking']:.0f}",
                    holds=cells["llc/halo"].breakdown["locking"] == 0.0),
     ]
-    return table + "\n\n" + render_checks("Figure 10", checks)
+    sections = [table, render_checks("Figure 10", checks)]
+    for scenario in ("llc", "dram"):
+        cell = cells[f"{scenario}/halo"]
+        if not cell.registry_metrics:
+            continue
+        lines = [f"traceable metrics ({scenario} scenario):"]
+        for name, summary in sorted(cell.registry_metrics.items()):
+            lines.append(
+                f"  {name}: n={summary['count']} "
+                f"mean={summary['mean']:.1f} p50={summary['p50']:.1f} "
+                f"p95={summary['p95']:.1f} p99={summary['p99']:.1f}")
+        sections.append("\n".join(lines))
+    return "\n\n".join(sections)

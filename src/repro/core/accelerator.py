@@ -21,8 +21,9 @@ from dataclasses import dataclass, field
 from typing import Generator, Optional
 
 from ..hashtable.cuckoo import LookupPlan
+from ..obs import NULL_SPAN
 from ..sim.engine import Engine
-from ..sim.hierarchy import MemoryHierarchy
+from ..sim.hierarchy import AccessResult, MemoryHierarchy
 from ..sim.params import HaloParams
 from ..sim.stats import RunningStats
 from .flow_register import FlowRegister
@@ -85,20 +86,58 @@ class HaloAccelerator:
             hierarchy, enabled=self.params.enabled_lock_bits)
         self.flow_register = FlowRegister()
         self.stats = AcceleratorStats()
+        # Registry-backed metrics: shared across slices (one machine-wide
+        # service histogram / counter set) plus a per-slice pull source.
+        registry = hierarchy.obs.metrics
+        self._m_service = registry.histogram(
+            "halo.accelerator.service_cycles")
+        self._m_queries = registry.counter("halo.accelerator.queries")
+        self._m_hits = registry.counter("halo.accelerator.hits")
+        self._m_misses = registry.counter("halo.accelerator.misses")
+        self._m_meta_hits = registry.counter(
+            "halo.accelerator.metadata_hits")
+        self._m_meta_misses = registry.counter(
+            "halo.accelerator.metadata_misses")
+        registry.register_source(f"halo.accelerator.slice{slice_id}",
+                                 self._metrics_source)
+
+    def _metrics_source(self) -> dict:
+        """Per-slice pull source: stats block + flow-register state.
+
+        Idle slices report nothing, keeping snapshots and the report table
+        proportional to the machine's *active* accelerators."""
+        stats = self.stats
+        if not (stats.queries or stats.memory_accesses
+                or self.flow_register.stats.observations):
+            return {}
+        return {
+            "queries": stats.queries,
+            "hits": stats.hits,
+            "memory_accesses": stats.memory_accesses,
+            "metadata_hits": stats.metadata_hits,
+            "metadata_misses": stats.metadata_misses,
+            "hash_operations": stats.hash_operations,
+            "boundary_violations": stats.boundary_violations,
+            "service_mean_cycles": stats.service.mean,
+            "flow_register_observations":
+                self.flow_register.stats.observations,
+            "flow_register_last_estimate": self.flow_register.last_estimate,
+        }
 
     @property
     def busy(self) -> bool:
         return self.scoreboard.busy
 
     # -- internals -----------------------------------------------------------
-    def _mem(self, addr: int, write: bool = False) -> int:
-        """One CHA-side data access; returns its latency."""
+    def _mem(self, addr: int, write: bool = False) -> AccessResult:
+        """One CHA-side data access; returns the full access result so
+        callers can stamp the serving level onto their trace span."""
         result = self.hierarchy.cha_access(self.slice_id, addr, write=write)
         self.stats.memory_accesses += 1
-        return result.latency
+        return result
 
     def _checked_table_access(self, query: LookupQuery, addr: int,
-                              region_kind: str) -> int:
+                              region_kind: str) -> AccessResult:
         """A table data access with the §4.7 boundary check applied."""
         layout = query.table.layout
         region = (layout.buckets if region_kind == "buckets"
@@ -110,15 +149,24 @@ class HaloAccelerator:
                 f"outside [{region.base:#x}, {region.end:#x})")
         return self._mem(addr)
 
-    def _fetch_metadata(self, query: LookupQuery) -> Generator:
+    def _fetch_metadata(self, query: LookupQuery,
+                        span=NULL_SPAN) -> Generator:
         line = self.hierarchy.line_of(query.table_addr)
+        stage = span.child("metadata_fetch", self.engine.now)
         if self.metadata_cache.lookup(line):
             self.stats.metadata_hits += 1
+            self._m_meta_hits.inc()
             yield self.engine.timeout(1)
+            stage.note(hit=True)
+            stage.finish(self.engine.now)
             return True
         self.stats.metadata_misses += 1
-        yield self.engine.timeout(self._mem(query.table_addr))
+        self._m_meta_misses.inc()
+        access = self._mem(query.table_addr)
+        yield self.engine.timeout(access.latency)
         self.metadata_cache.fill(line, query.table)
+        stage.note(hit=False, level=access.level)
+        stage.finish(self.engine.now)
         return False
 
     def _hash(self, key_bytes: int = 16) -> Generator:
@@ -140,22 +188,34 @@ class HaloAccelerator:
     # -- the query FSM ----------------------------------------------------------
     def serve(self, query: LookupQuery) -> Generator:
         """Process one query; a DES process returning a QueryResult."""
+        parent = query.span if query.span is not None else NULL_SPAN
+        queue_span = parent.child("accelerator.queue", self.engine.now,
+                                  slice=self.slice_id)
         yield self.scoreboard.admit()
         port = self._table_ports.get(query.table_addr)
         if port is None:
             port = self.engine.resource(1)
             self._table_ports[query.table_addr] = port
         yield port.acquire()
+        queue_span.finish(self.engine.now)
+        span = parent.child("accelerator.serve", self.engine.now,
+                            slice=self.slice_id)
         started = self.engine.now
         try:
             try:
-                metadata_hit = yield from self._fetch_metadata(query)
+                metadata_hit = yield from self._fetch_metadata(query, span)
 
                 # Fetch the key.
-                yield self.engine.timeout(self._mem(query.key_addr))
+                stage = span.child("key_fetch", self.engine.now)
+                access = self._mem(query.key_addr)
+                yield self.engine.timeout(access.latency)
+                stage.note(level=access.level)
+                stage.finish(self.engine.now)
 
                 # Hash.
+                stage = span.child("hash", self.engine.now)
                 yield from self._hash(getattr(query.table, "key_bytes", 16))
+                stage.finish(self.engine.now)
                 plan: LookupPlan = query.table.probe(query.key)
                 self.flow_register.observe(plan.primary_hash)
 
@@ -164,11 +224,12 @@ class HaloAccelerator:
                     {plan.primary_addr, plan.secondary_addr})
                 try:
                     yield from self._scan_bucket(query, plan, lease,
-                                                 secondary=False)
+                                                 secondary=False, span=span)
                     if not plan.found or plan.found_in_secondary:
                         if plan.secondary_addr != plan.primary_addr:
                             yield from self._scan_bucket(query, plan, lease,
-                                                         secondary=True)
+                                                         secondary=True,
+                                                         span=span)
                 finally:
                     lease.release_all()
             finally:
@@ -177,19 +238,30 @@ class HaloAccelerator:
                 port.release()
 
             # Deliver the result.
+            stage = span.child("deliver", self.engine.now,
+                               destination=query.destination.value)
             if query.destination is ResultDestination.MEMORY:
-                yield self.engine.timeout(self._mem(query.result_addr,
-                                                    write=True))
+                access = self._mem(query.result_addr, write=True)
+                yield self.engine.timeout(access.latency)
             else:
                 yield self.engine.timeout(
                     self.hierarchy.latency.result_return)
+            stage.finish(self.engine.now)
         finally:
             self.scoreboard.complete()
+            span.finish(self.engine.now)
 
         self.stats.queries += 1
+        self._m_queries.inc()
         if plan.found:
             self.stats.hits += 1
-        self.stats.service.record(self.engine.now - started)
+            self._m_hits.inc()
+        else:
+            self._m_misses.inc()
+        service_cycles = self.engine.now - started
+        self.stats.service.record(service_cycles)
+        self._m_service.observe(service_cycles)
+        span.note(found=plan.found)
         return QueryResult(
             query=query,
             found=plan.found,
@@ -202,11 +274,14 @@ class HaloAccelerator:
         )
 
     def _scan_bucket(self, query: LookupQuery, plan: LookupPlan, lease,
-                     secondary: bool) -> Generator:
+                     secondary: bool, span=NULL_SPAN) -> Generator:
         """Read one bucket line, compare signatures, chase kv matches."""
+        stage = span.child("bucket_scan", self.engine.now,
+                           secondary=secondary)
         addr = plan.secondary_addr if secondary else plan.primary_addr
-        yield self.engine.timeout(
-            self._checked_table_access(query, addr, "buckets"))
+        access = self._checked_table_access(query, addr, "buckets")
+        yield self.engine.timeout(access.latency)
+        stage.note(bucket_level=access.level)
         # The fetch brought the line to the LLC; (re-)set its lock bit for
         # the remainder of the query (tracked by the query's lease).
         if self.params.enabled_lock_bits:
@@ -220,11 +295,15 @@ class HaloAccelerator:
             # Fetch, lock, and compare the key-value pair.
             lease = self.lock_manager.lease()
             try:
-                yield self.engine.timeout(
-                    self._checked_table_access(query, kv_addr,
-                                               "key_values"))
+                kv_stage = stage.child("kv_probe", self.engine.now)
+                access = self._checked_table_access(query, kv_addr,
+                                                    "key_values")
+                yield self.engine.timeout(access.latency)
                 if self.params.enabled_lock_bits:
                     lease.lock(kv_addr)
                 yield self.engine.timeout(self.params.compare_latency)
+                kv_stage.note(level=access.level)
+                kv_stage.finish(self.engine.now)
             finally:
                 lease.release_all()
+        stage.finish(self.engine.now)

@@ -31,6 +31,11 @@ class FlowRegisterStats:
     scans: int = 0
     saturations: int = 0
 
+    def as_dict(self) -> dict:
+        """Flat scalar view for the metrics registry (pull source)."""
+        return {"observations": self.observations, "scans": self.scans,
+                "saturations": self.saturations}
+
 
 class FlowRegister:
     """A linear-counting cardinality estimator over lookup hashes."""

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Any, Generator, Iterable, List, Optional, Sequence
 
 from ..hashtable.cuckoo import CuckooHashTable
+from ..obs import Observability, render_metrics_report
 from ..sim.engine import Engine
 from ..sim.hierarchy import MemoryHierarchy
 from ..sim.params import MachineParams, SKYLAKE_SP_16C
@@ -57,10 +58,21 @@ def _rate(part: int, whole: int) -> str:
 class HaloSystem:
     """A complete HALO-equipped simulated machine."""
 
-    def __init__(self, machine: Optional[MachineParams] = None) -> None:
+    def __init__(self, machine: Optional[MachineParams] = None,
+                 observability=None) -> None:
+        """``observability`` accepts an :class:`~repro.obs.Observability`,
+        a bool, or ``None`` (the ``REPRO_OBS`` env default, normally on).
+        Disabling it swaps every metric/span handle for a no-op — the
+        simulation's cycle arithmetic is untouched either way."""
         self.machine = machine or SKYLAKE_SP_16C
+        if isinstance(observability, Observability):
+            self.obs = observability
+        elif observability is None:
+            self.obs = Observability()
+        else:
+            self.obs = Observability(enabled=bool(observability))
         self.engine = Engine()
-        self.hierarchy = MemoryHierarchy(self.machine)
+        self.hierarchy = MemoryHierarchy(self.machine, obs=self.obs)
         self.lock_manager = HardwareLockManager(
             self.hierarchy, enabled=self.machine.halo.enabled_lock_bits)
         self.accelerators = [
@@ -74,6 +86,16 @@ class HaloSystem:
         self.tracer = Tracer()
         self.hybrid = HybridController(
             [acc.flow_register for acc in self.accelerators])
+        registry = self.obs.metrics
+        registry.register_source("halo.hybrid", self._hybrid_source)
+        registry.gauge("halo.hybrid.flow_estimate",
+                       fn=lambda: self.hybrid.last_estimate)
+
+    def _hybrid_source(self) -> dict:
+        out = self.hybrid.stats.as_dict()
+        out["mode"] = self.hybrid.mode.value
+        out["last_estimate"] = self.hybrid.last_estimate
+        return out
 
     # -- construction helpers -------------------------------------------------
     def create_table(self, capacity: int, key_bytes: int = 16,
@@ -174,6 +196,16 @@ class HaloSystem:
         return Episode(operations=len(values), cycles=cycles, results=values)
 
     # -- observability ----------------------------------------------------------
+    def export_observability(self) -> dict:
+        """Metrics snapshot + per-query span trees, JSON-serialisable."""
+        return self.obs.export()
+
+    def report(self) -> str:
+        """Per-component breakdown table over every registered metric."""
+        return render_metrics_report(
+            self.obs.metrics.snapshot(),
+            title=f"HaloSystem metrics @ {self.engine.now:.0f} cycles")
+
     def summary(self) -> str:
         """A human-readable dump of the machine's component statistics."""
         hierarchy = self.hierarchy

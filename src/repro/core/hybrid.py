@@ -31,6 +31,12 @@ class HybridStats:
     switches_to_halo: int = 0
     switches_to_software: int = 0
 
+    def as_dict(self) -> dict:
+        """Flat scalar view for the metrics registry (pull source)."""
+        return {"windows": self.windows,
+                "switches_to_halo": self.switches_to_halo,
+                "switches_to_software": self.switches_to_software}
+
 
 class HybridController:
     """Chooses the compute mode from flow-register estimates per window."""

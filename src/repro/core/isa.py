@@ -48,6 +48,12 @@ class IsaStats:
     snapshot_reads: int = 0
     snapshot_polls_spent: int = 0
 
+    def as_dict(self) -> dict:
+        """Flat scalar view for the metrics registry (pull source)."""
+        return {"lookup_b": self.lookup_b, "lookup_nb": self.lookup_nb,
+                "snapshot_reads": self.snapshot_reads,
+                "snapshot_polls_spent": self.snapshot_polls_spent}
+
 
 class HaloIsa:
     """Instruction-level interface used by simulated programs."""
@@ -60,6 +66,11 @@ class HaloIsa:
         self.distributor = distributor
         self.costs = costs or IssueCosts()
         self.stats = IsaStats()
+        hierarchy.obs.metrics.register_source("halo.isa", self.stats.as_dict)
+        #: Snapshot polls burnt per batch before all results landed.
+        self._m_polls = hierarchy.obs.metrics.histogram(
+            "halo.isa.polls_per_batch",
+            bounds=tuple(float(1 << exp) for exp in range(9)))
         # Result slots for LOOKUP_NB live in a dedicated, line-aligned region
         # that is kept LLC-resident (the SNAPSHOT_READ idiom never lets these
         # lines leave the LLC).
@@ -127,8 +138,10 @@ class HaloIsa:
         """
         poll_latency = (self.hierarchy.latency.cha_llc_hit
                         + self.hierarchy.latency.llc_hit) // 2
+        polls = 0
         while True:
             self.stats.snapshot_reads += 1
+            polls += 1
             yield self.engine.timeout(poll_latency + self.costs.snapshot_check)
             if all(process.done for process in pending):
                 break
@@ -136,6 +149,7 @@ class HaloIsa:
             # Re-poll after a short back-off (the snapshot keeps the line in
             # the LLC, so re-reads stay cheap and cause no bouncing).
             yield self.engine.timeout(4)
+        self._m_polls.observe(polls)
         return [process.result for process in pending]
 
     # -- the batched NB idiom (paper §4.5 example) -----------------------------------

@@ -24,6 +24,13 @@ class HardwareLockStats:
     unlock_operations: int = 0
     rejected_invalidations: int = 0
 
+    def as_dict(self) -> dict:
+        """Flat scalar view for the metrics registry (pull source)."""
+        return {"lock_operations": self.lock_operations,
+                "unlock_operations": self.unlock_operations,
+                "rejected_invalidations": self.rejected_invalidations,
+                "held": self.lock_operations - self.unlock_operations}
+
 
 class LockLease:
     """The set of lines one query currently holds locked."""
@@ -59,6 +66,8 @@ class HardwareLockManager:
         self.hierarchy = hierarchy
         self.enabled = enabled
         self.stats = HardwareLockStats()
+        hierarchy.obs.metrics.register_source("halo.locks",
+                                              self.stats.as_dict)
 
     def lease(self) -> LockLease:
         return LockLease(self)

@@ -32,6 +32,9 @@ class LookupQuery:
     core_id: int = 0
     query_id: int = field(default_factory=lambda: next(_query_ids))
     issued_at: float = 0.0
+    #: Root trace span for this query's journey (set by the distributor
+    #: when observability is on; stages nest their child spans under it).
+    span: Any = None
 
     def __post_init__(self) -> None:
         if (self.destination is ResultDestination.MEMORY

@@ -39,6 +39,28 @@ class CacheStats:
         self.hits = self.misses = self.evictions = 0
         self.invalidations = self.writebacks = 0
 
+    def as_dict(self) -> Dict[str, float]:
+        """Flat scalar view for the metrics registry (pull source)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "accesses": self.accesses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "writebacks": self.writebacks,
+            "miss_rate": self.miss_rate,
+        }
+
+    def merged(self, other: "CacheStats") -> "CacheStats":
+        """Aggregate of two stats blocks (per-level rollups)."""
+        return CacheStats(
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            evictions=self.evictions + other.evictions,
+            invalidations=self.invalidations + other.invalidations,
+            writebacks=self.writebacks + other.writebacks,
+        )
+
 
 @dataclass
 class LineState:
@@ -158,6 +180,14 @@ class Cache:
         return bool(state and state.locked)
 
     # -- introspection --------------------------------------------------------
+    def metrics_source(self):
+        """A pull-source callable exposing this cache's stats + occupancy."""
+        def read() -> Dict[str, float]:
+            out = self.stats.as_dict()
+            out["utilisation"] = self.utilisation()
+            return out
+        return read
+
     @property
     def resident_lines(self) -> int:
         return sum(len(s) for s in self._sets.values())

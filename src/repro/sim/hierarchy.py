@@ -16,14 +16,19 @@ The hierarchy is inclusive: an LLC eviction back-invalidates private copies.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from functools import reduce
+from typing import List, Optional
 
-from .cache import Cache
+from ..obs import Observability
+from .cache import Cache, CacheStats
 from .coherence import SnoopFilter
 from .interconnect import build_interconnect
 from .memory import AddressAllocator, Dram
 from .tlb import Tlb
 from .params import MachineParams
+
+#: Levels an access can be satisfied from (metric label set).
+ACCESS_LEVELS = ("L1", "L2", "LLC", "PRIV", "DRAM")
 
 #: Extra cycles per retry when a store hits a HALO-locked line (§4.4).
 LOCK_RETRY_CYCLES = 20
@@ -48,8 +53,10 @@ class AccessResult:
 class MemoryHierarchy:
     """The full cache/memory system for one simulated socket."""
 
-    def __init__(self, machine: MachineParams = None) -> None:
+    def __init__(self, machine: MachineParams = None,
+                 obs: Optional[Observability] = None) -> None:
         self.machine = machine or MachineParams()
+        self.obs = obs if obs is not None else Observability()
         lat = self.machine.latency
         self.latency = lat
         self.l1 = [Cache(f"L1D.{i}", self.machine.l1d)
@@ -70,6 +77,50 @@ class MemoryHierarchy:
         # Average ring distance used to centre the NUCA latency spread so the
         # mean core->LLC latency equals ``latency.llc_hit``.
         self._avg_hops = self.machine.llc_slices // 4
+        self._register_metrics()
+
+    def _register_metrics(self) -> None:
+        """Publish the hierarchy through the machine's metrics registry.
+
+        Latency histograms and per-level counters are *push* metrics updated
+        on every access (null no-ops when observability is off); the cache /
+        DRAM / TLB / interconnect stats blocks are *pull* sources read only
+        at snapshot time.
+        """
+        registry = self.obs.metrics
+        self._m_core_cycles = registry.histogram("mem.core_access.cycles")
+        self._m_cha_cycles = registry.histogram("mem.cha_access.cycles")
+        self._m_core_level = {
+            level: registry.counter(f"mem.core_access.level.{level}")
+            for level in ACCESS_LEVELS}
+        self._m_cha_level = {
+            level: registry.counter(f"mem.cha_access.level.{level}")
+            for level in ACCESS_LEVELS}
+        self._m_lock_retries = registry.counter("mem.store_lock_retries")
+        registry.register_source(
+            "mem.l1d", lambda: self._level_stats(self.l1).as_dict())
+        registry.register_source(
+            "mem.l2", lambda: self._level_stats(self.l2).as_dict())
+        registry.register_source(
+            "mem.llc", lambda: self._level_stats(self.llc).as_dict())
+        registry.register_source("mem.dram",
+                                 lambda: self.dram.stats.as_dict())
+        registry.register_source("mem.interconnect",
+                                 lambda: self.interconnect.stats.as_dict())
+        if self.tlbs is not None:
+            registry.register_source(
+                "mem.tlb",
+                lambda: reduce(
+                    lambda acc, tlb: {
+                        "hits": acc["hits"] + tlb.stats.hits,
+                        "misses": acc["misses"] + tlb.stats.misses},
+                    self.tlbs, {"hits": 0, "misses": 0}))
+
+    @staticmethod
+    def _level_stats(caches: List[Cache]) -> CacheStats:
+        """Roll one cache level's per-instance stats into an aggregate."""
+        return reduce(CacheStats.merged, (c.stats for c in caches),
+                      CacheStats())
 
     # -- helpers ---------------------------------------------------------------
     def line_of(self, addr: int) -> int:
@@ -93,6 +144,15 @@ class MemoryHierarchy:
     def core_access(self, core_id: int, addr: int,
                     write: bool = False) -> AccessResult:
         """One load/store issued by ``core_id`` against byte address ``addr``."""
+        result = self._core_access(core_id, addr, write)
+        self._m_core_cycles.observe(result.latency)
+        self._m_core_level[result.level].inc()
+        if result.lock_retries:
+            self._m_lock_retries.inc(result.lock_retries)
+        return result
+
+    def _core_access(self, core_id: int, addr: int,
+                     write: bool = False) -> AccessResult:
         line = self.line_of(addr)
         l1 = self.l1[core_id]
         l2 = self.l2[core_id]
@@ -149,6 +209,13 @@ class MemoryHierarchy:
         Never fills private caches (no pollution); DRAM fills go into the
         line's home LLC slice only.
         """
+        result = self._cha_access(accelerator_slice, addr, write)
+        self._m_cha_cycles.observe(result.latency)
+        self._m_cha_level[result.level].inc()
+        return result
+
+    def _cha_access(self, accelerator_slice: int, addr: int,
+                    write: bool = False) -> AccessResult:
         line = self.line_of(addr)
         home = self.slice_of(addr)
         transfer = self.interconnect.transfer_latency(accelerator_slice, home)

@@ -30,6 +30,12 @@ class InterconnectStats:
     messages: int = 0
     total_hops: int = 0
 
+    def as_dict(self) -> dict:
+        """Flat scalar view for the metrics registry (pull source)."""
+        average = self.total_hops / self.messages if self.messages else 0.0
+        return {"messages": self.messages, "total_hops": self.total_hops,
+                "average_hops": average}
+
 
 class Interconnect:
     """A bidirectional ring with ``stops`` ring stops.

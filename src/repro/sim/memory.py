@@ -89,6 +89,11 @@ class DramStats:
     def accesses(self) -> int:
         return self.reads + self.writes
 
+    def as_dict(self) -> dict:
+        """Flat scalar view for the metrics registry (pull source)."""
+        return {"reads": self.reads, "writes": self.writes,
+                "accesses": self.accesses}
+
 
 class Dram:
     """A flat constant-latency DRAM with simple bandwidth-pressure queueing.

@@ -35,7 +35,15 @@ class Breakdown:
         return self.parts.get(name, 0.0) / total if total else 0.0
 
     def fractions(self) -> Dict[str, float]:
-        total = self.total or 1.0
+        """Per-part shares of the total.
+
+        A zero (or empty) total yields all-zero fractions, matching
+        :meth:`fraction` — the two used to disagree (0 vs divide-by-1),
+        which only coincided because parts were never negative-summing.
+        """
+        total = self.total
+        if not total:
+            return {name: 0.0 for name in self.parts}
         return {name: value / total for name, value in self.parts.items()}
 
     def scaled(self, factor: float) -> "Breakdown":

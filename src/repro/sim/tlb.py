@@ -55,6 +55,11 @@ class TlbStats:
         total = self.hits + self.misses
         return self.misses / total if total else 0.0
 
+    def as_dict(self) -> dict:
+        """Flat scalar view for the metrics registry (pull source)."""
+        return {"hits": self.hits, "misses": self.misses,
+                "miss_rate": self.miss_rate}
+
 
 class Tlb:
     """A fully-associative LRU D-TLB for one core."""

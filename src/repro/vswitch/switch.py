@@ -100,6 +100,12 @@ class VirtualSwitch:
         self.software = SoftwareLookupEngine(system.hierarchy, core_id)
         self.actions = ActionExecutor()
         self.stats = SwitchRunStats()
+        self.obs = system.obs
+        registry = self.obs.metrics
+        self._m_packets = registry.counter("vswitch.packets")
+        self._m_packet_cycles = registry.histogram("vswitch.packet_cycles")
+        registry.register_source("vswitch.layer_hits",
+                                 lambda: dict(self.stats.layer_hits))
 
     # -- rule management ----------------------------------------------------------
     def install_rules(self, rules: Iterable[Rule]) -> None:
@@ -291,6 +297,15 @@ class VirtualSwitch:
         self.stats.breakdown = self.stats.breakdown.merged(breakdown)
         layer = classification.layer.value
         self.stats.layer_hits[layer] = self.stats.layer_hits.get(layer, 0) + 1
+        self._m_packets.inc()
+        self._m_packet_cycles.observe(breakdown.total)
+        if self.obs.enabled:
+            # Per-stage latency histograms, keyed by the Figure 3 stage
+            # names (packet_io / preprocess / emc_lookup / ...).
+            registry = self.obs.metrics
+            for stage, cycles in breakdown:
+                registry.histogram(f"vswitch.stage.{stage}_cycles").observe(
+                    cycles)
         return PacketRecord(classification=classification,
                             breakdown=breakdown)
 

@@ -93,3 +93,38 @@ def test_estimate_never_exceeds_saturation_bound(hashes):
     for value in hashes:
         register.observe(value)
     assert register.estimate() <= 32 * math.log(32) + 1e-9
+
+
+def test_saturated_scan_then_reset_recovers():
+    """After a saturated window the next window estimates fresh (§4.6)."""
+    from repro.core.flow_register import SaturatedEstimate
+
+    register = FlowRegister(8)
+    for value in range(100):
+        register.observe(value * 0x9E3779B9)
+    assert register.is_saturated()
+    value = register.scan_and_reset()
+    assert isinstance(value, SaturatedEstimate)
+    assert not register.is_saturated()
+    assert register.estimate() == pytest.approx(0.0)
+    register.observe(1)
+    assert register.estimate() == pytest.approx(8 * math.log(8 / 7))
+
+
+def test_saturation_counter_counts_each_saturated_estimate():
+    register = FlowRegister(8)
+    for value in range(100):
+        register.observe(value * 0x9E3779B9)
+    before = register.stats.saturations
+    register.estimate()
+    register.estimate()
+    assert register.stats.saturations == before + 2
+
+
+def test_stats_as_dict_flat_view():
+    register = FlowRegister(16)
+    for value in range(6):
+        register.observe(value * 977)
+    register.scan_and_reset()
+    assert register.stats.as_dict() == {
+        "observations": 6, "scans": 1, "saturations": 0}

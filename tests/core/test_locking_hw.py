@@ -64,6 +64,101 @@ def test_stats_count_operations(hierarchy):
     assert manager.stats.unlock_operations == 1
 
 
+def test_release_order_matches_lock_order(hierarchy):
+    """A lease releases its lines in acquisition order (FIFO, not LIFO)."""
+    released = []
+    original = hierarchy.unlock_line
+
+    def tracking_unlock(addr):
+        released.append(addr)
+        return original(addr)
+
+    manager = HardwareLockManager(hierarchy)
+    addrs = [0x46000, 0x46040, 0x46080]
+    hierarchy.warm_llc(addrs[0], 192)
+    lease = manager.lock_lines(addrs)
+    assert lease.lines == addrs
+    hierarchy.unlock_line = tracking_unlock
+    try:
+        lease.release_all()
+    finally:
+        hierarchy.unlock_line = original
+    assert released == addrs
+    assert lease.lines == []
+
+
+def test_release_all_is_idempotent(hierarchy):
+    manager = HardwareLockManager(hierarchy)
+    addr = 0x47000
+    hierarchy.warm_llc(addr, 64)
+    lease = manager.lock_lines([addr])
+    lease.release_all()
+    lease.release_all()
+    assert manager.stats.unlock_operations == 1
+    assert manager.stats.as_dict()["held"] == 0
+
+
+def test_relock_after_release(hierarchy):
+    """Contention sequencing: a released line is immediately lockable."""
+    manager = HardwareLockManager(hierarchy)
+    addr = 0x48000
+    hierarchy.warm_llc(addr, 64)
+    first = manager.lock_lines([addr])
+    first.release_all()
+    second = manager.lock_lines([addr])
+    assert hierarchy.line_locked(addr)
+    second.release_all()
+    assert not hierarchy.line_locked(addr)
+    assert manager.stats.lock_operations == 2
+    assert manager.stats.unlock_operations == 2
+
+
+def test_contending_store_pays_retry_cycles():
+    """While locked, a store is strictly slower: the §4.4 retry penalty."""
+    from repro.sim import MemoryHierarchy, SKYLAKE_SP_16C
+
+    def store_latency(locked):
+        hierarchy = MemoryHierarchy(SKYLAKE_SP_16C)
+        manager = HardwareLockManager(hierarchy)
+        addr = 0x49000
+        hierarchy.warm_llc(addr, 64)
+        lease = (manager.lock_lines([addr]) if locked
+                 else manager.lease())
+        result = hierarchy.core_access(0, addr, write=True)
+        lease.release_all()
+        return result
+
+    contended = store_latency(locked=True)
+    clean = store_latency(locked=False)
+    assert contended.lock_retries >= 1
+    assert clean.lock_retries == 0
+    assert contended.latency > clean.latency
+
+
+def test_rejected_invalidation_counter():
+    from repro.sim import MemoryHierarchy, SKYLAKE_SP_16C
+
+    hierarchy = MemoryHierarchy(SKYLAKE_SP_16C)
+    manager = HardwareLockManager(hierarchy)
+    manager.note_rejected_invalidation()
+    manager.note_rejected_invalidation()
+    assert manager.stats.rejected_invalidations == 2
+    assert manager.stats.as_dict()["rejected_invalidations"] == 2
+
+
+def test_stats_exported_through_registry(hierarchy):
+    manager = HardwareLockManager(hierarchy)
+    addr = 0x4A000
+    hierarchy.warm_llc(addr, 64)
+    lease = manager.lock_lines([addr])
+    snapshot = hierarchy.obs.metrics.snapshot()
+    assert snapshot["halo.locks.lock_operations"] == 1
+    assert snapshot["halo.locks.held"] == 1
+    lease.release_all()
+    snapshot = hierarchy.obs.metrics.snapshot()
+    assert snapshot["halo.locks.held"] == 0
+
+
 def test_query_cannot_leak_locks(system):
     """After any HALO episode, no lock bits remain set (no stuck lines)."""
     from ..conftest import make_keys

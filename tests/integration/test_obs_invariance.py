@@ -1,0 +1,108 @@
+"""Observability must never perturb the model.
+
+Disabled observability swaps every metric/span handle for a shared null
+object; the simulation's cycle arithmetic is identical either way.  These
+tests hold that invariant on real experiments (Figures 9 and 10) and on
+the episode runners, and exercise the ``python -m repro report`` CLI.
+"""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.analysis.experiments import fig09_single_lookup, fig10_breakdown
+from repro.core import HaloSystem
+
+from ..conftest import make_keys
+
+
+def test_fig09_point_identical_with_obs_off(monkeypatch):
+    point_on = fig09_single_lookup.run_point(2 ** 9, occupancy=0.5,
+                                             lookups=30, seed=8)
+    monkeypatch.setenv("REPRO_OBS", "0")
+    point_off = fig09_single_lookup.run_point(2 ** 9, occupancy=0.5,
+                                              lookups=30, seed=8)
+    assert point_on.cycles_per_lookup == point_off.cycles_per_lookup
+    # the registry capture itself is what turns off
+    assert point_on.registry_metrics
+    assert point_off.registry_metrics == {}
+
+
+def test_fig10_cells_identical_with_obs_off(monkeypatch):
+    cells_on = fig10_breakdown.run(table_entries=1 << 11, lookups=20)
+    monkeypatch.setenv("REPRO_OBS", "0")
+    cells_off = fig10_breakdown.run(table_entries=1 << 11, lookups=20)
+    assert cells_on.keys() == cells_off.keys()
+    for key, cell in cells_on.items():
+        assert cell.breakdown.parts == cells_off[key].breakdown.parts
+    assert cells_on["llc/halo"].registry_metrics
+    assert cells_off["llc/halo"].registry_metrics == {}
+
+
+def test_episode_cycles_identical_with_obs_off():
+    def run(enabled):
+        system = HaloSystem(observability=enabled)
+        table = system.create_table(256, name="invariance")
+        keys = make_keys(64, seed=33)
+        for index, key in enumerate(keys):
+            table.insert(key, index)
+        system.warm_table(table)
+        system.hierarchy.flush_private(0)
+        blocking = system.run_blocking_lookups(table, keys[:20])
+        nonblocking = system.run_nonblocking_lookups(table, keys[20:40])
+        software = system.run_software_lookups(table, keys[:20])
+        return (blocking.cycles, nonblocking.cycles, software.cycles)
+
+    assert run(True) == run(False)
+
+
+def test_disabled_system_records_nothing():
+    system = HaloSystem(observability=False)
+    table = system.create_table(128, name="dark")
+    keys = make_keys(16, seed=3)
+    for index, key in enumerate(keys):
+        table.insert(key, index)
+    system.warm_table(table)
+    system.run_blocking_lookups(table, keys[:8])
+    assert system.obs.metrics.snapshot() == {}
+    assert len(system.obs.trace) == 0
+    assert "no metrics recorded" in system.report()
+
+
+def test_repro_obs_env_default(monkeypatch):
+    monkeypatch.setenv("REPRO_OBS", "off")
+    assert HaloSystem().obs.enabled is False
+    monkeypatch.setenv("REPRO_OBS", "1")
+    assert HaloSystem().obs.enabled is True
+
+
+# -- the report CLI ------------------------------------------------------------
+@pytest.fixture(scope="module")
+def report_output(tmp_path_factory):
+    json_path = tmp_path_factory.mktemp("report") / "obs.json"
+    import contextlib
+    import io
+    stream = io.StringIO()
+    with contextlib.redirect_stdout(stream):
+        code = main(["report", "--quick", "--json", str(json_path)])
+    return code, stream.getvalue(), json_path
+
+
+def test_report_cli_prints_component_breakdown(report_output):
+    code, out, _path = report_output
+    assert code == 0
+    assert "HaloSystem metrics" in out
+    assert "components:" in out
+    # every instrumented layer shows up
+    for component in ("halo", "mem", "vswitch"):
+        assert f"\n{component}" in out or out.startswith(component)
+    assert "query span trees recorded" in out
+
+
+def test_report_cli_writes_json_export(report_output):
+    _code, _out, path = report_output
+    export = json.loads(path.read_text(encoding="utf-8"))
+    assert export["enabled"] is True
+    assert export["metrics"]["vswitch.packets"] > 0
+    assert export["spans"], "per-query span trees exported"

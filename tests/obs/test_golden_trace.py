@@ -1,0 +1,122 @@
+"""Golden-trace regression: a fixed workload's full observability export.
+
+The workload is deterministic (seeded keys, fresh engine), so the metrics
+snapshot and the per-query span trees must be bit-for-bit reproducible.
+The expected export lives in ``tests/data/golden_obs.json``; regenerate it
+after an *intentional* model change with::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/obs/test_golden_trace.py
+
+Query ids come from a process-global counter (they depend on what ran
+before this test), so the comparison scrubs them from span attributes.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core import HaloSystem
+from repro.obs import validate_nesting
+
+from ..conftest import make_keys
+
+GOLDEN_PATH = Path(__file__).resolve().parent.parent / "data" / "golden_obs.json"
+
+BLOCKING = 24
+NONBLOCKING = 32
+
+
+def run_workload() -> HaloSystem:
+    system = HaloSystem(observability=True)
+    table = system.create_table(1 << 8, name="golden")
+    keys = make_keys(96, seed=21)
+    for index, key in enumerate(keys):
+        table.insert(key, index)
+    system.warm_table(table)
+    system.hierarchy.flush_private(0)
+    system.run_blocking_lookups(table, keys[:BLOCKING])
+    system.run_nonblocking_lookups(table, keys[BLOCKING:BLOCKING + NONBLOCKING])
+    return system
+
+
+def _scrub(span: dict) -> None:
+    attrs = span.get("attrs")
+    if attrs:
+        attrs.pop("query_id", None)
+        if not attrs:
+            del span["attrs"]
+    for child in span.get("children", ()):
+        _scrub(child)
+
+
+def sanitized_export(system: HaloSystem) -> dict:
+    export = json.loads(system.obs.to_json())
+    for span in export["spans"]:
+        _scrub(span)
+    return export
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return run_workload()
+
+
+def test_export_matches_golden_snapshot(workload):
+    export = sanitized_export(workload)
+    if os.environ.get("REPRO_REGEN_GOLDEN"):
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(json.dumps(export, indent=2, sort_keys=True)
+                               + "\n", encoding="utf-8")
+    golden = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+    assert export["metrics"] == golden["metrics"]
+    assert export["spans"] == golden["spans"]
+
+
+def test_metric_counting_invariants(workload):
+    snapshot = workload.obs.metrics.snapshot()
+    queries = snapshot["halo.accelerator.queries"]
+    assert queries == BLOCKING + NONBLOCKING
+    assert (snapshot["halo.accelerator.hits"]
+            + snapshot["halo.accelerator.misses"]) == queries
+    assert snapshot["halo.distributor.dispatched"] == queries
+    assert (snapshot["halo.isa.lookup_b"]
+            + snapshot["halo.isa.lookup_nb"]) == queries
+    assert snapshot["halo.query.latency_cycles"]["count"] == queries
+    assert snapshot["halo.locks.held"] == 0
+    # every metadata lookup either hit or missed
+    assert (snapshot["halo.accelerator.metadata_hits"]
+            + snapshot["halo.accelerator.metadata_misses"]) == queries
+
+
+def test_one_span_tree_per_query_and_nesting_holds(workload):
+    roots = workload.obs.trace.roots
+    assert len(roots) == BLOCKING + NONBLOCKING
+    for root in roots:
+        assert root.name == "query"
+        assert validate_nesting(root) == []
+
+
+def test_span_stage_structure(workload):
+    """Each query tree walks distributor -> accelerator -> memory stages."""
+    for root in workload.obs.trace.roots:
+        names = [span.name for span in root.walk()]
+        assert "distributor.dispatch" in names
+        assert "accelerator.queue" in names
+        assert "accelerator.serve" in names
+        assert "metadata_fetch" in names
+        assert "key_fetch" in names
+        assert "hash" in names
+        assert "bucket_scan" in names
+        assert "deliver" in names
+        assert "found" in root.attrs
+
+
+def test_span_durations_cover_children(workload):
+    for root in workload.obs.trace.roots:
+        for span in root.walk():
+            child_span = sum(c.duration for c in span.children)
+            assert span.duration >= 0.0
+            # children are sequential stages of their parent
+            assert child_span <= span.duration + 1e-9

@@ -1,0 +1,109 @@
+"""Property-based tests for the fixed-bucket histogram (repro.obs).
+
+Fixed bounds make merging exact — two histograms over the same bounds add
+bucket-wise — which is what the registry relies on to aggregate per-slice
+latency distributions.  Hypothesis locks in:
+
+* count conservation: every observation lands in exactly one bucket
+  (including values exactly on a bound, and in the overflow bucket);
+* merge is commutative and associative on counts, and equivalent to
+  observing the concatenated stream;
+* percentiles are monotone in the queried fraction and clamped to the
+  observed ``[min, max]`` range.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.obs import DEFAULT_LATENCY_BUCKETS, Histogram
+
+values = st.floats(min_value=0.0, max_value=1e6,
+                   allow_nan=False, allow_infinity=False)
+value_lists = st.lists(values, min_size=0, max_size=200)
+
+# Also exercise values exactly on bucket bounds, where bisect off-by-ones
+# would silently misplace observations.
+boundary_values = st.sampled_from(DEFAULT_LATENCY_BUCKETS)
+mixed_lists = st.lists(st.one_of(values, boundary_values),
+                       min_size=0, max_size=200)
+
+
+def fill(samples, name="h"):
+    histogram = Histogram(name)
+    for value in samples:
+        histogram.observe(value)
+    return histogram
+
+
+@settings(max_examples=150, deadline=None)
+@given(mixed_lists)
+def test_count_conservation(samples):
+    histogram = fill(samples)
+    assert histogram.count == len(samples)
+    assert sum(histogram.bucket_counts) + histogram.overflow == len(samples)
+
+
+@settings(max_examples=150, deadline=None)
+@given(mixed_lists, mixed_lists)
+def test_merge_equals_concatenated_stream(left, right):
+    merged = fill(left).merge(fill(right))
+    combined = fill(left + right)
+    assert merged.bucket_counts == combined.bucket_counts
+    assert merged.overflow == combined.overflow
+    assert merged.count == combined.count
+    assert merged.sum == pytest.approx(combined.sum)
+    if merged.count:
+        assert merged.min == combined.min
+        assert merged.max == combined.max
+
+
+@settings(max_examples=100, deadline=None)
+@given(value_lists, value_lists)
+def test_merge_commutes(left, right):
+    ab = fill(left).merge(fill(right))
+    ba = fill(right).merge(fill(left))
+    assert ab.bucket_counts == ba.bucket_counts
+    assert ab.overflow == ba.overflow
+    assert ab.count == ba.count
+
+
+@settings(max_examples=100, deadline=None)
+@given(value_lists, value_lists, value_lists)
+def test_merge_associates_on_counts(a, b, c):
+    left = fill(a).merge(fill(b)).merge(fill(c))
+    right = fill(a).merge(fill(b).merge(fill(c)))
+    assert left.bucket_counts == right.bucket_counts
+    assert left.overflow == right.overflow
+    assert left.count == right.count
+    assert left.sum == pytest.approx(right.sum)
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.lists(values, min_size=1, max_size=200),
+       st.lists(st.floats(min_value=0.0, max_value=1.0,
+                          allow_nan=False), min_size=2, max_size=6))
+def test_percentiles_monotone_and_clamped(samples, fractions):
+    histogram = fill(samples)
+    estimates = [histogram.percentile(f) for f in sorted(fractions)]
+    for lower, upper in zip(estimates, estimates[1:]):
+        assert lower <= upper + 1e-9
+    for estimate in estimates:
+        assert histogram.min <= estimate <= histogram.max
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.lists(values, min_size=1, max_size=200))
+def test_mean_within_extremes(samples):
+    histogram = fill(samples)
+    assert histogram.min - 1e-9 <= histogram.mean <= histogram.max + 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(value_lists)
+def test_reset_then_refill_reproduces(samples):
+    histogram = fill(samples)
+    histogram.reset()
+    for value in samples:
+        histogram.observe(value)
+    assert histogram.bucket_counts == fill(samples).bucket_counts
+    assert histogram.count == len(samples)

@@ -78,3 +78,25 @@ def test_speedup_table():
     table = speedup_table({"a": 100.0, "b": 50.0}, {"a": 25.0, "b": 50.0})
     assert table["a"] == pytest.approx(4.0)
     assert table["b"] == pytest.approx(1.0)
+
+
+def test_breakdown_zero_total_fraction_and_fractions_agree():
+    """Regression: fraction() and fractions() used to disagree at total=0
+    (0.0 vs divide-by-1); both now report all-zero shares."""
+    breakdown = Breakdown({"a": 0.0, "b": 0.0})
+    assert breakdown.total == 0.0
+    assert breakdown.fraction("a") == 0.0
+    assert breakdown.fractions() == {"a": 0.0, "b": 0.0}
+    for name in breakdown.parts:
+        assert breakdown.fractions()[name] == breakdown.fraction(name)
+
+
+def test_breakdown_empty_fractions():
+    assert Breakdown().fractions() == {}
+
+
+def test_breakdown_fractions_match_fraction_nonzero():
+    breakdown = Breakdown({"a": 2.0, "b": 6.0})
+    fractions = breakdown.fractions()
+    for name in breakdown.parts:
+        assert fractions[name] == pytest.approx(breakdown.fraction(name))
