@@ -3,161 +3,31 @@
 The paper chose: 10 scoreboard entries, a 10-table metadata cache, one
 fully-pipelined hash unit, and one accelerator per LLC slice, noting these
 "maintain a decent balance between performance and hardware cost".  These
-benches sweep each knob to show the balance point.
+sweeps show the balance point for each knob.
+
+Thin wrapper over the ``repro.runner`` registry (experiment
+``abl_design``); ``python -m repro bench --only abl_design`` runs the
+same grid (one grid point per knob sweep).
 """
 
-from typing import Generator
-
-import numpy as np
-
-from repro.core import HaloSystem
-from repro.sim.params import HaloParams, SKYLAKE_SP_16C
-from repro.traffic import random_keys
+from repro.runner import run_for_bench
 
 from _common import record_report, run_once
 
-TUPLES = 20
-ENTRIES_PER_TUPLE = 1024
-PACKETS = 30
 
+def test_ablation_halo_design(benchmark):
+    payloads, report = run_once(benchmark, run_for_bench, "abl_design")
+    record_report("ablation_halo_design", report)
 
-def _tss_cycles_per_packet(machine) -> float:
-    """HALO-NB tuple space search cost on a given machine config."""
-    system = HaloSystem(machine)
-    tables = []
-    keysets = []
-    for index in range(TUPLES):
-        table = system.create_table(ENTRIES_PER_TUPLE, name=f"abl{index}")
-        keys = random_keys(800, seed=300 + index)
-        for position, key in enumerate(keys):
-            table.insert(key, position)
-        system.warm_table(table)
-        tables.append(table)
-        keysets.append(keys)
-    rng = np.random.default_rng(9)
+    by_depth = dict(payloads["scoreboard"])
+    assert by_depth[1] > by_depth[10] * 0.99
+    assert by_depth[20] > by_depth[10] * 0.8
 
-    def program() -> Generator:
-        for _packet in range(PACKETS):
-            hit = int(rng.integers(0, TUPLES))
-            pending = []
-            for index, table in enumerate(tables):
-                key = (keysets[index][int(rng.integers(0, 800))]
-                       if index == hit else
-                       bytes(rng.integers(0, 256, size=16, dtype=np.uint8)))
-                process = yield from system.isa.lookup_nb(0, table, key)
-                pending.append(process)
-            yield from system.isa.snapshot_read_poll(0, pending)
-        return []
+    by_count = dict(payloads["accelerators"])
+    assert by_count[2] > by_count[16]
 
-    start = system.engine.now
-    system.engine.run_process(program())
-    return (system.engine.now - start) / PACKETS
+    metadata_rows = payloads["metadata_cache"]
+    assert metadata_rows[-1][2] >= metadata_rows[0][2]
 
-
-def _sweep_scoreboard():
-    rows = []
-    for depth in (1, 2, 5, 10, 20):
-        machine = SKYLAKE_SP_16C.scaled(
-            halo=HaloParams(scoreboard_entries=depth))
-        rows.append((depth, _tss_cycles_per_packet(machine)))
-    return rows
-
-
-def test_ablation_scoreboard_depth(benchmark):
-    rows = run_once(benchmark, _sweep_scoreboard)
-    lines = ["Ablation — scoreboard depth (TSS-20 NB cycles/packet):"]
-    lines += [f"  depth {depth:2d}: {cycles:7.1f}" for depth, cycles in rows]
-    lines.append("  paper picks 10: deeper adds little, shallower hurts")
-    record_report("ablation_scoreboard", "\n".join(lines))
-    by_depth = dict(rows)
-    assert by_depth[1] > by_depth[10] * 0.99    # depth 1 no better
-    assert by_depth[20] > by_depth[10] * 0.8    # beyond 10: diminishing
-
-
-def _sweep_accelerator_count():
-    rows = []
-    for slices in (2, 4, 8, 16):
-        machine = SKYLAKE_SP_16C.scaled(llc_slices=slices, cores=slices)
-        rows.append((slices, _tss_cycles_per_packet(machine)))
-    return rows
-
-
-def test_ablation_accelerator_count(benchmark):
-    rows = run_once(benchmark, _sweep_accelerator_count)
-    lines = ["Ablation — accelerators (LLC slices), TSS-20 NB cycles/packet:"]
-    lines += [f"  {slices:2d} accelerators: {cycles:7.1f}"
-              for slices, cycles in rows]
-    lines.append("  distributed design: more accelerators -> more overlap")
-    record_report("ablation_accelerators", "\n".join(lines))
-    by_count = dict(rows)
-    assert by_count[2] > by_count[16]     # scaling with parallelism
-
-
-def _sweep_metadata_cache():
-    rows = []
-    for tables in (1, 2, 5, 10):
-        machine = SKYLAKE_SP_16C.scaled(
-            halo=HaloParams(metadata_cache_tables=tables))
-        system = HaloSystem(machine)
-        cycles = _metadata_workload(system)
-        hits = sum(acc.stats.metadata_hits for acc in system.accelerators)
-        misses = sum(acc.stats.metadata_misses
-                     for acc in system.accelerators)
-        rate = hits / (hits + misses) if hits + misses else 0.0
-        rows.append((tables, cycles, rate))
-    return rows
-
-
-def _metadata_workload(system) -> float:
-    """Round-robin over 24 tables: stresses the metadata cache."""
-    tables = []
-    keysets = []
-    for index in range(24):
-        table = system.create_table(256, name=f"meta{index}")
-        keys = random_keys(128, seed=400 + index)
-        for position, key in enumerate(keys):
-            table.insert(key, position)
-        system.warm_table(table)
-        tables.append(table)
-        keysets.append(keys)
-
-    def program():
-        for round_index in range(8):
-            for index, table in enumerate(tables):
-                yield from system.isa.lookup_b(
-                    0, table, keysets[index][round_index])
-        return []
-
-    start = system.engine.now
-    system.engine.run_process(program())
-    return (system.engine.now - start) / (8 * 24)
-
-
-def test_ablation_metadata_cache_size(benchmark):
-    rows = run_once(benchmark, _sweep_metadata_cache)
-    lines = ["Ablation — metadata cache capacity "
-             "(24-table round robin, LOOKUP_B):"]
-    lines += [f"  {tables:2d} tables: {cycles:6.1f} cyc/lookup, "
-              f"{rate*100:5.1f}% metadata hits"
-              for tables, cycles, rate in rows]
-    record_report("ablation_metadata_cache", "\n".join(lines))
-    assert rows[-1][2] >= rows[0][2]    # bigger cache, better hit rate
-
-
-def _sweep_hash_pipeline():
-    rows = []
-    for interval in (1, 3):
-        machine = SKYLAKE_SP_16C.scaled(
-            halo=HaloParams(hash_issue_interval=interval))
-        rows.append((interval, _tss_cycles_per_packet(machine)))
-    return rows
-
-
-def test_ablation_hash_unit_pipelining(benchmark):
-    rows = run_once(benchmark, _sweep_hash_pipeline)
-    lines = ["Ablation — hash-unit issue interval (1 = fully pipelined):"]
-    lines += [f"  interval {interval}: {cycles:7.1f} cyc/packet"
-              for interval, cycles in rows]
-    record_report("ablation_hash_pipeline", "\n".join(lines))
-    by_interval = dict(rows)
+    by_interval = dict(payloads["hash_pipeline"])
     assert by_interval[3] >= by_interval[1]

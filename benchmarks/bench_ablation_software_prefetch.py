@@ -3,55 +3,22 @@
 The paper's baseline is "highly optimized with software prefetching"
 (rte_hash).  This ablation models an idealised ``lookup_bulk`` whose
 same-stage misses overlap perfectly up to the MSHRs, and asks what of
-HALO's advantage survives:
+HALO's advantage survives idealised batching.
 
-* pure single-table *throughput*: idealised batching closes most of the
-  gap (real DPDK bulk gets part of this);
-* *latency* (a packet needs this lookup now): blocking software cannot
-  batch — HALO-B keeps its ~3×;
-* private-cache pollution (Figure 12), locking (§3.4), and TSS fan-out
-  (Figure 11) are untouched by prefetching.
+Thin wrapper over the ``repro.runner`` registry (experiment
+``abl_prefetch``); ``python -m repro bench --only abl_prefetch`` runs
+the same grid.
 """
 
-from repro.core import HaloSystem
-from repro.traffic import random_keys
+from repro.runner import run_for_bench
 
 from _common import record_report, run_once
 
 
-def _measure():
-    system = HaloSystem()
-    table = system.create_table(1 << 16, name="prefetch_ablation")
-    keys = random_keys(40_000, seed=21)
-    for index, key in enumerate(keys):
-        table.insert(key, index)
-    system.warm_table(table)
-    system.hierarchy.flush_private(0)
-    sample = keys[:400]
-
-    serial = system.run_software_lookups(table, sample)
-    rows = [("software serial", serial.cycles_per_op)]
-    for batch in (2, 4, 8, 16):
-        engine = system.software_engine()
-        _values, cycles = engine.lookup_bulk(table, sample, batch=batch)
-        rows.append((f"software bulk x{batch}", cycles / len(sample)))
-    blocking = system.run_blocking_lookups(table, sample)
-    rows.append(("HALO LOOKUP_B", blocking.cycles_per_op))
-    nonblocking = system.run_nonblocking_lookups(table, sample)
-    rows.append(("HALO LOOKUP_NB", nonblocking.cycles_per_op))
-    return rows
-
-
-def test_ablation_software_prefetch_batching(benchmark):
-    rows = run_once(benchmark, _measure)
-    lines = ["Ablation — software prefetch batching vs HALO "
-             "(cycles/lookup, LLC-resident table):"]
-    lines += [f"  {name:20s} {cycles:7.1f}" for name, cycles in rows]
-    lines.append("  idealised bulk batching approaches HALO's throughput;")
-    lines.append("  HALO's remaining edge: latency, zero private-cache")
-    lines.append("  pollution (Fig.12), no locking (§3.4), TSS fan-out "
-                 "(Fig.11)")
-    record_report("ablation_software_prefetch", "\n".join(lines))
-    by_name = dict(rows)
-    assert by_name["software bulk x8"] < by_name["software serial"]
-    assert by_name["HALO LOOKUP_B"] < by_name["software serial"] / 2
+def test_ablation_software_prefetch(benchmark):
+    payloads, report = run_once(benchmark, run_for_bench, "abl_prefetch")
+    record_report("ablation_software_prefetch", report)
+    costs = dict(payloads["default"])
+    serial = costs["software serial"]
+    assert costs["software bulk x8"] < serial
+    assert costs["HALO LOOKUP_B"] < serial / 2

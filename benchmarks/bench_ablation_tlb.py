@@ -3,48 +3,23 @@
 The paper's baseline uses contiguous (hugepage) table memory.  This
 ablation turns the D-TLB model on and compares 4 KB pages, 2 MB
 hugepages, and perfect translation for the same LLC-resident table.
-HALO is immune either way: the accelerator's accesses carry
-already-translated addresses.
+HALO carries already-translated addresses (§4.2) and is immune.
+
+Thin wrapper over the ``repro.runner`` registry (experiment ``abl_tlb``);
+``python -m repro bench --only abl_tlb`` runs the same grid.
 """
 
-from repro.core import HaloSystem
-from repro.sim import SKYLAKE_SP_16C, TlbParams
-from repro.traffic import random_keys
+from repro.runner import run_for_bench
 
 from _common import record_report, run_once
 
 
-def _measure():
-    rows = []
-    for name, tlb in (("perfect (paper default)", None),
-                      ("2MB hugepages (DPDK)", TlbParams.hugepages()),
-                      ("4KB pages", TlbParams.small_pages())):
-        system = HaloSystem(SKYLAKE_SP_16C.scaled(tlb=tlb))
-        table = system.create_table(1 << 16, name="tlb_abl")
-        keys = random_keys(40_000, seed=31)
-        for index, key in enumerate(keys):
-            table.insert(key, index)
-        system.warm_table(table)
-        system.hierarchy.flush_private(0)
-        software = system.run_software_lookups(table, keys[:250])
-        halo = system.run_blocking_lookups(table, keys[250:500])
-        miss_rate = (system.hierarchy.tlbs[0].stats.miss_rate
-                     if system.hierarchy.tlbs else 0.0)
-        rows.append((name, software.cycles_per_op, halo.cycles_per_op,
-                     miss_rate))
-    return rows
-
-
 def test_ablation_tlb_page_size(benchmark):
-    rows = run_once(benchmark, _measure)
-    lines = ["Ablation — D-TLB page size (software vs HALO cyc/lookup):"]
-    lines += [f"  {name:24s} sw {software:6.1f}  halo {halo:5.1f}  "
-              f"(TLB miss {miss:.1%})"
-              for name, software, halo, miss in rows]
-    lines.append("  hugepages make translation free; HALO is immune "
-                 "either way")
-    record_report("ablation_tlb", "\n".join(lines))
-    by_name = {name: software for name, software, _h, _m in rows}
-    assert by_name["4KB pages"] > by_name["2MB hugepages (DPDK)"] * 1.1
-    halo_costs = [halo for _n, _s, halo, _m in rows]
+    payloads, report = run_once(benchmark, run_for_bench, "abl_tlb")
+    record_report("ablation_tlb", report)
+    rows = payloads["default"]
+    software_by_name = {name: software for name, software, _halo, _m in rows}
+    assert (software_by_name["4KB pages"]
+            > software_by_name["2MB hugepages (DPDK)"] * 1.1)
+    halo_costs = [halo for _name, _software, halo, _miss in rows]
     assert max(halo_costs) - min(halo_costs) < 5.0

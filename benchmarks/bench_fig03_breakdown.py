@@ -3,16 +3,19 @@
 Paper: 340-993 cycles/packet across five traffic configurations; flow
 classification grows from 30.9% to 77.8% of the total, dominated by
 MegaFlow tuple-space lookups.
+
+Thin wrapper over the ``repro.runner`` registry (experiment ``fig03``);
+``python -m repro bench --only fig03`` runs the same grid.
 """
 
-from repro.analysis.experiments import fig03_breakdown
+from repro.runner import run_for_bench
 
 from _common import record_report, run_once
 
 
 def test_fig03_packet_processing_breakdown(benchmark):
-    rows = run_once(benchmark, fig03_breakdown.run,
-                    max_flows=60_000, packets=1_500, warmup=500)
-    record_report("fig03_breakdown", fig03_breakdown.report(rows))
+    payloads, report = run_once(benchmark, run_for_bench, "fig03")
+    record_report("fig03_breakdown", report)
+    rows = list(payloads.values())
     assert rows[-1].cycles_per_packet > rows[0].cycles_per_packet
     assert rows[-1].classification_fraction > rows[0].classification_fraction

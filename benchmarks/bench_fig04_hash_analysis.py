@@ -3,18 +3,20 @@
 Paper: cuckoo sustains ~95% occupancy and stays LLC-resident to millions of
 flows; SFH (~20% occupancy) starts missing the LLC at ~100K flows,
 stalling the CPU.
+
+Thin wrapper over the ``repro.runner`` registry (experiment ``fig04``);
+``python -m repro bench --only fig04`` runs the same grid.
 """
 
-from repro.analysis.experiments import fig04_hash
+from repro.runner import run_for_bench
 
 from _common import record_report, run_once
 
 
 def test_fig04_hash_table_cache_behaviour(benchmark):
-    rows = run_once(benchmark, fig04_hash.run,
-                    flow_counts=(1_000, 10_000, 100_000, 400_000),
-                    lookups=1_200)
-    record_report("fig04_hash_analysis", fig04_hash.report(rows))
+    payloads, report = run_once(benchmark, run_for_bench, "fig04")
+    record_report("fig04_hash_analysis", report)
+    rows = [row for shard in payloads.values() for row in shard]
     biggest = max(r.num_flows for r in rows)
     cuckoo = next(r for r in rows
                   if r.table_kind == "cuckoo" and r.num_flows == biggest)

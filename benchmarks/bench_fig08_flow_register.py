@@ -2,17 +2,19 @@
 
 Paper: a register accurately estimates ~2x more flows than it has bits;
 32 bits suffice for the 64-flow hybrid-mode threshold.
+
+Thin wrapper over the ``repro.runner`` registry (experiment ``fig08``);
+``python -m repro bench --only fig08`` runs the same grid.
 """
 
-from repro.analysis.experiments import fig08_flow_register
+from repro.runner import run_for_bench
 
 from _common import record_report, run_once
 
 
 def test_fig08_flow_register_accuracy(benchmark):
-    points = run_once(benchmark, fig08_flow_register.run,
-                      bit_sizes=(8, 16, 32, 64, 128, 256), trials=25)
-    record_report("fig08_flow_register",
-                  fig08_flow_register.report(points))
+    payloads, report = run_once(benchmark, run_for_bench, "fig08")
+    record_report("fig08_flow_register", report)
+    points = payloads["default"]
     at_2x = [p for p in points if p.true_flows == 2 * p.bits]
     assert sum(p.relative_error for p in at_2x) / len(at_2x) < 0.25

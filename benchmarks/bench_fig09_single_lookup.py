@@ -3,41 +3,27 @@
 Paper: HALO up to 3.3x over software for LLC-resident tables (2.1x beyond
 LLC); TCAM-class devices fastest; software wins only at tiny (L1-resident)
 tables; blocking vs non-blocking within ~5% on one table.
+
+Thin wrapper over the ``repro.runner`` registry (experiment ``fig09``:
+per-size shards plus occupancy and DRAM-resident points);
+``python -m repro bench --only fig09`` runs the same grid.
 """
 
-from repro.analysis.experiments import fig09_single_lookup
+from repro.runner import run_for_bench
 
 from _common import record_report, run_once
 
 
-def _run_both():
-    sizes = fig09_single_lookup.run_size_sweep(
-        sizes=(2 ** 3, 2 ** 6, 2 ** 9, 2 ** 12, 2 ** 15, 2 ** 18),
-        lookups=300)
-    occupancy = fig09_single_lookup.run_occupancy_sweep(
-        table_entries=2 ** 15, lookups=250)
-    return sizes, occupancy
-
-
 def test_fig09_single_lookup_throughput(benchmark):
-    sizes, occupancy = run_once(benchmark, _run_both)
-    record_report("fig09_single_lookup",
-                  fig09_single_lookup.report(sizes, occupancy))
-    largest = sizes[-1].normalized_throughput()
-    smallest = sizes[0].normalized_throughput()
+    payloads, report = run_once(benchmark, run_for_bench, "fig09")
+    record_report("fig09_single_lookup", report)
+
+    largest = payloads["size_2e18"].normalized_throughput()
+    smallest = payloads["size_2e03"].normalized_throughput()
     assert 2.3 <= largest["halo-b"] <= 4.3
     assert smallest["halo-b"] <= 1.1      # software wins at tiny tables
     assert largest["tcam"] > largest["halo-nb"]
 
-
-def test_fig09_dram_resident_point(benchmark):
-    """The beyond-LLC regime: paper reports ~2.1x average."""
-    point = run_once(benchmark, fig09_single_lookup.run_point,
-                     2 ** 16, 0.5, 200, 8, True)
-    normalized = point.normalized_throughput()
-    record_report("fig09_dram_point",
-                  f"Figure 9 (DRAM-resident table): HALO-B "
-                  f"{normalized['halo-b']:.2f}x, HALO-NB "
-                  f"{normalized['halo-nb']:.2f}x vs software "
-                  f"(paper: ~2.1x average beyond LLC)")
-    assert 1.3 <= normalized["halo-b"] <= 3.0
+    # The beyond-LLC regime: paper reports ~2.1x average.
+    dram = payloads["dram_point"].normalized_throughput()
+    assert 1.3 <= dram["halo-b"] <= 3.0

@@ -3,17 +3,20 @@
 Paper: HALO's near-data access is 4.1x faster than a core's when the entry
 is in LLC and 1.6x when in DRAM; hardware lock bits remove the software
 locking component entirely.
+
+Thin wrapper over the ``repro.runner`` registry (experiment ``fig10``);
+``python -m repro bench --only fig10`` runs the same grid.
 """
 
-from repro.analysis.experiments import fig10_breakdown
+from repro.runner import run_for_bench
 
 from _common import record_report, run_once
 
 
 def test_fig10_lookup_latency_breakdown(benchmark):
-    cells = run_once(benchmark, fig10_breakdown.run,
-                     table_entries=1 << 16, lookups=200)
-    record_report("fig10_latency_breakdown", fig10_breakdown.report(cells))
+    payloads, report = run_once(benchmark, run_for_bench, "fig10")
+    record_report("fig10_latency_breakdown", report)
+    cells = payloads["default"]
     llc_ratio = (cells["llc/software"].breakdown["memory"]
                  / cells["llc/halo"].breakdown["memory"])
     dram_ratio = (cells["dram/software"].breakdown["memory"]

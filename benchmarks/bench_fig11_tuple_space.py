@@ -2,17 +2,20 @@
 
 Paper: HALO non-blocking scales TSS up to 23.4x at 20 tuples; blocking
 mode is limited; TCAM-class devices stay flat and fastest.
+
+Thin wrapper over the ``repro.runner`` registry (experiment ``fig11``);
+``python -m repro bench --only fig11`` runs the same grid.
 """
 
-from repro.analysis.experiments import fig11_tuple_space
+from repro.runner import run_for_bench
 
 from _common import record_report, run_once
 
 
 def test_fig11_tuple_space_scaling(benchmark):
-    points = run_once(benchmark, fig11_tuple_space.run,
-                      tuple_counts=(5, 10, 15, 20), packets=40)
-    record_report("fig11_tuple_space", fig11_tuple_space.report(points))
+    payloads, report = run_once(benchmark, run_for_bench, "fig11")
+    record_report("fig11_tuple_space", report)
+    points = list(payloads.values())
     last = points[-1].normalized_throughput()
     first = points[0].normalized_throughput()
     assert last["halo-nb"] >= 14.0          # paper: up to 23.4x

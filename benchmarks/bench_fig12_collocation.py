@@ -2,20 +2,23 @@
 
 Paper: the software switch drops ACL/Snort/mTCP throughput 17-26% via L1D
 pollution; the HALO switch costs them < 3.2%.
+
+Thin wrapper over the ``repro.runner`` registry (experiment ``fig12``);
+``python -m repro bench --only fig12`` runs the same grid.
 """
 
-from repro.analysis.experiments import fig12_collocation
+from repro.runner import run_for_bench
 from repro.vswitch import SwitchMode
 
 from _common import record_report, run_once
 
 
-def test_fig12_collocated_nf_interference(benchmark):
-    results = run_once(benchmark, fig12_collocation.run,
-                       flow_counts=(1_000, 50_000), packets=350, warmup=350)
-    record_report("fig12_collocation", fig12_collocation.report(results))
-    software = [r for r in results if r.switch_mode is SwitchMode.SOFTWARE]
-    halo = [r for r in results if r.switch_mode is not SwitchMode.SOFTWARE]
+def test_fig12_collocation_interference(benchmark):
+    payloads, report = run_once(benchmark, run_for_bench, "fig12")
+    record_report("fig12_collocation", report)
+    rows = [row for shard in payloads.values() for row in shard]
+    software = [r for r in rows if r.switch_mode is SwitchMode.SOFTWARE]
+    halo = [r for r in rows if r.switch_mode is not SwitchMode.SOFTWARE]
     assert max(r.throughput_drop for r in software) > 0.08
     assert max(r.throughput_drop for r in halo) < 0.05
     assert all(r.l1_miss_increase > 0.05 for r in software)

@@ -1,18 +1,21 @@
 """Figure 13 — hash-table NF throughput gains with HALO.
 
 Paper: NAT, prads, and a hash-based packet filter speed up by 2.3-2.7x.
+
+Thin wrapper over the ``repro.runner`` registry (experiment ``fig13``);
+``python -m repro bench --only fig13`` runs the same grid.
 """
 
-from repro.analysis.experiments import fig13_nf_speedup
+from repro.runner import run_for_bench
 
 from _common import record_report, run_once
 
 
-def test_fig13_nf_speedups(benchmark):
-    rows = run_once(benchmark, fig13_nf_speedup.run, packets=250)
-    record_report("fig13_nf_speedup", fig13_nf_speedup.report(rows))
-    assert all(row.speedup > 1.3 for row in rows)
-    largest = [max((r for r in rows if r.nf_name == name),
-                   key=lambda r: r.table_entries)
-               for name in {r.nf_name for r in rows}]
-    assert all(1.9 <= row.speedup <= 3.0 for row in largest)
+def test_fig13_nf_speedup(benchmark):
+    payloads, report = run_once(benchmark, run_for_bench, "fig13")
+    record_report("fig13_nf_speedup", report)
+    rows = [row for shard in payloads.values() for row in shard]
+    assert all(r.speedup > 1.3 for r in rows)
+    for shard in payloads.values():
+        largest = max(shard, key=lambda r: r.table_entries)
+        assert 1.9 <= largest.speedup <= 3.0

@@ -2,15 +2,19 @@
 
 The paper profiles hash-table lookups over the typical network-header
 sizes; HALO's advantage holds across the range.
+
+Thin wrapper over the ``repro.runner`` registry (experiment ``keysize``);
+``python -m repro bench --only keysize`` runs the same grid.
 """
 
-from repro.analysis.experiments import keysize_sweep
+from repro.runner import run_for_bench
 
 from _common import record_report, run_once
 
 
-def test_keysize_sweep(benchmark):
-    points = run_once(benchmark, keysize_sweep.run, lookups=200)
-    record_report("keysize_sweep", keysize_sweep.report(points))
+def test_keysize_sweep_speedup(benchmark):
+    payloads, report = run_once(benchmark, run_for_bench, "keysize")
+    record_report("keysize_sweep", report)
+    points = list(payloads.values())
     assert all(p.speedup > 1.5 for p in points)
     assert points[-1].software_cycles >= points[0].software_cycles

@@ -2,18 +2,21 @@
 
 HALO's distributed per-CHA accelerators must not become a centralised
 bottleneck as PMD cores scale.
+
+Thin wrapper over the ``repro.runner`` registry (experiment ``multicore``);
+``python -m repro bench --only multicore`` runs the same grid.
 """
 
-from repro.analysis.experiments import multicore_scaling
+from repro.runner import run_for_bench
 
 from _common import record_report, run_once
 
 
-def test_multicore_switch_scaling(benchmark):
-    points = run_once(benchmark, multicore_scaling.run,
-                      core_counts=(1, 2, 4, 8), packets_per_core=20)
-    record_report("multicore_scaling", multicore_scaling.report(points))
-    base, last = points[0], points[-1]
+def test_multicore_scaling(benchmark):
+    payloads, report = run_once(benchmark, run_for_bench, "multicore")
+    record_report("multicore_scaling", report)
+    points = list(payloads.values())
     assert all(p.halo_speedup > 2.0 for p in points)
-    assert (last.halo_packets_per_kcycle
-            > base.halo_packets_per_kcycle * last.cores * 0.4)
+    base = points[0].halo_packets_per_kcycle
+    last = points[-1]
+    assert last.halo_packets_per_kcycle > base * last.cores * 0.4

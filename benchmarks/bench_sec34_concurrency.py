@@ -3,17 +3,20 @@
 Paper: the optimistic-locking scheme costs 13.1% of execution time, and
 concurrent cuckoo moves force reader retries; HALO's hardware lock bits
 remove both.
+
+Thin wrapper over the ``repro.runner`` registry (experiment ``sec34``);
+``python -m repro bench --only sec34`` runs the same grid.
 """
 
-from repro.analysis.experiments import sec34_concurrency
+from repro.runner import run_for_bench
 
 from _common import record_report, run_once
 
 
 def test_sec34_shared_table_concurrency(benchmark):
-    result = run_once(benchmark, sec34_concurrency.run,
-                      table_entries=1 << 14, lookups=400)
-    record_report("sec34_concurrency", sec34_concurrency.report(result))
+    payloads, report = run_once(benchmark, run_for_bench, "sec34")
+    record_report("sec34_concurrency", report)
+    result = payloads["default"]
     assert 0.08 <= result.software_lock_share <= 0.25
     software_overhead = (result.software_cycles_contended
                          / result.software_cycles_idle - 1)

@@ -2,17 +2,20 @@
 
 Paper: ~210 instructions/lookup (48.1% memory, 21.0% arithmetic, 30.9%
 other); optimistic locking costs 13.1% of execution time.
+
+Thin wrapper over the ``repro.runner`` registry (experiment ``tab01``);
+``python -m repro bench --only tab01`` runs the same grid.
 """
 
-from repro.analysis.experiments import tab01_instructions
+from repro.runner import run_for_bench
 
 from _common import record_report, run_once
 
 
 def test_tab01_lookup_instruction_profile(benchmark):
-    result = run_once(benchmark, tab01_instructions.run,
-                      lookups=600, table_entries=1 << 16)
-    record_report("tab01_instructions", tab01_instructions.report(result))
+    payloads, report = run_once(benchmark, run_for_bench, "tab01")
+    record_report("tab01_instructions", report)
+    result = payloads["default"]
     assert abs(result.instructions_per_lookup - 210) < 25
     assert abs(result.memory_fraction - 0.481) < 0.03
     assert abs(result.locking_share - 0.131) < 0.05

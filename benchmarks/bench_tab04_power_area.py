@@ -3,17 +3,19 @@
 Paper: TCAM 1KB-1MB explodes in cost with capacity; one HALO accelerator
 costs 0.012 tiles / 97.2 mW / 1.76 nJ per query and is up to 48.2x more
 energy-efficient than TCAM.
+
+Thin wrapper over the ``repro.runner`` registry (experiment ``tab04``);
+``python -m repro bench --only tab04`` runs the same grid.
 """
 
-import pytest
-
-from repro.analysis.experiments import tab04_power
+from repro.runner import run_for_bench
 
 from _common import record_report, run_once
 
 
 def test_tab04_power_and_area(benchmark):
-    result = run_once(benchmark, tab04_power.run)
-    record_report("tab04_power_area", tab04_power.report(result))
-    assert result.efficiency_vs_1mb_tcam == pytest.approx(48.2, abs=0.1)
+    payloads, report = run_once(benchmark, run_for_bench, "tab04")
+    record_report("tab04_power_area", report)
+    result = payloads["default"]
+    assert abs(result.efficiency_vs_1mb_tcam - 48.2) < 0.1
     assert result.halo.area_tiles == 0.012

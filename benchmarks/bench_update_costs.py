@@ -3,16 +3,20 @@
 Completes the TCAM comparison: Table 4 covers power, Figure 9 covers
 lookup latency, and this bench covers the update side the paper argues
 makes TCAM "expensive and inflexible".
+
+Thin wrapper over the ``repro.runner`` registry (experiment ``updates``);
+``python -m repro bench --only updates`` runs the same grid.
 """
 
-from repro.analysis.experiments import updates_comparison
+from repro.runner import run_for_bench
 
 from _common import record_report, run_once
 
 
-def test_update_cost_cuckoo_vs_tcam(benchmark):
-    result = run_once(benchmark, updates_comparison.run, updates=2_000)
-    record_report("update_costs", updates_comparison.report(result))
+def test_update_costs(benchmark):
+    payloads, report = run_once(benchmark, run_for_bench, "updates")
+    record_report("update_costs", report)
+    result = payloads["default"]
     assert result.tcam_mean_cycles > result.cuckoo_mean_cycles
     assert result.cuckoo_kicks_per_insert < 2.0
     assert result.tcam_p99_cycles > result.cuckoo_p99_cycles

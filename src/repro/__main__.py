@@ -1,151 +1,64 @@
-"""Command-line entry point: list and run the paper's experiments.
+"""Command-line entry point: list, run, and benchmark the paper's
+experiments.
 
 Usage::
 
     python -m repro list
-    python -m repro run fig11
+    python -m repro run fig11 [--quick]
     python -m repro run all
-    python -m repro run fig09 --quick
+    python -m repro bench [--jobs N] [--only fig09,fig13] [--quick]
+                          [--no-cache] [--cache-dir DIR]
+                          [--json out.json] [--reports DIR]
     python -m repro report [--quick] [--json metrics.json]
 
-Each experiment prints the same paper-vs-measured report the benchmark
-harness archives; ``--quick`` shrinks workloads for a fast look.  The
-``report`` subcommand drives a demo workload (table lookups in all three
-modes plus a virtual-switch packet stream) and renders the per-component
-metrics breakdown from the observability registry; ``--json`` additionally
+``run`` executes experiments serially and prints the same
+paper-vs-measured report the benchmark harness archives; ``--quick``
+shrinks workloads for a fast look.
+
+``bench`` drives the full experiment registry through
+:mod:`repro.runner`: independent grid points shard across ``--jobs``
+worker processes, completed runs memoize in a content-addressed on-disk
+cache (keyed on params + a fingerprint of the ``repro`` source, so any
+code change recomputes), and ``--reports benchmarks/reports``
+regenerates every archived report from one command.  ``--no-cache``
+forces recomputation; ``--json`` exports run metadata, per-experiment
+report digests, and the runner's own metrics registry.
+
+``report`` drives a demo workload (table lookups in all three modes plus
+a virtual-switch packet stream) and renders the per-component metrics
+breakdown from the observability registry; ``--json`` additionally
 writes the full metrics + trace-span export.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable, Dict, Tuple
 
-from .analysis.experiments import (
-    fig03_breakdown,
-    fig04_hash,
-    fig08_flow_register,
-    fig09_single_lookup,
-    fig10_breakdown,
-    fig11_tuple_space,
-    fig12_collocation,
-    fig13_nf_speedup,
-    keysize_sweep,
-    multicore_scaling,
-    sec34_concurrency,
-    tab01_instructions,
-    tab04_power,
-    updates_comparison,
+from .runner import (
+    UnknownExperimentError,
+    default_jobs,
+    discover,
+    run_benchmarks,
+    run_for_bench,
+    write_reports,
 )
 
 
-def _fig03(quick: bool) -> str:
-    rows = fig03_breakdown.run(max_flows=10_000 if quick else 60_000,
-                               packets=400 if quick else 1_500,
-                               warmup=150 if quick else 500)
-    return fig03_breakdown.report(rows)
+def _registry_runner(name: str) -> Callable[[bool], str]:
+    def _run(quick: bool) -> str:
+        _payloads, text = run_for_bench(name, quick=quick)
+        return text
+    return _run
 
 
-def _fig04(quick: bool) -> str:
-    counts = (1_000, 20_000) if quick else (1_000, 10_000, 100_000, 400_000)
-    rows = fig04_hash.run(flow_counts=counts,
-                          lookups=400 if quick else 1_200)
-    return fig04_hash.report(rows)
-
-
-def _tab01(quick: bool) -> str:
-    result = tab01_instructions.run(lookups=200 if quick else 600)
-    return tab01_instructions.report(result)
-
-
-def _fig08(quick: bool) -> str:
-    points = fig08_flow_register.run(trials=8 if quick else 25)
-    return fig08_flow_register.report(points)
-
-
-def _fig09(quick: bool) -> str:
-    sizes = ((2 ** 3, 2 ** 9, 2 ** 15) if quick
-             else fig09_single_lookup.DEFAULT_SIZES)
-    size_points = fig09_single_lookup.run_size_sweep(
-        sizes=sizes, lookups=120 if quick else 300)
-    occupancy_points = ([] if quick
-                        else fig09_single_lookup.run_occupancy_sweep())
-    return fig09_single_lookup.report(size_points, occupancy_points)
-
-
-def _fig10(quick: bool) -> str:
-    cells = fig10_breakdown.run(table_entries=1 << 13 if quick else 1 << 16,
-                                lookups=60 if quick else 200)
-    return fig10_breakdown.report(cells)
-
-
-def _fig11(quick: bool) -> str:
-    points = fig11_tuple_space.run(packets=15 if quick else 40)
-    return fig11_tuple_space.report(points)
-
-
-def _fig12(quick: bool) -> str:
-    results = fig12_collocation.run(
-        flow_counts=(5_000,) if quick else (1_000, 50_000),
-        packets=150 if quick else 400,
-        warmup=150 if quick else 400,
-        nf_names=("acl",) if quick else ("acl", "snort", "mtcp"))
-    return fig12_collocation.report(results)
-
-
-def _fig13(quick: bool) -> str:
-    sizes = ({"nat": (1_000,), "prads": (1_000,), "pktfilter": (100,)}
-             if quick else None)
-    rows = fig13_nf_speedup.run(sizes_per_nf=sizes,
-                                packets=80 if quick else 250)
-    return fig13_nf_speedup.report(rows)
-
-
-def _keysize(quick: bool) -> str:
-    points = keysize_sweep.run(lookups=80 if quick else 200)
-    return keysize_sweep.report(points)
-
-
-def _multicore(quick: bool) -> str:
-    points = multicore_scaling.run(
-        core_counts=(1, 2, 4) if quick else (1, 2, 4, 8),
-        packets_per_core=8 if quick else 20)
-    return multicore_scaling.report(points)
-
-
-def _sec34(quick: bool) -> str:
-    result = sec34_concurrency.run(
-        table_entries=1 << 12 if quick else 1 << 14,
-        lookups=120 if quick else 400)
-    return sec34_concurrency.report(result)
-
-
-def _tab04(_quick: bool) -> str:
-    return tab04_power.report(tab04_power.run())
-
-
-def _updates(quick: bool) -> str:
-    result = updates_comparison.run(updates=400 if quick else 2_000)
-    return updates_comparison.report(result)
-
-
+#: CLI-name → (description, callable(quick) -> report text), built from the
+#: runner registry so ``run`` and ``bench`` can never drift apart.
 EXPERIMENTS: Dict[str, Tuple[str, Callable[[bool], str]]] = {
-    "fig03": ("packet-processing breakdown (5 traffic configs)", _fig03),
-    "fig04": ("cuckoo vs SFH cache behaviour", _fig04),
-    "tab01": ("per-lookup instruction profile + locking share", _tab01),
-    "fig08": ("flow-register estimation accuracy", _fig08),
-    "fig09": ("single-lookup throughput sweep", _fig09),
-    "fig10": ("lookup latency breakdown (LLC/DRAM)", _fig10),
-    "fig11": ("tuple space search scaling", _fig11),
-    "fig12": ("collocated NF interference", _fig12),
-    "fig13": ("hash-table NF speedups", _fig13),
-    "sec34": ("shared-table concurrency overhead", _sec34),
-    "tab04": ("power and area (TCAM vs HALO)", _tab04),
-    "updates": ("rule-update cost: cuckoo vs TCAM", _updates),
-    "multicore": ("multi-core switch scaling, software vs HALO",
-                  _multicore),
-    "keysize": ("lookup cost vs header size (4-64 B)", _keysize),
+    name: (spec.title, _registry_runner(name))
+    for name, spec in discover().items()
 }
 
 
@@ -204,17 +117,80 @@ def _report(quick: bool, json_path=None) -> str:
     return "\n\n".join(sections)
 
 
+def _bench(args) -> int:
+    only = [name for chunk in (args.only or [])
+            for name in chunk.split(",") if name]
+
+    def _progress(line: str) -> None:
+        print(f"  {line}", file=sys.stderr, flush=True)
+
+    try:
+        summary = run_benchmarks(
+            only, jobs=args.jobs, quick=args.quick,
+            use_cache=not args.no_cache, cache_dir=args.cache_dir,
+            progress=_progress)
+    except UnknownExperimentError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    for report in summary.reports:
+        print(report.text)
+        print()
+    if args.reports:
+        paths = write_reports(summary, args.reports)
+        print(f"archived {len(paths)} reports under {args.reports}",
+              file=sys.stderr)
+    if args.json:
+        try:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                json.dump(summary.to_json_dict(), handle, indent=2,
+                          sort_keys=True, default=float)
+        except OSError as exc:
+            print(f"error: cannot write {args.json}: {exc}",
+                  file=sys.stderr)
+            return 1
+    print(summary.render_footer())
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="HALO (ISCA 2019) reproduction — experiment runner")
     subparsers = parser.add_subparsers(dest="command")
     subparsers.add_parser("list", help="list available experiments")
+
     run_parser = subparsers.add_parser("run", help="run experiment(s)")
     run_parser.add_argument("experiment",
                             choices=sorted(EXPERIMENTS) + ["all"])
     run_parser.add_argument("--quick", action="store_true",
                             help="shrink workloads for a fast look")
+
+    bench_parser = subparsers.add_parser(
+        "bench",
+        help="run the experiment registry in parallel, with caching")
+    bench_parser.add_argument("--jobs", type=int, default=default_jobs(),
+                              metavar="N",
+                              help="worker processes (default: CPU count)")
+    bench_parser.add_argument("--only", action="append", metavar="NAMES",
+                              help="comma-separated experiment names "
+                                   "(repeatable); default: all")
+    bench_parser.add_argument("--quick", action="store_true",
+                              help="shrink workloads for a fast look")
+    bench_parser.add_argument("--no-cache", action="store_true",
+                              help="recompute even when cached")
+    bench_parser.add_argument("--cache-dir", metavar="DIR", default=None,
+                              help="result cache location (default: "
+                                   "$REPRO_CACHE_DIR or "
+                                   "~/.cache/repro-bench)")
+    bench_parser.add_argument("--json", metavar="PATH", default=None,
+                              help="write run metadata + report digests + "
+                                   "runner metrics as JSON")
+    bench_parser.add_argument("--reports", metavar="DIR", default=None,
+                              help="archive each experiment report as "
+                                   "DIR/<slug>.txt (use benchmarks/reports "
+                                   "to regenerate the checked-in set)")
+
     report_parser = subparsers.add_parser(
         "report",
         help="demo workload + per-component metrics breakdown")
@@ -225,10 +201,14 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     if args.command == "list" or args.command is None:
-        print("experiments (python -m repro run <name> [--quick]):")
+        print("experiments (python -m repro run <name> [--quick] | "
+              "python -m repro bench):")
         for name, (description, _func) in sorted(EXPERIMENTS.items()):
-            print(f"  {name:10s} {description}")
+            print(f"  {name:12s} {description}")
         return 0
+
+    if args.command == "bench":
+        return _bench(args)
 
     if args.command == "report":
         try:

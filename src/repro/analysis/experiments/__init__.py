@@ -1,10 +1,16 @@
 """One module per reproduced table/figure; each exposes ``run()`` (returning
-structured results) and ``report()`` (rendering the paper-vs-measured text).
+structured results), ``report()`` (rendering the paper-vs-measured text),
+and a ``BENCH`` declaration + ``bench_run``/``bench_report`` hooks that
+register it with the parallel experiment runner (:mod:`repro.runner`).
 
-See DESIGN.md §4 for the experiment index.
+See DESIGN.md §4 for the experiment index and docs/EXPERIMENTS.md for the
+catalog mapping each module to its paper artifact and ``repro bench`` name.
 """
 
 from . import (
+    abl_design,
+    abl_prefetch,
+    abl_tlb,
     fig03_breakdown,
     fig04_hash,
     fig08_flow_register,
@@ -22,6 +28,9 @@ from . import (
 )
 
 __all__ = [
+    "abl_design",
+    "abl_prefetch",
+    "abl_tlb",
     "fig03_breakdown",
     "fig04_hash",
     "fig08_flow_register",

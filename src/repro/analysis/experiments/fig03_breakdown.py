@@ -13,7 +13,8 @@ from typing import List
 from ...core.halo_system import HaloSystem
 from ...sim.stats import Breakdown
 from ...traffic.generator import FlowSet, PacketStream
-from ...traffic.profiles import FIGURE3_PROFILES, TrafficProfile
+from ...traffic.profiles import (FIGURE3_PROFILES, TrafficProfile,
+                                 profile_by_name)
 from ...vswitch.switch import SwitchMode, VirtualSwitch
 from ..breakdown import FIG3_STAGES, per_packet, render_stacked
 from ..reporting import PaperCheck, render_checks
@@ -100,3 +101,35 @@ def report(rows: List[Fig3Row]) -> str:
                           == "megaflow_lookup")),
     ]
     return table + "\n\n" + render_checks("Figure 3", checks)
+
+
+# -- repro.runner registration (see docs/EXPERIMENTS.md) ----------------------
+
+BENCH = {
+    "name": "fig03",
+    "artifact": "Figure 3",
+    "slug": "fig03_breakdown",
+    "title": "packet-processing breakdown (5 traffic configs)",
+    "grid": [
+        (profile.name,
+         {"profile": profile.name, "max_flows": 60_000,
+          "packets": 1_500, "warmup": 500},
+         {"profile": profile.name, "max_flows": 10_000,
+          "packets": 400, "warmup": 150})
+        for profile in FIGURE3_PROFILES
+    ],
+}
+
+
+def bench_run(label, params, seed):
+    """Runner hook: one grid point = one Figure-3 traffic profile."""
+    del label, seed  # the profile fully pins the workload (seeded)
+    return run_profile(profile_by_name(params["profile"]),
+                       max_flows=params["max_flows"],
+                       packets=params["packets"],
+                       warmup=params["warmup"])
+
+
+def bench_report(payloads):
+    """Runner hook: per-profile rows arrive in grid order."""
+    return report(list(payloads.values()))

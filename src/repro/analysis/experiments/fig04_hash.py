@@ -163,3 +163,32 @@ def report(rows: List[Fig4Row]) -> str:
                    or sfh_100k.llc_mpkl > 5.0),
     ]
     return table + "\n\n" + render_checks("Figure 4", checks)
+
+
+# -- repro.runner registration (see docs/EXPERIMENTS.md) ----------------------
+
+BENCH = {
+    "name": "fig04",
+    "artifact": "Figure 4",
+    "slug": "fig04_hash_analysis",
+    "title": "cuckoo vs SFH cache behaviour",
+    "grid": [
+        (f"flows_{count}",
+         {"flow_counts": [count], "lookups": 1_200},
+         {"flow_counts": [count], "lookups": 400} if count <= 10_000
+         else None)
+        for count in DEFAULT_FLOW_COUNTS
+    ],
+}
+
+
+def bench_run(label, params, seed):
+    """Runner hook: one grid point = one flow-count column of Figure 4."""
+    del label, seed
+    return run(flow_counts=tuple(params["flow_counts"]),
+               lookups=params["lookups"])
+
+
+def bench_report(payloads):
+    """Runner hook: concatenate the per-flow-count row pairs, grid order."""
+    return report([row for rows in payloads.values() for row in rows])

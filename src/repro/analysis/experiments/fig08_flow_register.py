@@ -76,3 +76,24 @@ def report(points: List[Fig8Point]) -> str:
                    holds=threshold_point.relative_error < 0.35),
     ]
     return table + "\n\n" + render_checks("Figure 8b", checks)
+
+
+# -- repro.runner registration (see docs/EXPERIMENTS.md) ----------------------
+
+BENCH = {
+    "name": "fig08",
+    "artifact": "Figure 8",
+    "slug": "fig08_flow_register",
+    "title": "flow-register estimation accuracy",
+    "grid": [("default", {"trials": 25, "seed": 7},
+              {"trials": 8, "seed": 7})],
+}
+
+
+def bench_run(label, params, seed):
+    del label, seed  # the grid pins the paper seed explicitly
+    return run(trials=params["trials"], seed=params["seed"])
+
+
+def bench_report(payloads):
+    return report(payloads["default"])

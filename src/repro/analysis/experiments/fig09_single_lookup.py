@@ -172,3 +172,62 @@ def _traceable_footer(point: Fig9Point) -> str:
             f"p50={summary['p50']:.1f} p95={summary['p95']:.1f} "
             f"p99={summary['p99']:.1f}")
     return "\n".join(lines)
+
+
+# -- repro.runner registration (see docs/EXPERIMENTS.md) ----------------------
+
+_SIZE_EXPONENTS = (3, 6, 9, 12, 15, 18)
+_QUICK_SIZE_EXPONENTS = (3, 9, 15)
+
+BENCH = {
+    "name": "fig09",
+    "artifact": "Figure 9",
+    "slug": "fig09_single_lookup",
+    "title": "single-lookup throughput sweep",
+    "grid": [
+        (f"size_2e{exp:02d}",
+         {"kind": "size", "table_entries": 2 ** exp, "lookups": 300},
+         {"kind": "size", "table_entries": 2 ** exp, "lookups": 120}
+         if exp in _QUICK_SIZE_EXPONENTS else None)
+        for exp in _SIZE_EXPONENTS
+    ] + [
+        ("occupancy_sweep",
+         {"kind": "occupancy", "table_entries": 2 ** 15, "lookups": 250},
+         None),
+        ("dram_point",
+         {"kind": "dram", "table_entries": 2 ** 16, "lookups": 200},
+         None),
+    ],
+}
+
+
+def bench_run(label, params, seed):
+    """Runner hook: sizes shard per table size; occupancy/DRAM own points."""
+    del label, seed  # run_point pins seed=8 for paper fidelity
+    kind = params["kind"]
+    if kind == "size":
+        return run_point(params["table_entries"], 0.5,
+                         lookups=params["lookups"])
+    if kind == "occupancy":
+        return run_occupancy_sweep(table_entries=params["table_entries"],
+                                   lookups=params["lookups"])
+    if kind == "dram":
+        return run_point(params["table_entries"], 0.5,
+                         lookups=params["lookups"], dram_resident=True)
+    raise ValueError(f"unknown fig09 grid kind {kind!r}")
+
+
+def bench_report(payloads):
+    size_points = [payload for label, payload in payloads.items()
+                   if label.startswith("size_")]
+    occupancy_points = payloads.get("occupancy_sweep", [])
+    sections = [report(size_points, occupancy_points)]
+    dram = payloads.get("dram_point")
+    if dram is not None:
+        normalized = dram.normalized_throughput()
+        sections.append(
+            f"Figure 9 (DRAM-resident table): HALO-B "
+            f"{normalized['halo-b']:.2f}x, HALO-NB "
+            f"{normalized['halo-nb']:.2f}x vs software "
+            f"(paper: ~2.1x average beyond LLC)")
+    return "\n\n".join(sections)

@@ -160,3 +160,25 @@ def report(cells: Dict[str, Fig10Cell]) -> str:
                 f"p95={summary['p95']:.1f} p99={summary['p99']:.1f}")
         sections.append("\n".join(lines))
     return "\n\n".join(sections)
+
+
+# -- repro.runner registration (see docs/EXPERIMENTS.md) ----------------------
+
+BENCH = {
+    "name": "fig10",
+    "artifact": "Figure 10",
+    "slug": "fig10_latency_breakdown",
+    "title": "lookup latency breakdown (LLC/DRAM)",
+    "grid": [("default", {"table_entries": 1 << 16, "lookups": 200},
+              {"table_entries": 1 << 13, "lookups": 60})],
+}
+
+
+def bench_run(label, params, seed):
+    del label, seed
+    return run(table_entries=params["table_entries"],
+               lookups=params["lookups"])
+
+
+def bench_report(payloads):
+    return report(payloads["default"])

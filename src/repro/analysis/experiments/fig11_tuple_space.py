@@ -163,3 +163,30 @@ def report(points: List[Fig11Point]) -> str:
                    holds=last["tcam"] > last["halo-nb"]),
     ]
     return table + "\n\n" + render_checks("Figure 11", checks)
+
+
+# -- repro.runner registration (see docs/EXPERIMENTS.md) ----------------------
+
+BENCH = {
+    "name": "fig11",
+    "artifact": "Figure 11",
+    "slug": "fig11_tuple_space",
+    "title": "tuple space search scaling",
+    "grid": [
+        (f"tuples_{count:02d}",
+         {"num_tuples": count, "packets": 40, "seed": 10},
+         {"num_tuples": count, "packets": 15, "seed": 10})
+        for count in DEFAULT_TUPLE_COUNTS
+    ],
+}
+
+
+def bench_run(label, params, seed):
+    """Runner hook: one grid point = one tuple-space size."""
+    del label, seed
+    return run_point(params["num_tuples"], packets=params["packets"],
+                     seed=params["seed"])
+
+
+def bench_report(payloads):
+    return report(list(payloads.values()))

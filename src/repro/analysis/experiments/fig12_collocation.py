@@ -71,3 +71,34 @@ def report(results: List[CollocationResult]) -> str:
                    and all(r.l1_miss_increase < 0.08 for r in halo)),
     ]
     return table + "\n\n" + render_checks("Figure 12", checks)
+
+
+# -- repro.runner registration (see docs/EXPERIMENTS.md) ----------------------
+
+BENCH = {
+    "name": "fig12",
+    "artifact": "Figure 12",
+    "slug": "fig12_collocation",
+    "title": "collocated NF interference",
+    "grid": [
+        (nf,
+         {"nf": nf, "flow_counts": [1_000, 50_000],
+          "packets": 400, "warmup": 400},
+         {"nf": nf, "flow_counts": [5_000], "packets": 150, "warmup": 150}
+         if nf == "acl" else None)
+        for nf in ("acl", "snort", "mtcp")
+    ],
+}
+
+
+def bench_run(label, params, seed):
+    """Runner hook: one grid point = one collocated NF."""
+    del label, seed
+    return run(flow_counts=tuple(params["flow_counts"]),
+               packets=params["packets"], warmup=params["warmup"],
+               nf_names=(params["nf"],))
+
+
+def bench_report(payloads):
+    return report([result for results in payloads.values()
+                   for result in results])

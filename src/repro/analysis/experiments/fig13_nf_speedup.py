@@ -95,3 +95,35 @@ def report(rows: List[Fig13Row]) -> str:
                    holds=min(r.speedup for r in rows) > 1.2),
     ]
     return table + "\n\n" + render_checks("Figure 13", checks)
+
+
+# -- repro.runner registration (see docs/EXPERIMENTS.md) ----------------------
+
+BENCH = {
+    "name": "fig13",
+    "artifact": "Figure 13",
+    "slug": "fig13_nf_speedup",
+    "title": "hash-table NF speedups",
+    "grid": [
+        ("nat", {"nf": "nat", "packets": 250, "seed": 9},
+         {"nf": "nat", "sizes": [1_000], "packets": 80, "seed": 9}),
+        ("prads", {"nf": "prads", "packets": 250, "seed": 9},
+         {"nf": "prads", "sizes": [1_000], "packets": 80, "seed": 9}),
+        ("pktfilter", {"nf": "pktfilter", "packets": 250, "seed": 9},
+         {"nf": "pktfilter", "sizes": [100], "packets": 80, "seed": 9}),
+    ],
+}
+
+
+def bench_run(label, params, seed):
+    """Runner hook: one grid point = one NF's table-size column."""
+    del label, seed
+    nf_name = params["nf"]
+    sizes = params.get("sizes") or NF_BUILDERS[nf_name][1]
+    return [run_one(nf_name, size, packets=params["packets"],
+                    seed=params["seed"])
+            for size in sizes]
+
+
+def bench_report(payloads):
+    return report([row for rows in payloads.values() for row in rows])

@@ -88,3 +88,30 @@ def report(points: List[KeySizePoint]) -> str:
                    >= points[0].software_cycles),
     ]
     return table + "\n\n" + render_checks("header-size sweep", checks)
+
+
+# -- repro.runner registration (see docs/EXPERIMENTS.md) ----------------------
+
+BENCH = {
+    "name": "keysize",
+    "artifact": "§3.4 extension (key size)",
+    "slug": "keysize_sweep",
+    "title": "lookup cost vs header size (4-64 B)",
+    "grid": [
+        (f"key_{size:02d}B",
+         {"key_bytes": size, "lookups": 200, "seed": 29},
+         {"key_bytes": size, "lookups": 80, "seed": 29})
+        for size in DEFAULT_KEY_SIZES
+    ],
+}
+
+
+def bench_run(label, params, seed):
+    """Runner hook: one grid point = one key size."""
+    del label, seed
+    return run_point(params["key_bytes"], lookups=params["lookups"],
+                     seed=params["seed"])
+
+
+def bench_report(payloads):
+    return report(list(payloads.values()))

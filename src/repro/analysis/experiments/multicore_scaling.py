@@ -165,3 +165,33 @@ def report(points: List[ScalingPoint]) -> str:
                           > base.halo_packets_per_kcycle * last.cores * 0.4)),
     ]
     return table + "\n\n" + render_checks("multi-core scaling", checks)
+
+
+# -- repro.runner registration (see docs/EXPERIMENTS.md) ----------------------
+
+BENCH = {
+    "name": "multicore",
+    "artifact": "§3.4 extension (multi-core)",
+    "slug": "multicore_scaling",
+    "title": "multi-core switch scaling, software vs HALO",
+    "grid": [
+        (f"cores_{count:02d}",
+         {"cores": count, "tuples": 10, "packets_per_core": 20,
+          "seed": 23},
+         {"cores": count, "tuples": 10, "packets_per_core": 8, "seed": 23}
+         if count <= 4 else None)
+        for count in DEFAULT_CORE_COUNTS
+    ],
+}
+
+
+def bench_run(label, params, seed):
+    """Runner hook: one grid point = one core count."""
+    del label, seed
+    return run_point(params["cores"], tuples=params["tuples"],
+                     packets_per_core=params["packets_per_core"],
+                     seed=params["seed"])
+
+
+def bench_report(payloads):
+    return report(list(payloads.values()))

@@ -148,3 +148,25 @@ def report(result: ConcurrencyResult) -> str:
                    holds=halo_overhead < software_overhead),
     ]
     return table + "\n\n" + render_checks("§3.4 concurrency", checks)
+
+
+# -- repro.runner registration (see docs/EXPERIMENTS.md) ----------------------
+
+BENCH = {
+    "name": "sec34",
+    "artifact": "§3.4",
+    "slug": "sec34_concurrency",
+    "title": "shared-table concurrency overhead",
+    "grid": [("default", {"table_entries": 1 << 14, "lookups": 400},
+              {"table_entries": 1 << 12, "lookups": 120})],
+}
+
+
+def bench_run(label, params, seed):
+    del label, seed
+    return run(table_entries=params["table_entries"],
+               lookups=params["lookups"])
+
+
+def bench_report(payloads):
+    return report(payloads["default"])

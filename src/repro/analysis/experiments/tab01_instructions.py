@@ -95,3 +95,23 @@ def report(result: Tab1Result) -> str:
                    holds=abs(result.locking_share - 0.131) < 0.05),
     ]
     return table + "\n\n" + render_checks("Table 1 / §3.4", checks)
+
+
+# -- repro.runner registration (see docs/EXPERIMENTS.md) ----------------------
+
+BENCH = {
+    "name": "tab01",
+    "artifact": "Table 1",
+    "slug": "tab01_instructions",
+    "title": "per-lookup instruction profile + locking share",
+    "grid": [("default", {"lookups": 600}, {"lookups": 200})],
+}
+
+
+def bench_run(label, params, seed):
+    del label, seed
+    return run(lookups=params["lookups"])
+
+
+def bench_report(payloads):
+    return report(payloads["default"])

@@ -69,3 +69,23 @@ def report(result: Tab4Result) -> str:
                    holds=abs(result.efficiency_vs_1mb_tcam - 48.2) < 1.0),
     ]
     return table + "\n\n" + render_checks("Table 4", checks)
+
+
+# -- repro.runner registration (see docs/EXPERIMENTS.md) ----------------------
+
+BENCH = {
+    "name": "tab04",
+    "artifact": "Table 4",
+    "slug": "tab04_power_area",
+    "title": "power and area (TCAM vs HALO)",
+    "grid": [("default", {}, {})],
+}
+
+
+def bench_run(label, params, seed):
+    del label, params, seed  # the analytic model has no knobs
+    return run()
+
+
+def bench_report(payloads):
+    return report(payloads["default"])

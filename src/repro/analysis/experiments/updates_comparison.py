@@ -107,3 +107,23 @@ def report(result: UpdateCostResult) -> str:
                    > result.cuckoo_p99_cycles),
     ]
     return table + "\n\n" + render_checks("rule updates", checks)
+
+
+# -- repro.runner registration (see docs/EXPERIMENTS.md) ----------------------
+
+BENCH = {
+    "name": "updates",
+    "artifact": "§2.2 extension (updates)",
+    "slug": "update_costs",
+    "title": "rule-update cost: cuckoo vs TCAM",
+    "grid": [("default", {"updates": 2_000}, {"updates": 400})],
+}
+
+
+def bench_run(label, params, seed):
+    del label, seed
+    return run(updates=params["updates"])
+
+
+def bench_report(payloads):
+    return report(payloads["default"])

@@ -1,0 +1,147 @@
+"""Content-addressed on-disk cache for completed experiment runs.
+
+The paper's evaluation (HALO §6) is a grid of deterministic simulations,
+so a completed run never needs recomputing unless its inputs change —
+exactly the property a content-addressed cache can enforce.
+
+A run's cache key is the SHA-256 of ``(experiment name, grid label,
+canonical-JSON params, seed, code fingerprint)``.  The code fingerprint
+hashes every ``*.py`` file under the installed ``repro`` package, so any
+source change — the experiment, the simulator, the hash table — silently
+invalidates every cached result computed with the old code.  That is the
+property that makes the cache safe to leave on by default: a hit is only
+possible when the exact same code would recompute the exact same bytes.
+
+Entries are pickles (payloads are the experiment modules' own result
+dataclasses) stored one file per run under
+``<cache root>/<experiment>/<label>-<key16>.pkl``; writes go through a
+temp file + :func:`os.replace` so a crashed worker never leaves a
+half-written entry behind.  The root defaults to
+``$REPRO_CACHE_DIR`` or ``~/.cache/repro-bench``.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import json
+import os
+import pathlib
+import pickle
+import tempfile
+from typing import Any, Dict, Optional
+
+from .schema import RunSpec
+
+#: Bump when the entry layout changes; old entries then read as misses.
+ENTRY_SCHEMA = 1
+
+DEFAULT_CACHE_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> pathlib.Path:
+    env = os.environ.get(DEFAULT_CACHE_ENV)
+    if env:
+        return pathlib.Path(env)
+    return pathlib.Path.home() / ".cache" / "repro-bench"
+
+
+@functools.lru_cache(maxsize=None)
+def _fingerprint_of_tree(root: str) -> str:
+    digest = hashlib.sha256()
+    for path in sorted(pathlib.Path(root).rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        digest.update(path.relative_to(root).as_posix().encode())
+        digest.update(b"\x00")
+        digest.update(path.read_bytes())
+        digest.update(b"\x00")
+    return digest.hexdigest()[:16]
+
+
+def code_fingerprint() -> str:
+    """A short hash of every source file in the ``repro`` package."""
+    import repro
+
+    return _fingerprint_of_tree(str(pathlib.Path(repro.__file__).parent))
+
+
+def canonical_params(params: Dict[str, Any]) -> str:
+    """Params as canonical JSON (sorted keys) so dict ordering never
+    changes the key.  Params must be JSON-serializable by construction —
+    ``BENCH`` grids are plain data."""
+    return json.dumps(params, sort_keys=True, separators=(",", ":"))
+
+
+class ResultCache:
+    """On-disk memoization of :class:`~repro.runner.schema.RunSpec` runs."""
+
+    def __init__(self, root: Optional[pathlib.Path] = None,
+                 fingerprint: Optional[str] = None) -> None:
+        self.root = pathlib.Path(root) if root else default_cache_dir()
+        self.fingerprint = fingerprint or code_fingerprint()
+
+    # -- keys ----------------------------------------------------------------
+    def key(self, experiment: str, label: str, params: Dict[str, Any],
+            seed: int) -> str:
+        material = "\x00".join((
+            f"schema={ENTRY_SCHEMA}",
+            experiment,
+            label,
+            canonical_params(params),
+            str(seed),
+            self.fingerprint,
+        ))
+        return hashlib.sha256(material.encode()).hexdigest()
+
+    def path_for(self, spec: RunSpec) -> pathlib.Path:
+        key = spec.cache_key or self.key(spec.experiment, spec.label,
+                                         spec.params, spec.seed)
+        return self.root / spec.experiment / f"{spec.label}-{key[:16]}.pkl"
+
+    # -- load/store ----------------------------------------------------------
+    def load(self, spec: RunSpec) -> Optional[Dict[str, Any]]:
+        """The stored entry dict, or ``None`` on any miss — including a
+        corrupt or unreadable file (treated as absent, then overwritten)."""
+        path = self.path_for(spec)
+        try:
+            with open(path, "rb") as handle:
+                entry = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError, ValueError):
+            return None
+        if not isinstance(entry, dict) or entry.get("schema") != ENTRY_SCHEMA:
+            return None
+        expected = spec.cache_key or self.key(spec.experiment, spec.label,
+                                              spec.params, spec.seed)
+        if entry.get("key") != expected:
+            return None
+        return entry
+
+    def store(self, spec: RunSpec, payload: Any, wall_s: float) -> None:
+        path = self.path_for(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "schema": ENTRY_SCHEMA,
+            "key": spec.cache_key or self.key(spec.experiment, spec.label,
+                                              spec.params, spec.seed),
+            "experiment": spec.experiment,
+            "label": spec.label,
+            "params": spec.params,
+            "seed": spec.seed,
+            "fingerprint": self.fingerprint,
+            "payload": payload,
+            "wall_s": wall_s,
+        }
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent,
+                                        prefix=f".{path.name}.")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(entry, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise

@@ -1,0 +1,285 @@
+"""The run scheduler: shard grid points across processes, replay cache.
+
+Execution model (HALO §6 evaluates by parameter sweep; this is the sweep
+engine):
+
+1. :func:`plan_runs` expands the selected experiments into
+   :class:`~repro.runner.schema.RunSpec` units — one per active grid
+   point — each with a deterministic seed derived from
+   ``sha256(experiment, label)`` so results never depend on worker
+   count or completion order.
+2. :func:`execute` answers what it can from the
+   :class:`~repro.runner.cache.ResultCache`, then runs the misses —
+   inline for ``jobs=1``, otherwise on a
+   :class:`concurrent.futures.ProcessPoolExecutor`.  Workers receive
+   only ``(experiment, label, params, seed)`` and re-resolve the
+   callable from the registry in their own process, so nothing
+   unpicklable ever crosses the process boundary.
+3. Per-experiment reports are rendered *in grid order* from the
+   collected payloads, so the output text is identical whatever the
+   interleaving was.
+
+Runner metrics (``runner.cache.hits``, ``runner.cache.misses``,
+``runner.run.wall_seconds``, ...) are published through a
+:class:`repro.obs.MetricsRegistry` and included in the ``--json``
+export.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pathlib
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+from ..obs import MetricsRegistry
+from .cache import ResultCache
+from .registry import get_experiment, resolve_names
+from .schema import ExperimentReport, ExperimentSpec, RunResult, RunSpec
+
+#: Histogram bounds for per-run wall time, in seconds (the obs default
+#: buckets are cycle-scaled; experiment runs live on 10ms–500s scales).
+WALL_SECONDS_BUCKETS = tuple(0.01 * (2 ** exp) for exp in range(16))
+
+
+def derive_seed(experiment: str, label: str) -> int:
+    """Deterministic per-run seed: a pure function of the run identity.
+
+    Uses SHA-256, not :func:`hash`, so the value is stable across
+    processes and interpreter restarts (``PYTHONHASHSEED`` never leaks
+    into results).  Experiments whose parameters already pin their seeds
+    may ignore it; stochastic ones fold it in.
+    """
+    digest = hashlib.sha256(f"{experiment}\x00{label}".encode()).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
+def plan_runs(specs: Sequence[ExperimentSpec], quick: bool = False,
+              cache: Optional[ResultCache] = None) -> List[RunSpec]:
+    """Expand experiments into runnable units, with cache keys attached."""
+    runs: List[RunSpec] = []
+    for spec in specs:
+        for label, params in spec.points(quick):
+            seed = derive_seed(spec.name, label)
+            key = (cache.key(spec.name, label, params, seed)
+                   if cache is not None else "")
+            runs.append(RunSpec(experiment=spec.name, label=label,
+                                params=params, seed=seed, cache_key=key))
+    return runs
+
+
+def _execute_payload(experiment: str, label: str, params: Dict[str, Any],
+                     seed: int):
+    """Worker entry point: resolve the hook in-process and run it."""
+    spec = get_experiment(experiment)
+    start = time.perf_counter()
+    payload = spec.run(label, params, seed)
+    return payload, time.perf_counter() - start
+
+
+@dataclass
+class BenchSummary:
+    """Everything one ``repro bench`` invocation produced."""
+
+    reports: List[ExperimentReport]
+    results: List[RunResult]
+    jobs: int
+    quick: bool
+    wall_s: float
+    cache_hits: int
+    cache_misses: int
+    cache_dir: Optional[str]
+    fingerprint: Optional[str]
+    metrics: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def run_seconds(self) -> float:
+        """Sum of per-run times (≥ wall time once runs parallelise)."""
+        return sum(result.wall_s for result in self.results)
+
+    def to_json_dict(self) -> Dict[str, object]:
+        return {
+            "jobs": self.jobs,
+            "quick": self.quick,
+            "wall_s": round(self.wall_s, 6),
+            "run_seconds": round(self.run_seconds, 6),
+            "cache": {
+                "dir": self.cache_dir,
+                "fingerprint": self.fingerprint,
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+            },
+            "runs": [result.meta_dict() for result in self.results],
+            "reports": {
+                report.name: {
+                    "artifact": report.artifact,
+                    "slug": report.slug,
+                    "text": report.text,
+                    "sha256": hashlib.sha256(
+                        report.text.encode()).hexdigest(),
+                }
+                for report in self.reports
+            },
+            "metrics": self.metrics,
+        }
+
+    def render_footer(self) -> str:
+        cached = (f"{self.cache_hits} cache hits, "
+                  f"{self.cache_misses} executed")
+        return (f"bench summary: {len(self.results)} runs "
+                f"({cached}) across {len(self.reports)} experiments | "
+                f"jobs={self.jobs} wall={self.wall_s:.2f}s "
+                f"cpu-run-time={self.run_seconds:.2f}s")
+
+
+def execute(specs: Sequence[ExperimentSpec], *, jobs: int = 1,
+            quick: bool = False, cache: Optional[ResultCache] = None,
+            use_cache: bool = True,
+            metrics: Optional[MetricsRegistry] = None,
+            progress: Optional[Callable[[str], None]] = None
+            ) -> BenchSummary:
+    """Run ``specs`` and return rendered reports plus run metadata.
+
+    ``use_cache=False`` (``--no-cache``) forces recomputation but still
+    *stores* fresh results, so the next cached invocation benefits.
+    ``jobs=1`` executes inline (no pool) — the reference ordering that
+    parallel runs must reproduce exactly.
+    """
+    metrics = metrics if metrics is not None else MetricsRegistry()
+    wall_hist = metrics.histogram("runner.run.wall_seconds",
+                                  bounds=WALL_SECONDS_BUCKETS)
+    hit_counter = metrics.counter("runner.cache.hits")
+    miss_counter = metrics.counter("runner.cache.misses")
+    metrics.gauge("runner.jobs").set(jobs)
+    say = progress or (lambda _line: None)
+
+    started = time.perf_counter()
+    runs = plan_runs(specs, quick=quick, cache=cache)
+    metrics.counter("runner.runs.total").inc(len(runs))
+
+    outcomes: Dict[str, RunResult] = {}
+    pending: List[RunSpec] = []
+    for spec_run in runs:
+        entry = cache.load(spec_run) if (cache and use_cache) else None
+        if entry is not None:
+            hit_counter.inc()
+            outcomes[spec_run.run_id] = RunResult(
+                experiment=spec_run.experiment, label=spec_run.label,
+                params=spec_run.params, seed=spec_run.seed,
+                payload=entry["payload"], wall_s=entry.get("wall_s", 0.0),
+                cache_hit=True, worker="cache")
+            say(f"{spec_run.run_id}: cache hit")
+        else:
+            miss_counter.inc()
+            pending.append(spec_run)
+
+    def _finish(spec_run: RunSpec, payload: Any, wall: float,
+                worker: str) -> None:
+        wall_hist.observe(wall)
+        outcomes[spec_run.run_id] = RunResult(
+            experiment=spec_run.experiment, label=spec_run.label,
+            params=spec_run.params, seed=spec_run.seed, payload=payload,
+            wall_s=wall, cache_hit=False, worker=worker)
+        if cache is not None:
+            cache.store(spec_run, payload, wall)
+        say(f"{spec_run.run_id}: ran in {wall:.2f}s ({worker})")
+
+    if jobs <= 1 or len(pending) <= 1:
+        for spec_run in pending:
+            payload, wall = _execute_payload(
+                spec_run.experiment, spec_run.label, spec_run.params,
+                spec_run.seed)
+            _finish(spec_run, payload, wall, worker="inline")
+    else:
+        workers = min(jobs, len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(_execute_payload, spec_run.experiment,
+                            spec_run.label, spec_run.params,
+                            spec_run.seed): spec_run
+                for spec_run in pending
+            }
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(remaining,
+                                       return_when=FIRST_COMPLETED)
+                for future in done:
+                    spec_run = futures[future]
+                    payload, wall = future.result()
+                    _finish(spec_run, payload, wall,
+                            worker=f"pool-{workers}")
+
+    reports: List[ExperimentReport] = []
+    all_results: List[RunResult] = []
+    for spec in specs:
+        spec_results = [outcomes[f"{spec.name}/{label}"]
+                        for label, _params in spec.points(quick)]
+        payloads = {result.label: result.payload
+                    for result in spec_results}
+        reports.append(ExperimentReport(
+            name=spec.name, artifact=spec.artifact, slug=spec.slug,
+            text=spec.report(payloads), runs=spec_results))
+        all_results.extend(spec_results)
+
+    return BenchSummary(
+        reports=reports,
+        results=all_results,
+        jobs=jobs,
+        quick=quick,
+        wall_s=time.perf_counter() - started,
+        cache_hits=hit_counter.value,
+        cache_misses=len(runs) - hit_counter.value,
+        cache_dir=str(cache.root) if cache is not None else None,
+        fingerprint=cache.fingerprint if cache is not None else None,
+        metrics=metrics.snapshot(),
+    )
+
+
+def run_benchmarks(only: Iterable[str] = (), *, jobs: int = 1,
+                   quick: bool = False, use_cache: bool = True,
+                   cache_dir: Optional[os.PathLike] = None,
+                   metrics: Optional[MetricsRegistry] = None,
+                   progress: Optional[Callable[[str], None]] = None
+                   ) -> BenchSummary:
+    """The library face of ``python -m repro bench``."""
+    specs = resolve_names(only)
+    cache = ResultCache(pathlib.Path(cache_dir) if cache_dir else None)
+    return execute(specs, jobs=jobs, quick=quick, cache=cache,
+                   use_cache=use_cache, metrics=metrics, progress=progress)
+
+
+def run_for_bench(name: str, quick: bool = False):
+    """Execute one experiment serially, uncached; return
+    ``({label: payload}, report_text)``.
+
+    This is what the ``benchmarks/bench_*.py`` thin wrappers call: they
+    need real (timed) execution and direct access to the payloads for
+    their shape assertions.
+    """
+    spec = get_experiment(name)
+    summary = execute([spec], jobs=1, quick=quick, cache=None,
+                      use_cache=False)
+    payloads = {result.label: result.payload
+                for result in summary.results}
+    return payloads, summary.reports[0].text
+
+
+def write_reports(summary: BenchSummary,
+                  directory: os.PathLike) -> List[pathlib.Path]:
+    """Archive each experiment's rendered report as ``<slug>.txt``."""
+    out_dir = pathlib.Path(directory)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written = []
+    for report in summary.reports:
+        path = out_dir / f"{report.slug}.txt"
+        path.write_text(report.text + "\n")
+        written.append(path)
+    return written
+
+
+def default_jobs() -> int:
+    """Default ``--jobs``: one worker per CPU."""
+    return max(1, os.cpu_count() or 1)

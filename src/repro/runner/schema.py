@@ -1,0 +1,152 @@
+"""Result and registration schema for the experiment runner.
+
+Each spec names the paper artifact it reproduces (a figure, table, or
+section of HALO §2-§6), so the catalog in ``docs/EXPERIMENTS.md`` and
+the ``--json`` export can always map a run back to the paper.
+
+An experiment module registers itself by exposing three things (see
+``docs/EXPERIMENTS.md`` §"How to add an experiment"):
+
+* ``BENCH`` — a plain-data dict with the experiment ``name`` (CLI name),
+  ``artifact`` (the paper figure/table it reproduces), ``slug`` (report
+  archive filename), ``title``, and a ``grid`` of
+  ``(label, params, quick_params)`` tuples.  ``quick_params`` may be
+  ``None`` to skip that grid point in quick mode.
+* ``bench_run(label, params, seed)`` — executes one grid point and
+  returns a picklable payload (usually the module's result dataclasses).
+* ``bench_report(payloads)`` — renders the paper-vs-measured text from
+  an ordered ``{label: payload}`` mapping (grid order; only the labels
+  that actually ran are present).
+
+Keeping ``BENCH`` as plain data means experiment modules never import
+the runner, so there is no import cycle: the registry imports the
+experiments, never the reverse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+#: The keys every ``BENCH`` declaration must provide.
+REQUIRED_BENCH_KEYS = ("name", "artifact", "slug", "title", "grid")
+
+
+@dataclass(frozen=True)
+class GridPoint:
+    """One independent run in an experiment's parameter grid."""
+
+    label: str
+    params: Dict[str, Any]
+    #: Parameters for ``--quick`` mode; ``None`` skips the point entirely.
+    quick_params: Optional[Dict[str, Any]] = None
+
+    def params_for(self, quick: bool) -> Optional[Dict[str, Any]]:
+        """The parameter dict to run with, or ``None`` when skipped."""
+        if not quick:
+            return self.params
+        return self.quick_params
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A discovered experiment: identity, grid, and run/report hooks."""
+
+    name: str
+    artifact: str
+    slug: str
+    title: str
+    module: str
+    grid: Tuple[GridPoint, ...]
+    run: Callable[[str, Dict[str, Any], int], Any]
+    report: Callable[[Dict[str, Any]], str]
+
+    def points(self, quick: bool = False) -> List[Tuple[str, Dict[str, Any]]]:
+        """``(label, params)`` for every grid point active in this mode."""
+        out = []
+        for point in self.grid:
+            params = point.params_for(quick)
+            if params is not None:
+                out.append((point.label, params))
+        return out
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One schedulable unit of work: an experiment grid point plus the
+    deterministic seed and cache key the scheduler derived for it."""
+
+    experiment: str
+    label: str
+    params: Dict[str, Any]
+    seed: int
+    cache_key: str = ""
+
+    @property
+    def run_id(self) -> str:
+        return f"{self.experiment}/{self.label}"
+
+
+@dataclass
+class RunResult:
+    """The outcome of one run (fresh or replayed from the cache)."""
+
+    experiment: str
+    label: str
+    params: Dict[str, Any]
+    seed: int
+    payload: Any
+    wall_s: float
+    cache_hit: bool
+    worker: str = "inline"
+
+    @property
+    def run_id(self) -> str:
+        return f"{self.experiment}/{self.label}"
+
+    def meta_dict(self) -> Dict[str, Any]:
+        """JSON-safe metadata (the payload itself stays out: it is an
+        arbitrary pickle, exported only through the rendered report)."""
+        return {
+            "experiment": self.experiment,
+            "label": self.label,
+            "params": self.params,
+            "seed": self.seed,
+            "wall_s": round(self.wall_s, 6),
+            "cache_hit": self.cache_hit,
+            "worker": self.worker,
+        }
+
+
+@dataclass
+class ExperimentReport:
+    """Rendered output for one experiment across its grid points."""
+
+    name: str
+    artifact: str
+    slug: str
+    text: str
+    runs: List[RunResult] = field(default_factory=list)
+
+    @property
+    def wall_s(self) -> float:
+        return sum(run.wall_s for run in self.runs)
+
+
+def validate_bench(module_name: str, bench: Dict[str, Any]) -> None:
+    """Reject malformed ``BENCH`` declarations with a pointed error."""
+    if not isinstance(bench, dict):
+        raise TypeError(f"{module_name}.BENCH must be a dict")
+    for key in REQUIRED_BENCH_KEYS:
+        if key not in bench:
+            raise ValueError(f"{module_name}.BENCH is missing {key!r}")
+    labels = [entry[0] for entry in bench["grid"]]
+    if len(labels) != len(set(labels)):
+        raise ValueError(f"{module_name}.BENCH grid labels are not unique")
+    if not labels:
+        raise ValueError(f"{module_name}.BENCH grid is empty")
+    for entry in bench["grid"]:
+        if len(entry) != 3:
+            raise ValueError(
+                f"{module_name}.BENCH grid entries must be "
+                f"(label, params, quick_params); got {entry!r}")

@@ -1,5 +1,7 @@
 """Documentation stays consistent with the code."""
 
+import ast
+import importlib
 import pathlib
 import re
 
@@ -9,10 +11,14 @@ import repro
 
 ROOT = pathlib.Path(repro.__file__).resolve().parents[2]
 
+#: Regex a paper-citing docstring must match somewhere.
+PAPER_CITATION = re.compile(r"Figure \d+|Table \d+|§\d")
+
 
 def test_required_documents_exist():
     for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md",
-                 "docs/MODELING.md"):
+                 "docs/MODELING.md", "docs/EXPERIMENTS.md",
+                 "docs/ARCHITECTURE.md"):
         path = ROOT / name
         assert path.exists(), name
         assert path.stat().st_size > 1_000
@@ -31,10 +37,11 @@ def test_design_lists_every_experiment_bench():
 
 def test_every_bench_file_is_documented_somewhere():
     docs = "".join((ROOT / name).read_text()
-                   for name in ("DESIGN.md", "EXPERIMENTS.md"))
+                   for name in ("DESIGN.md", "EXPERIMENTS.md",
+                                "docs/EXPERIMENTS.md"))
     for bench in (ROOT / "benchmarks").glob("bench_*.py"):
         assert bench.name.replace(".py", "") in docs.replace(".py", ""), \
-            f"{bench.name} missing from DESIGN.md/EXPERIMENTS.md"
+            f"{bench.name} missing from the experiment docs"
 
 
 def test_readme_quickstart_snippet_runs():
@@ -52,27 +59,66 @@ def test_every_public_module_has_a_docstring():
         source = path.read_text()
         if not source.strip():
             continue
-        import ast
         module = ast.parse(source)
         if ast.get_docstring(module) is None:
             missing.append(str(path))
     assert missing == []
 
 
+def test_every_experiment_module_docstring_names_its_artifact():
+    """Each experiment's docstring must cite the figure/table/section it
+    reproduces, so ``docs/EXPERIMENTS.md`` never drifts from the code."""
+    from repro.analysis import experiments
+
+    for short_name in experiments.__all__:
+        module = importlib.import_module(
+            f"repro.analysis.experiments.{short_name}")
+        doc = module.__doc__ or ""
+        assert PAPER_CITATION.search(doc), \
+            f"{short_name} docstring cites no paper artifact"
+
+
+def test_runner_modules_cite_the_paper():
+    for short_name in ("", ".schema", ".cache", ".registry", ".scheduler"):
+        module = importlib.import_module(f"repro.runner{short_name}")
+        doc = module.__doc__ or ""
+        assert PAPER_CITATION.search(doc), \
+            f"repro.runner{short_name} docstring cites no paper artifact"
+
+
+def test_experiment_artifacts_match_their_docstrings():
+    """A spec's declared artifact must appear in (or be consistent with)
+    its module's docstring — the registry cannot invent citations."""
+    from repro.runner import discover
+
+    for spec in discover().values():
+        module = importlib.import_module(spec.module)
+        doc = module.__doc__ or ""
+        anchor = re.search(r"Figure \d+|Table \d+|§\d+(\.\d+)?",
+                           spec.artifact)
+        assert anchor, f"{spec.name} artifact {spec.artifact!r} cites " \
+                       f"no figure/table/section"
+        assert anchor.group(0) in doc, \
+            f"{spec.name}: artifact {anchor.group(0)!r} not in docstring"
+
+
 def test_cli_registry_matches_experiment_modules():
     from repro.__main__ import EXPERIMENTS
+    from repro.runner import discover
+
+    specs = discover()
+    assert set(EXPERIMENTS) == set(specs)
     from repro.analysis import experiments
     module_names = set(experiments.__all__)
-    # Every CLI entry is backed by a real experiment module.
-    mapping = {
-        "fig03": "fig03_breakdown", "fig04": "fig04_hash",
-        "fig08": "fig08_flow_register", "fig09": "fig09_single_lookup",
-        "fig10": "fig10_breakdown", "fig11": "fig11_tuple_space",
-        "fig12": "fig12_collocation", "fig13": "fig13_nf_speedup",
-        "tab01": "tab01_instructions", "tab04": "tab04_power",
-        "sec34": "sec34_concurrency", "updates": "updates_comparison",
-        "multicore": "multicore_scaling", "keysize": "keysize_sweep",
-    }
-    assert set(EXPERIMENTS) == set(mapping)
-    for module_name in mapping.values():
-        assert module_name in module_names
+    for spec in specs.values():
+        assert spec.module.rsplit(".", 1)[1] in module_names
+
+
+def test_experiments_catalog_lists_every_experiment():
+    """docs/EXPERIMENTS.md carries one catalog row per registry entry."""
+    from repro.runner import discover
+
+    text = (ROOT / "docs" / "EXPERIMENTS.md").read_text()
+    for name, spec in discover().items():
+        assert f"`{name}`" in text, f"{name} missing from docs/EXPERIMENTS.md"
+        assert spec.module.rsplit(".", 1)[1] in text, spec.module

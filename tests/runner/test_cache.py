@@ -1,0 +1,74 @@
+"""Content-addressed result cache: hits, misses, and invalidation."""
+
+import pickle
+
+from repro.runner.cache import ResultCache, canonical_params
+from repro.runner.schema import RunSpec
+
+
+def _spec(cache, experiment="exp", label="default", params=None, seed=1):
+    params = {} if params is None else params
+    key = cache.key(experiment, label, params, seed)
+    return RunSpec(experiment=experiment, label=label, params=params,
+                   seed=seed, cache_key=key)
+
+
+def test_miss_then_hit_roundtrip(tmp_path):
+    cache = ResultCache(tmp_path, fingerprint="f" * 16)
+    spec = _spec(cache, params={"lookups": 10})
+    assert cache.load(spec) is None
+    cache.store(spec, payload={"rows": [1, 2, 3]}, wall_s=0.5)
+    entry = cache.load(spec)
+    assert entry["payload"] == {"rows": [1, 2, 3]}
+    assert entry["wall_s"] == 0.5
+
+
+def test_key_depends_on_every_identity_component(tmp_path):
+    cache = ResultCache(tmp_path, fingerprint="f" * 16)
+    base = cache.key("exp", "default", {"n": 1}, 1)
+    assert cache.key("other", "default", {"n": 1}, 1) != base
+    assert cache.key("exp", "other", {"n": 1}, 1) != base
+    assert cache.key("exp", "default", {"n": 2}, 1) != base
+    assert cache.key("exp", "default", {"n": 1}, 2) != base
+
+
+def test_key_ignores_param_dict_ordering():
+    cache = ResultCache(fingerprint="f" * 16)
+    assert (cache.key("e", "l", {"a": 1, "b": 2}, 0)
+            == cache.key("e", "l", {"b": 2, "a": 1}, 0))
+    assert canonical_params({"b": 2, "a": 1}) == '{"a":1,"b":2}'
+
+
+def test_code_change_invalidates_entries(tmp_path):
+    """A new code fingerprint must never replay old results."""
+    old = ResultCache(tmp_path, fingerprint="old-code")
+    spec = _spec(old, params={"n": 1})
+    old.store(spec, payload="stale", wall_s=0.1)
+    assert old.load(spec)["payload"] == "stale"
+
+    new = ResultCache(tmp_path, fingerprint="new-code")
+    fresh_spec = _spec(new, params={"n": 1})
+    assert new.load(fresh_spec) is None
+
+
+def test_corrupt_entry_reads_as_miss(tmp_path):
+    cache = ResultCache(tmp_path, fingerprint="f" * 16)
+    spec = _spec(cache)
+    cache.store(spec, payload=42, wall_s=0.0)
+    path = cache.path_for(spec)
+    path.write_bytes(b"not a pickle")
+    assert cache.load(spec) is None
+    # Wrong schema or key also misses.
+    path.write_bytes(pickle.dumps({"schema": -1}))
+    assert cache.load(spec) is None
+    path.write_bytes(pickle.dumps({"schema": 1, "key": "wrong"}))
+    assert cache.load(spec) is None
+
+
+def test_store_is_atomic_no_temp_files_left(tmp_path):
+    cache = ResultCache(tmp_path, fingerprint="f" * 16)
+    spec = _spec(cache)
+    cache.store(spec, payload=1, wall_s=0.0)
+    leftovers = [p for p in (tmp_path / "exp").iterdir()
+                 if p.name.startswith(".")]
+    assert leftovers == []

@@ -1,0 +1,73 @@
+"""Experiment discovery: BENCH declarations become runnable specs."""
+
+import pytest
+
+from repro.analysis import experiments
+from repro.runner import (
+    UnknownExperimentError,
+    discover,
+    get_experiment,
+    resolve_names,
+)
+from repro.runner.schema import validate_bench
+
+
+def test_discover_finds_every_bench_module():
+    specs = discover()
+    # One spec per experiment module (every module declares BENCH).
+    assert len(specs) == len(experiments.__all__)
+    modules = {spec.module.rsplit(".", 1)[1] for spec in specs.values()}
+    assert modules == set(experiments.__all__)
+
+
+def test_specs_are_complete_and_quick_grids_shrink():
+    for spec in discover().values():
+        assert spec.artifact, spec.name
+        assert spec.slug, spec.name
+        assert spec.points(quick=False), spec.name
+        # Quick mode only ever drops or shrinks points, never adds.
+        quick_labels = {label for label, _ in spec.points(quick=True)}
+        full_labels = {label for label, _ in spec.points(quick=False)}
+        assert quick_labels <= full_labels, spec.name
+
+
+def test_registry_order_is_stable_and_names_unique():
+    first = list(discover())
+    second = list(discover())
+    assert first == second
+    slugs = [spec.slug for spec in discover().values()]
+    assert len(slugs) == len(set(slugs))
+
+
+def test_get_experiment_unknown_name():
+    with pytest.raises(UnknownExperimentError) as excinfo:
+        get_experiment("fig99")
+    assert "unknown experiment 'fig99'" in str(excinfo.value)
+    assert "fig09" in str(excinfo.value)  # lists known names
+
+
+def test_resolve_names_keeps_registry_order():
+    specs = resolve_names(["fig09", "fig03"])
+    assert [spec.name for spec in specs] == ["fig03", "fig09"]
+    assert resolve_names([]) == list(discover().values())
+
+
+def test_resolve_names_rejects_first_bad_name():
+    with pytest.raises(UnknownExperimentError):
+        resolve_names(["fig03", "nope"])
+
+
+def test_validate_bench_rejects_malformed_declarations():
+    good = {"name": "x", "artifact": "a", "slug": "s", "title": "t",
+            "grid": [("default", {}, None)]}
+    validate_bench("mod", good)
+    with pytest.raises(ValueError, match="missing 'grid'"):
+        validate_bench("mod", {k: v for k, v in good.items()
+                               if k != "grid"})
+    with pytest.raises(ValueError, match="not unique"):
+        validate_bench("mod", dict(good, grid=[("a", {}, None),
+                                               ("a", {}, None)]))
+    with pytest.raises(ValueError, match="grid is empty"):
+        validate_bench("mod", dict(good, grid=[]))
+    with pytest.raises(TypeError):
+        validate_bench("mod", "not-a-dict")

@@ -1,0 +1,103 @@
+"""Scheduler determinism and caching semantics, on real experiments.
+
+Uses the two cheapest registry entries (``tab04`` and ``fig08`` quick
+grids) so these tests exercise the real worker path end to end without
+taking benchmark-scale time.
+"""
+
+from repro.obs import MetricsRegistry
+from repro.runner import (
+    ResultCache,
+    derive_seed,
+    execute,
+    get_experiment,
+    plan_runs,
+    run_benchmarks,
+)
+
+CHEAP = ("tab04", "fig08")
+
+
+def _specs():
+    return [get_experiment(name) for name in CHEAP]
+
+
+def test_derive_seed_is_stable_and_distinct():
+    assert derive_seed("fig09", "dram_point") == derive_seed("fig09",
+                                                             "dram_point")
+    assert derive_seed("fig09", "dram_point") != derive_seed("fig09",
+                                                             "size_2e03")
+    assert derive_seed("a", "b") != derive_seed("b", "a")
+
+
+def test_plan_runs_expands_active_grid_points():
+    spec = get_experiment("fig09")
+    full = plan_runs([spec], quick=False)
+    quick = plan_runs([spec], quick=True)
+    assert len(full) == len(spec.points(quick=False))
+    assert len(quick) < len(full)
+    assert all(run.seed == derive_seed(run.experiment, run.label)
+               for run in full)
+
+
+def test_parallel_matches_serial_exactly(tmp_path):
+    serial = execute(_specs(), jobs=1, quick=True, cache=None,
+                     use_cache=False)
+    parallel = execute(_specs(), jobs=4, quick=True, cache=None,
+                       use_cache=False)
+    assert [r.text for r in serial.reports] \
+        == [r.text for r in parallel.reports]
+    assert [r.run_id for r in serial.results] \
+        == [r.run_id for r in parallel.results]
+
+
+def test_cache_second_run_hits_everything(tmp_path):
+    cache = ResultCache(tmp_path)
+    cold = execute(_specs(), jobs=1, quick=True, cache=cache)
+    assert cold.cache_hits == 0
+    assert cold.cache_misses == len(cold.results)
+
+    warm = execute(_specs(), jobs=1, quick=True, cache=cache)
+    assert warm.cache_hits == len(warm.results)
+    assert warm.cache_misses == 0
+    assert [r.text for r in warm.reports] \
+        == [r.text for r in cold.reports]
+
+
+def test_no_cache_recomputes_but_still_stores(tmp_path):
+    cache = ResultCache(tmp_path)
+    first = execute(_specs(), jobs=1, quick=True, cache=cache,
+                    use_cache=False)
+    assert first.cache_hits == 0
+    # use_cache=False stored fresh results, so a cached run now hits.
+    second = execute(_specs(), jobs=1, quick=True, cache=cache)
+    assert second.cache_hits == len(second.results)
+
+
+def test_runner_metrics_are_published(tmp_path):
+    metrics = MetricsRegistry()
+    summary = execute(_specs(), jobs=1, quick=True,
+                      cache=ResultCache(tmp_path), metrics=metrics)
+    snapshot = summary.metrics
+    assert snapshot["runner.runs.total"] == len(summary.results)
+    assert snapshot["runner.cache.misses"] == len(summary.results)
+    assert snapshot["runner.jobs"] == 1
+    assert snapshot["runner.run.wall_seconds"]["count"] \
+        == len(summary.results)
+
+
+def test_run_benchmarks_only_filter(tmp_path):
+    summary = run_benchmarks(["tab04"], jobs=1, quick=True,
+                             cache_dir=tmp_path)
+    assert [report.name for report in summary.reports] == ["tab04"]
+    footer = summary.render_footer()
+    assert footer.startswith("bench summary: 1 runs")
+
+
+def test_summary_json_is_self_describing(tmp_path):
+    summary = run_benchmarks(["tab04"], jobs=1, quick=True,
+                             cache_dir=tmp_path)
+    payload = summary.to_json_dict()
+    assert payload["cache"]["dir"] == str(tmp_path)
+    assert payload["reports"]["tab04"]["sha256"]
+    assert payload["runs"][0]["cache_hit"] is False
