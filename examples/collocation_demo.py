@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Collocation demo: software and HALO backends live on ONE engine.
+
+Pins four lookup backends to four cores of the same simulated machine and
+runs them *concurrently* as DES processes — a software PMD, a HALO blocking
+core, a HALO non-blocking core, and an adaptive-hybrid core — all hammering
+their own warm flow tables through the shared L1/LLC/DRAM hierarchy.
+
+What to look for in the output:
+
+* the merged event timeline genuinely interleaves cores (thousands of
+  cross-core switches, not four back-to-back serial phases);
+* every core's wall-clock span overlaps the others' — ``engine.now``
+  advances once for the whole machine;
+* shared-hierarchy contention is emergent: the LLC slices record accesses
+  from all cores, and each core's cycles/op is priced against cache state
+  the *other* cores perturb.
+
+Run:  python examples/collocation_demo.py
+"""
+
+from repro.core import HaloSystem
+from repro.exec import CoreWorkload
+from repro.traffic import random_keys
+
+CORES = (
+    ("software", 0),
+    ("halo-b", 1),
+    ("halo-nb", 2),
+    ("adaptive", 3),
+)
+LOOKUPS_PER_CORE = 200
+
+
+def main() -> None:
+    system = HaloSystem()
+    workloads = []
+    for index, (kind, core_id) in enumerate(CORES):
+        table = system.create_table(1 << 14, name=f"{kind}@{core_id}")
+        keys = random_keys(8_000, seed=100 + index)
+        for value, key in enumerate(keys):
+            table.insert(key, value)
+        system.warm_table(table)
+        system.hierarchy.flush_private(core_id)
+        workloads.append(CoreWorkload(
+            backend=kind, core_id=core_id, table=table,
+            keys=keys[:LOOKUPS_PER_CORE], name=f"{kind}@core{core_id}"))
+
+    run = system.run_cores(workloads)
+
+    print("four backends collocated on one DES engine "
+          f"({LOOKUPS_PER_CORE} lookups each):\n")
+    print(f"  {'core':>4s}  {'backend':10s} {'start':>10s} {'finish':>10s} "
+          f"{'cycles/op':>10s}")
+    for result in run.results:
+        print(f"  {result.core_id:>4d}  {result.kind.value:10s} "
+              f"{result.started:>10.0f} {result.finished:>10.0f} "
+              f"{result.cycles_per_op:>10.1f}")
+
+    # Overlap: every core starts before the earliest core finishes.
+    earliest_finish = min(r.finished for r in run.results)
+    overlapped = all(r.started < earliest_finish for r in run.results)
+    timeline = run.timeline()
+    print(f"\n  engine span          : {run.started:.0f} -> "
+          f"{run.finished:.0f} ({run.elapsed:.0f} cycles)")
+    print(f"  timeline entries     : {len(timeline)} marks, "
+          f"{run.interleavings()} cross-core switches")
+    print(f"  all cores overlapped : {overlapped}")
+
+    head = ", ".join(f"{now:.0f}@c{core}" for now, core in timeline[:8])
+    print(f"  first marks          : {head}, ...")
+
+    llc_accesses = sum(c.stats.accesses for c in system.hierarchy.llc)
+    llc_misses = sum(c.stats.misses for c in system.hierarchy.llc)
+    print(f"\n  shared LLC           : {llc_accesses:,} accesses, "
+          f"{llc_misses:,} misses (all four cores, one hierarchy)")
+
+    assert overlapped, "cores should run concurrently, not serially"
+    assert run.interleavings() > 50, "timeline should interleave cores"
+    print("\nOK: software and HALO backends shared one timeline and one "
+          "memory hierarchy.")
+
+
+if __name__ == "__main__":
+    main()

@@ -3,6 +3,12 @@
 Paper result: co-running the software virtual switch drops ACL/Snort/mTCP
 throughput by 17-26% (worse with more flows) via L1D pollution, while the
 HALO switch costs the collocated NFs less than 3.2% regardless of traffic.
+
+The collocated phase runs the switch PMD loop and the NF inner loop as two
+concurrent DES programs on one engine (see :mod:`repro.nf.collocation`):
+software and HALO classification are both :mod:`repro.exec` backends, so
+the interference is timed on a genuinely shared timeline rather than
+emulated by synchronous interleaving.
 """
 
 from __future__ import annotations

@@ -1,44 +1,25 @@
 """Plain-text reporting: aligned tables and paper-vs-measured rows.
 
 Every benchmark prints its figure/table through these helpers so the
-regenerated rows line up with what the paper reports.
+regenerated rows line up with what the paper reports.  The table formatter
+itself lives in :mod:`repro.obs.tables` (the bottom layer) and is
+re-exported here for the benchmarks' convenience.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Iterable, List, Optional, Sequence
+from typing import Iterable, Optional
 
+from ..obs.tables import _cell, format_table
 
-def format_table(headers: Sequence[str], rows: Iterable[Sequence[Any]],
-                 title: str = "") -> str:
-    """Render an aligned ASCII table."""
-    str_rows: List[List[str]] = [[_cell(value) for value in row]
-                                 for row in rows]
-    widths = [len(header) for header in headers]
-    for row in str_rows:
-        for index, cell in enumerate(row):
-            widths[index] = max(widths[index], len(cell))
-    lines = []
-    if title:
-        lines.append(title)
-    lines.append("  ".join(header.ljust(width)
-                           for header, width in zip(headers, widths)))
-    lines.append("  ".join("-" * width for width in widths))
-    for row in str_rows:
-        lines.append("  ".join(cell.ljust(width)
-                               for cell, width in zip(row, widths)))
-    return "\n".join(lines)
-
-
-def _cell(value: Any) -> str:
-    if isinstance(value, float):
-        if value >= 1000:
-            return f"{value:,.0f}"
-        if value >= 10:
-            return f"{value:.1f}"
-        return f"{value:.2f}"
-    return str(value)
+__all__ = [
+    "PaperCheck",
+    "format_table",
+    "percent_str",
+    "ratio_str",
+    "render_checks",
+]
 
 
 @dataclass

@@ -12,6 +12,11 @@ episode runners that benchmarks and examples use:
 * :meth:`run_software_lookups` — the DPDK-style software baseline on the
   *same* machine and tables;
 * :meth:`run_programs` — arbitrary concurrent DES programs (multi-core).
+
+All episode runners are thin wrappers over :mod:`repro.exec` lookup
+backends: every compute mode — software included — is a DES program on the
+shared engine, so any mix of modes can also be pinned to cores with
+:meth:`run_cores` and contend on the shared memory hierarchy.
 """
 
 from __future__ import annotations
@@ -25,13 +30,12 @@ from ..sim.engine import Engine
 from ..sim.hierarchy import MemoryHierarchy
 from ..sim.params import MachineParams, SKYLAKE_SP_16C
 from ..sim.stats import throughput_mops
-from ..sim.trace import Tracer
+from ..sim.trace import CoreTracerRouter, Tracer
 from .accelerator import HaloAccelerator
 from .distributor import QueryDistributor
-from .hybrid import ComputeMode, HybridController
+from .hybrid import HybridController
 from .isa import HaloIsa
 from .locking import HardwareLockManager
-from .query import QueryResult
 from .software import SoftwareLookupEngine
 
 
@@ -83,7 +87,10 @@ class HaloSystem:
         self.distributor = QueryDistributor(
             self.engine, self.hierarchy, self.accelerators)
         self.isa = HaloIsa(self.engine, self.hierarchy, self.distributor)
-        self.tracer = Tracer()
+        # One router shared by every table: recording lands in the tracer of
+        # whichever core is active, so concurrent cores never clobber each
+        # other's in-flight traces (single-core callers see core 0's tracer).
+        self.tracer = CoreTracerRouter()
         self.hybrid = HybridController(
             [acc.flow_register for acc in self.accelerators])
         registry = self.obs.metrics
@@ -125,6 +132,21 @@ class HaloSystem:
         return SoftwareLookupEngine(self.hierarchy, core_id,
                                     with_locking=with_locking)
 
+    def tracer_for(self, core_id: int) -> Tracer:
+        """The per-core tracer behind the shared routing front-end."""
+        return self.tracer.tracer_for(core_id)
+
+    def backend(self, kind, core_id: int = 0, **kwargs):
+        """Build a :class:`~repro.exec.backend.LookupBackend` on this system.
+
+        ``kind`` is a :class:`~repro.exec.backend.BackendKind` or its string
+        value (``"software"``, ``"halo-b"``, ``"halo-nb"``, ``"adaptive"``).
+        """
+        # Imported lazily: repro.exec sits *above* repro.core in the layering
+        # (backends drive this facade), so the static edge must point down.
+        from ..exec.backend import make_backend
+        return make_backend(kind, self, core_id=core_id, **kwargs)
+
     # -- episode runners -------------------------------------------------------
     def run_program(self, generator: Generator, name: str = "program") -> Episode:
         """Run one DES program to completion; cycles = elapsed engine time."""
@@ -154,46 +176,52 @@ class HaloSystem:
         return Episode(operations=operations,
                        cycles=self.engine.now - start, results=results)
 
+    def run_backend_lookups(self, kind, table: CuckooHashTable,
+                            keys: Iterable[bytes], core_id: int = 0,
+                            **backend_kwargs) -> Episode:
+        """One key stream through any backend; cycles = elapsed engine time.
+
+        The uniform entry point behind the mode-specific runners below.
+        Episode results are :class:`~repro.exec.backend.LookupOutcome`.
+        """
+        backend = self.backend(kind, core_id=core_id, **backend_kwargs)
+        keys = list(keys)
+        return self.run_program(backend.lookup_stream(table, keys),
+                                name=f"{backend.kind.value}_stream")
+
     def run_blocking_lookups(self, table: CuckooHashTable,
                              keys: Iterable[bytes],
                              core_id: int = 0) -> Episode:
         """A core issuing LOOKUP_B for every key, serially."""
-        keys = list(keys)
-
-        def program() -> Generator:
-            results: List[QueryResult] = []
-            for key in keys:
-                result = yield from self.isa.lookup_b(core_id, table, key)
-                results.append(result)
-            return results
-
-        return self.run_program(program(), name="lookup_b_stream")
+        episode = self.run_backend_lookups("halo-b", table, keys,
+                                           core_id=core_id)
+        episode.results = [outcome.raw for outcome in episode.results]
+        return episode
 
     def run_nonblocking_lookups(self, table: CuckooHashTable,
                                 keys: Iterable[bytes],
                                 core_id: int = 0) -> Episode:
         """The batched LOOKUP_NB + SNAPSHOT_READ idiom over all keys."""
-        keys = list(keys)
-
-        def program() -> Generator:
-            results = yield from self.isa.lookup_batch(core_id, table, keys)
-            return results
-
-        return self.run_program(program(), name="lookup_nb_stream")
+        episode = self.run_backend_lookups("halo-nb", table, keys,
+                                           core_id=core_id)
+        episode.results = [outcome.raw for outcome in episode.results]
+        return episode
 
     def run_software_lookups(self, table: CuckooHashTable,
                              keys: Iterable[bytes],
                              core_id: int = 0,
                              with_locking: bool = True) -> Episode:
-        """The software baseline over the same machine state."""
-        engine = self.software_engine(core_id, with_locking=with_locking)
-        cycles = 0.0
-        values = []
-        for key in keys:
-            value, result = engine.lookup(table, key)
-            values.append(value)
-            cycles += result.cycles
-        return Episode(operations=len(values), cycles=cycles, results=values)
+        """The software baseline over the same machine state.
+
+        Scheduled through the engine like every other backend: the cycle
+        arithmetic is the pre-DES synchronous sum, but the cost is spent as
+        simulated time so software cores can collocate with HALO traffic.
+        """
+        episode = self.run_backend_lookups("software", table, keys,
+                                           core_id=core_id,
+                                           with_locking=with_locking)
+        episode.results = [outcome.value for outcome in episode.results]
+        return episode
 
     # -- observability ----------------------------------------------------------
     def export_observability(self) -> dict:
@@ -261,21 +289,20 @@ class HaloSystem:
                              keys: Iterable[bytes], core_id: int = 0,
                              window: int = 256) -> Episode:
         """Lookups under the hybrid controller, re-evaluated every window."""
-        keys = list(keys)
-        total_cycles = 0.0
-        values: List[Any] = []
-        for start in range(0, len(keys), window):
-            chunk = keys[start:start + window]
-            if self.hybrid.mode is ComputeMode.HALO:
-                episode = self.run_nonblocking_lookups(table, chunk, core_id)
-                values.extend(r.value for r in episode.results)
-            else:
-                episode = self.run_software_lookups(table, chunk, core_id)
-                for key in chunk:
-                    self.hybrid.observe_software_lookup(
-                        table.probe(key).primary_hash)
-                values.extend(episode.results)
-            total_cycles += episode.cycles
-            self.hybrid.end_window()
-        return Episode(operations=len(keys), cycles=total_cycles,
-                       results=values)
+        episode = self.run_backend_lookups("adaptive", table, keys,
+                                           core_id=core_id, window=window)
+        episode.results = [outcome.value for outcome in episode.results]
+        return episode
+
+    # -- multi-core entry point ---------------------------------------------------
+    def run_cores(self, workloads):
+        """Run a mix of per-core backend workloads concurrently.
+
+        ``workloads`` is a sequence of :class:`~repro.exec.cores.
+        CoreWorkload`; returns a :class:`~repro.exec.cores.MultiCoreRun`.
+        Software and HALO cores share the engine timeline and the memory
+        hierarchy, so collocation effects (cache pollution, interconnect
+        contention) emerge rather than being modelled separately.
+        """
+        from ..exec.cores import run_cores
+        return run_cores(self, workloads)

@@ -4,6 +4,11 @@ Wraps a traced hash table and a :class:`~repro.sim.core.CoreModel` so the
 software path and the HALO path can be compared on identical machines,
 tables, and key streams.  Includes the optimistic-locking read-side overhead
 the paper measures at 13.1% of execution time (§3.4).
+
+Trace capture routes through the issuing core's tracer (see
+:class:`~repro.sim.trace.CoreTracerRouter`), so several software engines on
+different cores can interleave on one shared engine without clobbering each
+other's in-flight traces.
 """
 
 from __future__ import annotations
@@ -15,7 +20,7 @@ from ..hashtable.locking import READ_SIDE_CYCLES
 from ..sim.core import CoreModel, ExecutionResult
 from ..sim.hierarchy import MemoryHierarchy
 from ..sim.stats import Breakdown, RunningStats
-from ..sim.trace import Tracer
+from ..sim.trace import Tracer, capture
 
 
 @dataclass
@@ -39,14 +44,11 @@ class SoftwareLookupEngine:
     def lookup(self, table, key: bytes,
                key_addr: Optional[int] = None) -> Tuple[Any, ExecutionResult]:
         """One software lookup; returns (value, execution result)."""
-        tracer = table.tracer
-        if not isinstance(tracer, Tracer) or not tracer.enabled:
-            raise ValueError(
-                "software execution needs a table built with an enabled Tracer")
-        tracer.begin()
-        value = table.lookup(key, key_addr=key_addr)
+        tracer = self.table_tracer(table)
+        value, trace = capture(tracer, self.core.core_id,
+                               table.lookup, key, key_addr=key_addr)
         lock_cycles = READ_SIDE_CYCLES if self.with_locking else 0.0
-        result = self.core.execute(tracer.take(), lock_cycles=lock_cycles)
+        result = self.core.execute(trace, lock_cycles=lock_cycles)
         self.stats.lookups += 1
         if value is not None:
             self.stats.hits += 1
@@ -76,14 +78,24 @@ class SoftwareLookupEngine:
         for start in range(0, len(keys), batch):
             chunk = keys[start:start + batch]
             traces = []
-            for key in chunk:
-                tracer.begin()
-                values.append(table.lookup(key))
-                traces.append(tracer.take())
+            token = tracer.activate(self.core.core_id)
+            try:
+                for key in chunk:
+                    tracer.begin()
+                    values.append(table.lookup(key))
+                    traces.append(tracer.take())
+            finally:
+                tracer.restore(token)
             result = self.core.execute_prefetch_batch(
                 traces, lock_cycles_each=lock_cycles)
             total_cycles += result.cycles
             self.stats.lookups += len(chunk)
+            # Amortise the batch cost across its lookups so per-lookup
+            # statistics (mean_cycles_per_lookup) stay meaningful after
+            # bulk runs, with count matching ``stats.lookups``.
+            per_lookup = result.cycles / len(chunk)
+            for _ in chunk:
+                self.stats.cycles.record(per_lookup)
             self.stats.breakdown = self.stats.breakdown.merged(
                 result.breakdown)
         self.stats.hits += sum(1 for value in values if value is not None)
@@ -98,12 +110,12 @@ class SoftwareLookupEngine:
         return tracer
 
     def insert(self, table, key: bytes, value: Any) -> ExecutionResult:
-        tracer = table.tracer
-        tracer.begin()
-        table.insert(key, value)
+        tracer = self.table_tracer(table)
+        _ok, trace = capture(tracer, self.core.core_id,
+                             table.insert, key, value)
         lock_cycles = (table.lock.write_overhead_cycles()
                        if self.with_locking else 0.0)
-        return self.core.execute(tracer.take(), lock_cycles=lock_cycles)
+        return self.core.execute(trace, lock_cycles=lock_cycles)
 
     @property
     def mean_cycles_per_lookup(self) -> float:

@@ -1,0 +1,37 @@
+"""Execution backends: one DES-native model for software and HALO compute.
+
+``repro.exec`` sits between :mod:`repro.core` (the machine: ISA,
+accelerators, software engine) and the workloads (:mod:`repro.vswitch`,
+:mod:`repro.nf`).  It turns each compute mode into a
+:class:`~repro.exec.backend.LookupBackend` — a factory of engine programs —
+and :func:`~repro.exec.cores.run_cores` pins any mix of backends to cores
+so they contend on the shared memory hierarchy like real collocated
+threads.
+"""
+
+from .backend import (
+    AdaptiveBackend,
+    BackendKind,
+    HaloBlockingBackend,
+    HaloNonblockingBackend,
+    LookupBackend,
+    LookupOutcome,
+    SoftwareBackend,
+    make_backend,
+)
+from .cores import CoreResult, CoreWorkload, MultiCoreRun, run_cores
+
+__all__ = [
+    "AdaptiveBackend",
+    "BackendKind",
+    "CoreResult",
+    "CoreWorkload",
+    "HaloBlockingBackend",
+    "HaloNonblockingBackend",
+    "LookupBackend",
+    "LookupOutcome",
+    "MultiCoreRun",
+    "SoftwareBackend",
+    "make_backend",
+    "run_cores",
+]

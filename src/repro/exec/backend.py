@@ -1,0 +1,307 @@
+"""DES-native lookup backends — one execution model for every compute mode.
+
+Historically the software baseline executed *outside* the simulation engine
+(summed core cycles, ``engine.now`` untouched) while the HALO paths ran as
+engine processes, so the two could never genuinely interleave on one shared
+memory hierarchy.  This module unifies them: a :class:`LookupBackend` is a
+factory of *DES generator programs* — software, HALO-blocking,
+HALO-nonblocking, and the adaptive hybrid are all scheduled on the shared
+:class:`~repro.sim.engine.Engine`, charge their cycles as simulated time,
+and replay their memory accesses through the shared hierarchy.  Any mix of
+backends can therefore be pinned to cores (see :mod:`repro.exec.cores`) and
+contend for L1/LLC/DRAM/interconnect like collocated threads on real
+hardware.
+
+Every backend's ``lookup``/``lookup_stream``/``search`` return
+:class:`LookupOutcome` values, so callers compare modes without re-imple-
+menting per-mode dispatch.  The software backend additionally exposes
+:meth:`SoftwareBackend.traced_call` — the primitive the virtual switch uses
+to charge arbitrary traced structure operations (EMC probes, megaflow
+installs) to its core.
+
+This module deliberately imports nothing from :mod:`repro.core` at module
+level: backends reach the ISA, hierarchy, and software engine through the
+``HaloSystem`` facade passed to them, keeping the import layering
+one-directional (``repro.exec`` sits between ``repro.core`` and the
+workload layer — see ``scripts/check_layering.py``).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, ClassVar, Generator, Iterable, List, Optional, Sequence, Tuple
+
+from ..hashtable.locking import READ_SIDE_CYCLES
+from ..sim.trace import capture
+
+
+class BackendKind(Enum):
+    """The four execution models a lookup stream can run under."""
+
+    SOFTWARE = "software"
+    HALO_BLOCKING = "halo-b"
+    HALO_NONBLOCKING = "halo-nb"
+    ADAPTIVE = "adaptive"
+
+
+@dataclass
+class LookupOutcome:
+    """One lookup's result, uniform across backends.
+
+    ``raw`` carries the backend-native result object when one exists (the
+    :class:`~repro.core.query.QueryResult` for HALO paths); software
+    lookups leave it ``None``.
+    """
+
+    value: Any
+    found: bool
+    cycles: float
+    raw: Any = None
+
+
+class LookupBackend(ABC):
+    """A compute mode expressed as DES generator programs.
+
+    Subclasses define :meth:`lookup`; the streaming and multi-table search
+    programs have serial defaults built on it.  All generators must be
+    driven by the system's engine (``engine.run_process`` for synchronous
+    callers, ``engine.process`` for concurrent ones).
+    """
+
+    kind: ClassVar[BackendKind]
+    #: True when the backend supersedes the software EMC layer (the HALO
+    #: pipeline classifies everything through accelerated tuple-space
+    #: search, keeping private caches clean — the Figure 12 property).
+    replaces_emc: ClassVar[bool] = False
+
+    def __init__(self, system, core_id: int = 0) -> None:
+        self.system = system
+        self.core_id = core_id
+
+    @abstractmethod
+    def lookup(self, table, key: bytes) -> Generator:
+        """Program for one lookup; returns a :class:`LookupOutcome`."""
+
+    def lookup_stream(self, table, keys: Iterable[bytes]) -> Generator:
+        """Program for a key stream; returns ``List[LookupOutcome]``."""
+        outcomes: List[LookupOutcome] = []
+        for key in keys:
+            outcome = yield from self.lookup(table, key)
+            outcomes.append(outcome)
+        return outcomes
+
+    def search(self, queries: Sequence[Tuple[Any, bytes]],
+               first_match: bool = False) -> Generator:
+        """Program searching ``(table, key)`` pairs (tuple-space style).
+
+        With ``first_match`` the search may stop at the first hit (the
+        serialised idiom); backends that batch (non-blocking) still issue
+        everything and let the caller pick the first hit.  Returns the
+        ``List[LookupOutcome]`` actually executed, in query order.
+        """
+        outcomes: List[LookupOutcome] = []
+        for table, key in queries:
+            outcome = yield from self.lookup(table, key)
+            outcomes.append(outcome)
+            if first_match and outcome.found:
+                break
+        return outcomes
+
+    def traced_call(self, func, *args, lock_cycles: Optional[float] = None,
+                    **kwargs) -> Generator:
+        """Program for one traced structure operation (software-only)."""
+        raise NotImplementedError(
+            f"{self.kind.value} backend cannot execute traced core "
+            f"operations")
+
+
+class SoftwareBackend(LookupBackend):
+    """The DPDK-style baseline as an engine program.
+
+    Cycle arithmetic is byte-for-byte the pre-DES path — the trace replays
+    against the hierarchy and :class:`~repro.sim.core.CoreModel` prices it —
+    but the cost is then spent as engine time, so software cores occupy the
+    shared timeline and contend with whatever else is running.
+    """
+
+    kind = BackendKind.SOFTWARE
+    replaces_emc = False
+
+    def __init__(self, system, core_id: int = 0,
+                 with_locking: bool = True) -> None:
+        super().__init__(system, core_id)
+        self.software = system.software_engine(core_id,
+                                               with_locking=with_locking)
+
+    @property
+    def core(self):
+        return self.software.core
+
+    def lookup(self, table, key: bytes) -> Generator:
+        value, result = self.software.lookup(table, key)
+        if result.cycles:
+            yield self.system.engine.timeout(result.cycles)
+        return LookupOutcome(value=value, found=value is not None,
+                             cycles=result.cycles)
+
+    def traced_call(self, func, *args, lock_cycles: Optional[float] = None,
+                    **kwargs) -> Generator:
+        """Run any traced functional call on this core as a DES step.
+
+        Captures the call's memory trace under this core's tracer, prices
+        it on the core model (read-side lock overhead by default, matching
+        the per-op cost the switch always charged), and spends the cycles
+        as engine time.  Returns ``(value, ExecutionResult)``.
+        """
+        tracer = self.system.tracer
+        value, trace = capture(tracer, self.core_id, func, *args, **kwargs)
+        if lock_cycles is None:
+            lock_cycles = (READ_SIDE_CYCLES if self.software.with_locking
+                           else 0.0)
+        result = self.software.core.execute(trace, lock_cycles=lock_cycles)
+        if result.cycles:
+            yield self.system.engine.timeout(result.cycles)
+        return value, result
+
+
+class HaloBlockingBackend(LookupBackend):
+    """``LOOKUP_B`` issued back to back — the core blocks per query."""
+
+    kind = BackendKind.HALO_BLOCKING
+    replaces_emc = True
+
+    def lookup(self, table, key: bytes) -> Generator:
+        engine = self.system.engine
+        start = engine.now
+        result = yield from self.system.isa.lookup_b(self.core_id, table, key)
+        return LookupOutcome(value=result.value, found=result.found,
+                             cycles=engine.now - start, raw=result)
+
+
+class HaloNonblockingBackend(LookupBackend):
+    """The batched ``LOOKUP_NB`` + ``SNAPSHOT_READ`` idiom (§4.5)."""
+
+    kind = BackendKind.HALO_NONBLOCKING
+    replaces_emc = True
+
+    def lookup(self, table, key: bytes) -> Generator:
+        engine = self.system.engine
+        isa = self.system.isa
+        start = engine.now
+        process = yield from isa.lookup_nb(self.core_id, table, key)
+        results = yield from isa.snapshot_read_poll(self.core_id, [process])
+        result = results[0]
+        return LookupOutcome(value=result.value, found=result.found,
+                             cycles=engine.now - start, raw=result)
+
+    def lookup_stream(self, table, keys: Iterable[bytes]) -> Generator:
+        keys = list(keys)
+        engine = self.system.engine
+        start = engine.now
+        results = yield from self.system.isa.lookup_batch(
+            self.core_id, table, keys)
+        elapsed = engine.now - start
+        per_op = elapsed / len(results) if results else 0.0
+        return [LookupOutcome(value=r.value, found=r.found, cycles=per_op,
+                              raw=r) for r in results]
+
+    def search(self, queries: Sequence[Tuple[Any, bytes]],
+               first_match: bool = False) -> Generator:
+        """Fan all queries out at once, one result line, one poll loop."""
+        if not queries:
+            return []
+        engine = self.system.engine
+        isa = self.system.isa
+        start = engine.now
+        pending = []
+        for table, key in queries:
+            process = yield from isa.lookup_nb(self.core_id, table, key)
+            pending.append(process)
+        results = yield from isa.snapshot_read_poll(self.core_id, pending)
+        elapsed = engine.now - start
+        per_op = elapsed / len(results) if results else 0.0
+        return [LookupOutcome(value=r.value, found=r.found, cycles=per_op,
+                              raw=r) for r in results]
+
+
+class AdaptiveBackend(LookupBackend):
+    """The hybrid controller's mode, re-evaluated every ``window`` lookups.
+
+    Delegates each lookup to the software or non-blocking HALO sub-backend
+    according to :class:`~repro.core.hybrid.HybridController`, feeding the
+    controller's flow estimator on the software side exactly as the
+    pre-backend adaptive episode runner did.
+    """
+
+    kind = BackendKind.ADAPTIVE
+    replaces_emc = False
+
+    def __init__(self, system, core_id: int = 0, window: int = 256) -> None:
+        super().__init__(system, core_id)
+        self.window = window
+        self._software = SoftwareBackend(system, core_id)
+        self._halo = HaloNonblockingBackend(system, core_id)
+        self._in_window = 0
+
+    @property
+    def active(self) -> LookupBackend:
+        """The sub-backend the hybrid controller currently selects."""
+        # Imported lazily through the system to avoid a static exec->core
+        # edge; ComputeMode.HALO is the only non-software mode.
+        if self.system.hybrid.mode.value == "halo":
+            return self._halo
+        return self._software
+
+    def _observe_software(self, table, key: bytes) -> None:
+        self.system.hybrid.observe_software_lookup(
+            table.probe(key).primary_hash)
+
+    def _tick_window(self, count: int = 1) -> None:
+        self._in_window += count
+        if self._in_window >= self.window:
+            self._in_window = 0
+            self.system.hybrid.end_window()
+
+    def lookup(self, table, key: bytes) -> Generator:
+        backend = self.active
+        outcome = yield from backend.lookup(table, key)
+        if backend is self._software:
+            self._observe_software(table, key)
+        self._tick_window()
+        return outcome
+
+    def lookup_stream(self, table, keys: Iterable[bytes]) -> Generator:
+        """Window-chunked stream: batch HALO windows, serial software ones."""
+        keys = list(keys)
+        outcomes: List[LookupOutcome] = []
+        for start in range(0, len(keys), self.window):
+            chunk = keys[start:start + self.window]
+            backend = self.active
+            if backend is self._halo:
+                chunk_outcomes = yield from backend.lookup_stream(table, chunk)
+            else:
+                chunk_outcomes = []
+                for key in chunk:
+                    outcome = yield from backend.lookup(table, key)
+                    self._observe_software(table, key)
+                    chunk_outcomes.append(outcome)
+            outcomes.extend(chunk_outcomes)
+            self.system.hybrid.end_window()
+        return outcomes
+
+
+_BACKENDS = {
+    BackendKind.SOFTWARE: SoftwareBackend,
+    BackendKind.HALO_BLOCKING: HaloBlockingBackend,
+    BackendKind.HALO_NONBLOCKING: HaloNonblockingBackend,
+    BackendKind.ADAPTIVE: AdaptiveBackend,
+}
+
+
+def make_backend(kind, system, core_id: int = 0, **kwargs) -> LookupBackend:
+    """Build a backend from a :class:`BackendKind` or its string value."""
+    if isinstance(kind, str):
+        kind = BackendKind(kind)
+    return _BACKENDS[kind](system, core_id=core_id, **kwargs)

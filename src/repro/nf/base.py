@@ -128,6 +128,27 @@ class NetworkFunction(ABC):
         self.stats.cycles.record(cycles)
         return cycles
 
+    def packet_program(self, engine, flow: FiveTuple):
+        """Process one packet as a DES program on ``engine``.
+
+        Same cycle accounting as :meth:`process`, but the cost is spent as
+        simulated time — so an NF inner loop can run concurrently with a
+        switch PMD loop (or another NF) on the shared engine and the
+        collocation contention emerges from the interleaving.
+        """
+        cycles = yield from self._program_impl(engine, flow)
+        self.stats.packets += 1
+        self.stats.cycles.record(cycles)
+        return cycles
+
+    def _program_impl(self, engine, flow: FiveTuple):
+        """Program-shaped packet handling; default wraps the synchronous
+        implementation and spends its cycles as one engine timeout."""
+        cycles = self._process_impl(flow)
+        if cycles:
+            yield engine.timeout(cycles)
+        return cycles
+
     @abstractmethod
     def _process_impl(self, flow: FiveTuple) -> float:
         """NF-specific packet handling; returns cycles."""

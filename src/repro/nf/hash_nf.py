@@ -7,7 +7,10 @@ NAT, prads, and the packet filter all follow the same per-packet shape:
 The lookup dominates, so accelerating it with HALO yields the 2.3-2.7×
 end-to-end speedups of Figure 13 (Amdahl-limited by the fixed work).
 Each NF can run in software mode (traced cuckoo lookup on the core) or
-HALO mode (``LOOKUP_B`` to the accelerators).
+HALO mode (``LOOKUP_B`` to the accelerators).  Both modes are
+:mod:`repro.exec` backends, so the same NF object works synchronously
+(:meth:`~repro.nf.base.NetworkFunction.process`) or as a DES program
+pinned to a core alongside other workloads.
 """
 
 from __future__ import annotations
@@ -16,7 +19,6 @@ from typing import Any, Iterable, Optional, Tuple
 
 from ..classifier.flow import FiveTuple
 from ..core.halo_system import HaloSystem
-from ..hashtable.locking import READ_SIDE_CYCLES
 from ..sim.trace import InstructionMix
 from .base import NetworkFunction, NfStats
 
@@ -40,8 +42,15 @@ class HashTableNetworkFunction(NetworkFunction):
         self.use_halo = use_halo
         self.table = system.create_table(
             max(8, table_entries), name=f"{self.name}.table")
+        self._software_backend = system.backend("software", core_id=core_id)
+        self._halo_backend = system.backend("halo-b", core_id=core_id)
         self.lookup_hits = 0
         self.lookup_misses = 0
+
+    @property
+    def backend(self):
+        """The lookup backend the current mode selects."""
+        return self._halo_backend if self.use_halo else self._software_backend
 
     # -- table management (NF-specific key/value types) ---------------------------
     def populate(self, entries: Iterable[Tuple[bytes, Any]]) -> None:
@@ -55,19 +64,16 @@ class HashTableNetworkFunction(NetworkFunction):
         return flow.pack()
 
     # -- per-packet processing ---------------------------------------------------------
+    def lookup_program(self, key: bytes):
+        """Program: one table lookup through the current mode's backend;
+        returns ``(value, cycles)``."""
+        outcome = yield from self.backend.lookup(self.table, key)
+        return outcome.value, outcome.cycles
+
     def _lookup(self, key: bytes) -> Tuple[Any, float]:
         """(value, cycles) for the table lookup in the current mode."""
-        if self.use_halo:
-            episode = self.system.run_blocking_lookups(
-                self.table, [key], core_id=self.core.core_id)
-            result = episode.results[0]
-            return result.value, episode.cycles
-        tracer = self.table.tracer
-        tracer.begin()
-        value = self.table.lookup(key)
-        result = self.core.execute(tracer.take(),
-                                   lock_cycles=READ_SIDE_CYCLES)
-        return value, result.cycles
+        return self.system.engine.run_process(
+            self.lookup_program(key), name=f"{self.name}.lookup")
 
     def on_hit(self, flow: FiveTuple, value: Any) -> float:
         """Extra cycles on a hit (e.g. NAT header rewrite). Default: none."""
@@ -79,6 +85,18 @@ class HashTableNetworkFunction(NetworkFunction):
 
     def _process_impl(self, flow: FiveTuple) -> float:
         value, lookup_cycles = self._lookup(self.key_of(flow))
+        return lookup_cycles + self._fixed_work(flow, value)
+
+    def _program_impl(self, engine, flow: FiveTuple):
+        value, lookup_cycles = yield from self.lookup_program(
+            self.key_of(flow))
+        fixed = self._fixed_work(flow, value)
+        if fixed:
+            yield engine.timeout(fixed)
+        return lookup_cycles + fixed
+
+    def _fixed_work(self, flow: FiveTuple, value: Any) -> float:
+        """The non-lookup per-packet cycles (base trace + hit/miss extra)."""
         fixed = self.core.execute(self._base_trace())
         if value is not None:
             self.lookup_hits += 1
@@ -86,7 +104,7 @@ class HashTableNetworkFunction(NetworkFunction):
         else:
             self.lookup_misses += 1
             extra = self.on_miss(flow)
-        return lookup_cycles + fixed.cycles + extra
+        return fixed.cycles + extra
 
     # -- the Figure 13 measurement -----------------------------------------------------
     def measure_speedup(self, flows,

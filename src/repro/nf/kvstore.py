@@ -16,9 +16,8 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable, List, Optional, Tuple
 
 from ..hashtable.hashing import hash_bytes
-from ..hashtable.locking import READ_SIDE_CYCLES
 from ..sim.stats import RunningStats
-from ..sim.trace import Tracer
+from ..sim.trace import capture
 
 
 def _index_key(key: bytes, key_bytes: int = 16) -> bytes:
@@ -60,12 +59,10 @@ class KeyValueStore:
     # -- operations ---------------------------------------------------------------
     def set(self, key: bytes, value: Any) -> bool:
         """Store a value; always the software path (traced insert)."""
-        tracer: Tracer = self.table.tracer
-        tracer.begin()
-        ok = self.table.insert(_index_key(key), (key, value))
+        ok, trace = capture(self.table.tracer, self.core_id,
+                            self.table.insert, _index_key(key), (key, value))
         result = self._engine.core.execute(
-            tracer.take(),
-            lock_cycles=self.table.lock.write_overhead_cycles())
+            trace, lock_cycles=self.table.lock.write_overhead_cycles())
         self.stats.sets += 1
         self.stats.set_cycles.record(result.cycles)
         return ok
@@ -79,11 +76,7 @@ class KeyValueStore:
             stored = episode.results[0].value
             cycles = episode.cycles
         else:
-            tracer: Tracer = self.table.tracer
-            tracer.begin()
-            stored = self.table.lookup(index_key)
-            result = self._engine.core.execute(
-                tracer.take(), lock_cycles=READ_SIDE_CYCLES)
+            stored, result = self._engine.lookup(self.table, index_key)
             cycles = result.cycles
         self.stats.gets += 1
         self.stats.get_cycles.record(cycles)

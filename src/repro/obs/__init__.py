@@ -33,13 +33,14 @@ from .metrics import (
 )
 from .tracing import NULL_SPAN, Span, TraceRecorder, validate_nesting
 from .report import render_component_totals, render_metrics_report
+from .tables import format_table
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "Span",
     "TraceRecorder", "Observability", "default_enabled",
     "DEFAULT_LATENCY_BUCKETS", "NULL_COUNTER", "NULL_GAUGE",
     "NULL_HISTOGRAM", "NULL_SPAN", "validate_nesting",
-    "render_metrics_report", "render_component_totals",
+    "render_metrics_report", "render_component_totals", "format_table",
 ]
 
 

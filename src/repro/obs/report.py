@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
-from ..analysis.reporting import format_table
+from .tables import format_table
 
 
 def _fmt(value: object) -> str:

@@ -30,6 +30,7 @@ from .params import (
 from .tlb import Tlb, TlbParams, TlbStats
 from .stats import Breakdown, RunningStats, geometric_mean, mpkl, throughput_mops
 from .trace import (
+    CoreTracerRouter,
     InstructionMix,
     MemOp,
     MemOpKind,
@@ -37,6 +38,7 @@ from .trace import (
     NULL_TRACER,
     NullTracer,
     Tracer,
+    capture,
 )
 
 __all__ = [
@@ -49,6 +51,7 @@ __all__ = [
     "CacheStats",
     "CoreModel",
     "CoreParams",
+    "CoreTracerRouter",
     "Dram",
     "Engine",
     "Event",
@@ -79,6 +82,7 @@ __all__ = [
     "TlbStats",
     "Tracer",
     "build_interconnect",
+    "capture",
     "geometric_mean",
     "mpkl",
     "throughput_mops",

@@ -124,6 +124,22 @@ class CoreModel:
             instructions=mix.total,
         )
 
+    def execute_program(self, engine, trace: MemTrace,
+                        lock_cycles: float = 0.0):
+        """Replay ``trace`` as a DES program on ``engine``.
+
+        The cycle arithmetic is exactly :meth:`execute` — the cost is
+        computed up front from the current cache state — but the cost is
+        then *spent* as simulated time (``yield engine.timeout(...)``), so
+        core-side execution occupies the shared engine timeline and can
+        interleave with accelerator traffic and other cores.  Returns the
+        :class:`ExecutionResult`.
+        """
+        result = self.execute(trace, lock_cycles=lock_cycles)
+        if result.cycles:
+            yield engine.timeout(result.cycles)
+        return result
+
     def execute_prefetch_batch(self, traces,
                                lock_cycles_each: float = 0.0
                                ) -> ExecutionResult:

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Iterable, Iterator, List
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 
 class MemOpKind(Enum):
@@ -171,13 +171,42 @@ class Tracer:
         self.begin()
         return trace
 
+    # -- per-core routing hooks ------------------------------------------------
+    # A plain tracer is core-agnostic: activation is a no-op so `capture`
+    # works uniformly whether a structure carries a Tracer or a
+    # :class:`CoreTracerRouter`.
+    def activate(self, core_id: int):
+        """Make ``core_id`` the recording target; returns a restore token."""
+        return None
+
+    def restore(self, token) -> None:
+        """Undo a previous :meth:`activate`."""
+
+    def tracer_for(self, core_id: int) -> "Tracer":
+        """The tracer that records ``core_id``'s operations (self here)."""
+        return self
+
 
 class NullTracer(Tracer):
-    """A tracer that records nothing (fast path for pure functional use)."""
+    """A tracer that records nothing (fast path for pure functional use).
+
+    Truly zero-overhead: ``begin``/``take`` reuse one immutable empty
+    :class:`MemTrace` instead of allocating a fresh one per operation, and
+    every recording hook is a no-op.
+    """
+
+    __slots__ = ()
 
     def __init__(self) -> None:
         super().__init__()
         self.enabled = False
+
+    def begin(self) -> None:  # noqa: D102 — no allocation on the fast path
+        pass
+
+    def take(self) -> MemTrace:
+        """The shared empty trace (callers must treat it as read-only)."""
+        return self.trace
 
     def load(self, addr: int, size: int = 8) -> None:  # noqa: D102
         pass
@@ -194,3 +223,82 @@ class NullTracer(Tracer):
 
 
 NULL_TRACER = NullTracer()
+
+
+class CoreTracerRouter(Tracer):
+    """A tracer front-end that routes recording to per-core tracers.
+
+    Shared data structures (tables, classifiers) are built once against a
+    single tracer object, but with multiple cores interleaving on one DES
+    engine each core needs its *own* capture state.  The router keeps one
+    real :class:`Tracer` per core and delegates every recording call to the
+    currently *active* one; :func:`capture` (or :meth:`activate`/
+    :meth:`restore`) brackets each functional call with the issuing core.
+
+    When no core is explicitly active, core 0's tracer records — which makes
+    single-core code that talks to ``table.tracer`` directly keep working
+    unchanged.
+    """
+
+    __slots__ = ("_tracers", "_active")
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._tracers: Dict[int, Tracer] = {}
+        self._active: Tracer = self.tracer_for(0)
+
+    def tracer_for(self, core_id: int) -> Tracer:
+        """The (lazily created) tracer owned by ``core_id``."""
+        tracer = self._tracers.get(core_id)
+        if tracer is None:
+            tracer = self._tracers[core_id] = Tracer()
+        return tracer
+
+    def activate(self, core_id: int) -> Tracer:
+        """Route subsequent recording to ``core_id``; returns the previous
+        target so nested activations restore correctly."""
+        previous = self._active
+        self._active = self.tracer_for(core_id)
+        return previous
+
+    def restore(self, token: Optional[Tracer]) -> None:
+        if token is not None:
+            self._active = token
+
+    # -- delegated recording interface ----------------------------------------
+    def begin(self) -> None:
+        self._active.begin()
+
+    def barrier(self) -> None:
+        self._active.barrier()
+
+    def load(self, addr: int, size: int = 8) -> None:
+        self._active.load(addr, size)
+
+    def store(self, addr: int, size: int = 8) -> None:
+        self._active.store(addr, size)
+
+    def count(self, loads: int = 0, stores: int = 0, arithmetic: int = 0,
+              others: int = 0) -> None:
+        self._active.count(loads, stores, arithmetic, others)
+
+    def take(self) -> MemTrace:
+        return self._active.take()
+
+
+def capture(tracer: Tracer, core_id: int, func, *args,
+            **kwargs) -> Tuple[object, MemTrace]:
+    """Run ``func`` and capture its memory trace on behalf of ``core_id``.
+
+    The one sanctioned begin/run/take bracket: activates the core's tracer
+    (a no-op for plain tracers), executes the functional call, and returns
+    ``(value, trace)``.  Because DES process steps are atomic, no other
+    core's recording can interleave inside the bracket.
+    """
+    token = tracer.activate(core_id)
+    try:
+        tracer.begin()
+        value = func(*args, **kwargs)
+        return value, tracer.take()
+    finally:
+        tracer.restore(token)

@@ -10,8 +10,16 @@ be regenerated.  The classification stages run in one of three modes:
 * ``SOFTWARE`` — traced table operations replayed on a simulated core
   (cuckoo hash + optimistic locking, the paper's software baseline);
 * ``HALO_BLOCKING`` — classification lookups issued as ``LOOKUP_B``;
-* ``HALO_NONBLOCKING`` — EMC via ``LOOKUP_B``; the MegaFlow tuple space
-  searched by batching ``LOOKUP_NB`` to all tuples at once (§5.1).
+* ``HALO_NONBLOCKING`` — the MegaFlow tuple space searched by batching
+  ``LOOKUP_NB`` to all tuples at once (§5.1).
+
+Every mode is a :mod:`repro.exec` lookup backend, and the whole pipeline
+is a DES *program* (:meth:`VirtualSwitch.packet_program` /
+:meth:`pmd_program`): software classification spends its cycles as engine
+time exactly like the HALO paths, so a switch PMD loop can be pinned to a
+core with :func:`repro.exec.cores.run_cores` and collocate with NFs or
+other switches on the shared memory hierarchy.  The synchronous
+:meth:`process_flow` wrapper remains the single-core entry point.
 """
 
 from __future__ import annotations
@@ -27,7 +35,7 @@ from ..classifier.openflow import OpenFlowLayer
 from ..classifier.rules import Rule, megaflow_entry
 from ..classifier.tuple_space import TupleSpaceSearch
 from ..core.halo_system import HaloSystem
-from ..core.software import SoftwareLookupEngine
+from ..exec.backend import HaloNonblockingBackend, SoftwareBackend
 from ..hashtable.locking import READ_SIDE_CYCLES
 from ..sim.stats import Breakdown
 from .actions import ActionExecutor
@@ -85,6 +93,7 @@ class VirtualSwitch:
         self.mode = mode
         self.core_id = core_id
         self.emc_enabled = emc_enabled
+        self._rules: List[Rule] = []
         allocator = system.hierarchy.allocator
         tracer = system.tracer
         self.emc = ExactMatchCache(emc_entries, allocator=allocator,
@@ -97,7 +106,20 @@ class VirtualSwitch:
         # A burst-sized mbuf ring: headers recycle through a bounded set of
         # lines, as with a real PMD's RX burst working set.
         self.pool = PacketPool(allocator, buffers=64)
-        self.software = SoftwareLookupEngine(system.hierarchy, core_id)
+        self.backend = system.backend(mode.value, core_id=core_id)
+        # The OpenFlow slow path always fans out with LOOKUP_NB batches,
+        # even in blocking mode (it searches every tuple anyway).
+        if isinstance(self.backend, HaloNonblockingBackend):
+            self._nb = self.backend
+        elif mode is not SwitchMode.SOFTWARE:
+            self._nb = HaloNonblockingBackend(system, core_id)
+        else:
+            self._nb = None
+        if isinstance(self.backend, SoftwareBackend):
+            self._software_backend = self.backend
+        else:
+            self._software_backend = SoftwareBackend(system, core_id)
+        self.software = self._software_backend.software
         self.actions = ActionExecutor()
         self.stats = SwitchRunStats()
         self.obs = system.obs
@@ -109,7 +131,7 @@ class VirtualSwitch:
 
     # -- rule management ----------------------------------------------------------
     def install_rules(self, rules: Iterable[Rule]) -> None:
-        self._rules: List[Rule] = list(rules)
+        self._rules = list(rules)
         for rule in self._rules:
             self.openflow.install(rule)
 
@@ -153,22 +175,19 @@ class VirtualSwitch:
             yield entry.table
 
     # -- software-mode stage execution -----------------------------------------------
-    def _software_op(self, breakdown: Breakdown, stage: str, func,
-                     *args, **kwargs):
-        """Run one traced table operation, charging its cycles to a stage."""
-        tracer = self.system.tracer
-        tracer.begin()
-        value = func(*args, **kwargs)
-        result = self.software.core.execute(
-            tracer.take(), lock_cycles=READ_SIDE_CYCLES)
+    def _traced_op(self, breakdown: Breakdown, stage: str, func,
+                   *args, **kwargs) -> Generator:
+        """Program: one traced table operation charged to a stage."""
+        value, result = yield from self._software_backend.traced_call(
+            func, *args, lock_cycles=READ_SIDE_CYCLES, **kwargs)
         breakdown.add(stage, result.cycles)
         return value
 
     def _classify_software(self, flow: FiveTuple,
-                           breakdown: Breakdown) -> Classification:
+                           breakdown: Breakdown) -> Generator:
         if self.emc_enabled:
-            rule = self._software_op(breakdown, "emc_lookup",
-                                     self.emc.lookup, flow)
+            rule = yield from self._traced_op(breakdown, "emc_lookup",
+                                              self.emc.lookup, flow)
             if rule is not None:
                 return Classification(flow, rule, HitLayer.EMC)
 
@@ -176,123 +195,130 @@ class VirtualSwitch:
         for entry in self.megaflow.tuples():
             searched += 1
             self.megaflow.stats.tuple_lookups += 1
-            rule = self._software_op(breakdown, "megaflow_lookup",
-                                     entry.lookup, flow)
+            rule = yield from self._traced_op(breakdown, "megaflow_lookup",
+                                              entry.lookup, flow)
             if rule is not None:
                 self.megaflow.stats.hits += 1
-                self._fill_caches(flow, rule, breakdown)
+                yield from self._fill_caches(flow, rule, breakdown)
                 return Classification(flow, rule, HitLayer.MEGAFLOW,
                                       tuples_searched=searched)
         self.megaflow.stats.classifications += 1
 
-        return self._classify_openflow(flow, breakdown, searched)
+        return (yield from self._classify_openflow(flow, breakdown, searched))
 
     def _classify_openflow(self, flow: FiveTuple, breakdown: Breakdown,
-                           searched: int) -> Classification:
+                           searched: int) -> Generator:
         matches: List[Rule] = []
         for entry in self.openflow.tss.tuples():
             searched += 1
-            rule = self._software_op(breakdown, "openflow_lookup",
-                                     entry.lookup, flow)
+            rule = yield from self._traced_op(breakdown, "openflow_lookup",
+                                              entry.lookup, flow)
             if rule is not None:
                 matches.append(rule)
         if not matches:
             return Classification(flow, None, HitLayer.MISS,
                                   tuples_searched=searched)
         best = max(matches, key=lambda r: (r.priority, -r.rule_id))
-        self._software_op(breakdown, "others", self.megaflow.install,
-                          megaflow_entry(best, flow))
-        self._fill_caches(flow, best, breakdown)
+        yield from self._traced_op(breakdown, "others", self.megaflow.install,
+                                   megaflow_entry(best, flow))
+        yield from self._fill_caches(flow, best, breakdown)
         return Classification(flow, best, HitLayer.OPENFLOW,
                               tuples_searched=searched)
 
     def _fill_caches(self, flow: FiveTuple, rule: Rule,
-                     breakdown: Breakdown) -> None:
+                     breakdown: Breakdown) -> Generator:
         if self.emc_enabled:
-            self._software_op(breakdown, "others", self.emc.install,
-                              flow, rule)
+            yield from self._traced_op(breakdown, "others", self.emc.install,
+                                       flow, rule)
 
     # -- HALO-mode stage execution -------------------------------------------------------
     def _classify_halo(self, flow: FiveTuple,
-                       breakdown: Breakdown) -> Classification:
-        isa = self.system.isa
+                       breakdown: Breakdown) -> Generator:
+        # HALO replaces the software EMC: with accelerated tuple-space
+        # search there is no cache layer to maintain from the core, so
+        # the private caches stay clean (the Figure 12 property).  The
+        # hybrid controller covers the tiny-flow-count regime where the
+        # software EMC would win.
         engine = self.system.engine
+        queries = self.megaflow.halo_queries(flow)
+        if queries:
+            start = engine.now
+            outcomes = yield from self.backend.search(
+                queries, first_match=self.mode is SwitchMode.HALO_BLOCKING)
+            # Each layer's search is booked to its own stage, even when the
+            # packet falls through to the next layer.
+            breakdown.add("megaflow_lookup", engine.now - start)
+            for index, outcome in enumerate(outcomes):
+                if outcome.found:
+                    self.megaflow.stats.hits += 1
+                    return Classification(
+                        flow, outcome.value, HitLayer.MEGAFLOW,
+                        tuples_searched=index + 1)
 
-        def program() -> Generator:
-            # HALO replaces the software EMC: with accelerated tuple-space
-            # search there is no cache layer to maintain from the core, so
-            # the private caches stay clean (the Figure 12 property).  The
-            # hybrid controller covers the tiny-flow-count regime where the
-            # software EMC would win.
-            queries = self.megaflow.halo_queries(flow)
-            if queries:
-                if self.mode is SwitchMode.HALO_NONBLOCKING:
-                    pending = []
-                    for table, key in queries:
-                        process = yield from isa.lookup_nb(
-                            self.core_id, table, key)
-                        pending.append(process)
-                    results = yield from isa.snapshot_read_poll(
-                        self.core_id, pending)
-                else:
-                    results = []
-                    for table, key in queries:
-                        result = yield from isa.lookup_b(
-                            self.core_id, table, key)
-                        results.append(result)
-                        if result.found:
-                            break
-                for index, result in enumerate(results):
-                    if result.found:
-                        self.megaflow.stats.hits += 1
-                        return Classification(
-                            flow, result.value, HitLayer.MEGAFLOW,
-                            tuples_searched=index + 1)
-
-            # OpenFlow layer: search all tuples, keep the best match.
-            of_queries = self.openflow.tss.halo_queries(flow)
-            matches: List[Rule] = []
-            if of_queries:
-                pending = []
-                for table, key in of_queries:
-                    process = yield from isa.lookup_nb(
-                        self.core_id, table, key)
-                    pending.append(process)
-                results = yield from isa.snapshot_read_poll(
-                    self.core_id, pending)
-                matches = [r.value for r in results if r.found]
-            if not matches:
-                return Classification(flow, None, HitLayer.MISS)
-            best = max(matches, key=lambda r: (r.priority, -r.rule_id))
-            self.megaflow.install(megaflow_entry(best, flow))
-            return Classification(flow, best, HitLayer.OPENFLOW)
-
-        start = engine.now
-        classification = engine.run_process(program(), name="halo_classify")
-        elapsed = engine.now - start
-        stage = ("emc_lookup" if classification.layer is HitLayer.EMC
-                 else "megaflow_lookup"
-                 if classification.layer is HitLayer.MEGAFLOW
-                 else "openflow_lookup")
-        breakdown.add(stage, elapsed)
-        return classification
+        # OpenFlow layer: search all tuples, keep the best match.
+        of_queries = self.openflow.tss.halo_queries(flow)
+        matches: List[Rule] = []
+        if of_queries:
+            start = engine.now
+            outcomes = yield from self._nb.search(of_queries)
+            breakdown.add("openflow_lookup", engine.now - start)
+            matches = [o.value for o in outcomes if o.found]
+        if not matches:
+            return Classification(flow, None, HitLayer.MISS)
+        best = max(matches, key=lambda r: (r.priority, -r.rule_id))
+        self.megaflow.install(megaflow_entry(best, flow))
+        return Classification(flow, best, HitLayer.OPENFLOW)
 
     # -- the per-packet pipeline --------------------------------------------------------
-    def process_flow(self, flow: FiveTuple) -> PacketRecord:
-        """Process one packet carrying ``flow`` through the full pipeline."""
+    def classify_program(self, flow: FiveTuple,
+                         breakdown: Breakdown) -> Generator:
+        """Program: classify one flow, charging stages into ``breakdown``."""
+        if self.backend.replaces_emc:
+            return (yield from self._classify_halo(flow, breakdown))
+        return (yield from self._classify_software(flow, breakdown))
+
+    def packet_program(self, flow: FiveTuple) -> Generator:
+        """The full per-packet pipeline as a DES program.
+
+        Fixed-cost stages (packet IO, pre-processing, actions) spend their
+        cycles as engine timeouts, and classification runs through the
+        mode's backend — so concurrent switch/NF programs interleave on
+        the engine with honest relative timing.  Returns the
+        :class:`PacketRecord`.
+        """
+        engine = self.system.engine
         packet = self.pool.wrap(flow)
         breakdown = Breakdown()
-        breakdown.add("packet_io", self.pktio.receive(packet))
-        breakdown.add("preprocess", self.pktio.preprocess(packet))
-        if self.mode is SwitchMode.SOFTWARE:
-            classification = self._classify_software(flow, breakdown)
-        else:
-            classification = self._classify_halo(flow, breakdown)
+        for stage, cycles in (("packet_io", self.pktio.receive(packet)),
+                              ("preprocess", self.pktio.preprocess(packet))):
+            breakdown.add(stage, cycles)
+            if cycles:
+                yield engine.timeout(cycles)
+        classification = yield from self.classify_program(flow, breakdown)
         if classification.hit:
             outcome = self.actions.execute(packet, classification.rule.action)
             breakdown.add("others", outcome.cycles)
-        breakdown.add("others", self.pktio.finish(packet))
+            if outcome.cycles:
+                yield engine.timeout(outcome.cycles)
+        finish = self.pktio.finish(packet)
+        breakdown.add("others", finish)
+        if finish:
+            yield engine.timeout(finish)
 
+        self._record(classification, breakdown)
+        return PacketRecord(classification=classification,
+                            breakdown=breakdown)
+
+    def pmd_program(self, flows: Iterable[FiveTuple]) -> Generator:
+        """Program: a PMD loop over a packet stream (for ``run_cores``)."""
+        records = []
+        for flow in flows:
+            record = yield from self.packet_program(flow)
+            records.append(record)
+        return records
+
+    def _record(self, classification: Classification,
+                breakdown: Breakdown) -> None:
         self.stats.packets += 1
         self.stats.breakdown = self.stats.breakdown.merged(breakdown)
         layer = classification.layer.value
@@ -306,8 +332,11 @@ class VirtualSwitch:
             for stage, cycles in breakdown:
                 registry.histogram(f"vswitch.stage.{stage}_cycles").observe(
                     cycles)
-        return PacketRecord(classification=classification,
-                            breakdown=breakdown)
+
+    def process_flow(self, flow: FiveTuple) -> PacketRecord:
+        """Process one packet synchronously (drives the engine internally)."""
+        return self.system.engine.run_process(self.packet_program(flow),
+                                              name="packet")
 
     def process_stream(self, flows: Iterable[FiveTuple]) -> SwitchRunStats:
         for flow in flows:

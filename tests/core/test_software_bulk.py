@@ -70,6 +70,23 @@ def test_bulk_respects_lock_overhead(loaded):
     assert locked > unlocked
 
 
+def test_bulk_records_per_lookup_cycles_into_stats():
+    """Regression: lookup_bulk used to leave ``stats.cycles`` empty, so
+    ``mean_cycles_per_lookup`` read 0 after bulk-only workloads."""
+    system = HaloSystem()
+    table = system.create_table(1 << 12, name="bulk_stats")
+    keys = random_keys(500, seed=7)
+    for index, key in enumerate(keys):
+        table.insert(key, index)
+    system.warm_table(table)
+    engine = system.software_engine()
+    _values, cycles = engine.lookup_bulk(table, keys[:120], batch=8)
+    assert engine.stats.lookups == 120
+    assert engine.stats.cycles.count == 120
+    assert engine.stats.cycles.mean * 120 == pytest.approx(cycles, rel=1e-9)
+    assert engine.mean_cycles_per_lookup > 0
+
+
 def test_empty_batch(loaded):
     system, table, _keys = loaded
     engine = system.software_engine()

@@ -1,0 +1,149 @@
+"""Lookup backends: identical answers across modes, engine scheduling,
+and cycle parity with the pre-backend synchronous software path."""
+
+import pytest
+
+from repro.core import HaloSystem
+from repro.exec import (
+    BackendKind,
+    LookupOutcome,
+    SoftwareBackend,
+    make_backend,
+)
+
+from ..conftest import make_keys
+
+N_KEYS = 60
+
+
+def build_system(entries=4096, keys=2000, seed=91):
+    system = HaloSystem()
+    table = system.create_table(entries, name="exec_test")
+    inserted = []
+    for index, key in enumerate(make_keys(keys, seed=seed)):
+        if table.insert(key, index):
+            inserted.append((key, index))
+    system.warm_table(table)
+    system.hierarchy.flush_private(0)
+    return system, table, inserted
+
+
+ALL_KINDS = ("software", "halo-b", "halo-nb", "adaptive")
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS)
+def test_backend_returns_outcomes_and_advances_engine(kind):
+    system, table, inserted = build_system()
+    backend = system.backend(kind)
+    keys = [key for key, _ in inserted[:N_KEYS]]
+    before = system.engine.now
+    outcomes = system.engine.run_process(backend.lookup_stream(table, keys))
+    assert system.engine.now > before, \
+        f"{kind} backend must spend cycles as engine time"
+    assert len(outcomes) == N_KEYS
+    for outcome, (_, value) in zip(outcomes, inserted[:N_KEYS]):
+        assert isinstance(outcome, LookupOutcome)
+        assert outcome.found
+        assert outcome.value == value
+        assert outcome.cycles > 0
+
+
+def test_backend_parity_identical_values_across_modes():
+    per_kind = {}
+    for kind in ALL_KINDS:
+        system, table, inserted = build_system()
+        backend = system.backend(kind)
+        keys = [key for key, _ in inserted[:N_KEYS]]
+        missing = make_keys(10, seed=4242)
+        outcomes = system.engine.run_process(
+            backend.lookup_stream(table, keys + missing))
+        per_kind[kind] = [(o.value, o.found) for o in outcomes]
+    baseline = per_kind["software"]
+    for kind in ALL_KINDS[1:]:
+        assert per_kind[kind] == baseline, \
+            f"{kind} disagrees with software results"
+
+
+def test_software_backend_cycles_match_presched_sum():
+    """Regression pin: engine-scheduled software episodes report exactly
+    the cycles the old synchronous sum produced."""
+    # Reference: the raw SoftwareLookupEngine sum on an identical system.
+    ref_system, ref_table, inserted = build_system()
+    keys = [key for key, _ in inserted[:N_KEYS]]
+    engine = ref_system.software_engine(0)
+    expected = 0.0
+    for key in keys:
+        _value, result = engine.lookup(ref_table, key)
+        expected += result.cycles
+
+    system, table, _ = build_system()
+    episode = system.run_software_lookups(table, keys)
+    assert episode.operations == N_KEYS
+    assert episode.cycles == pytest.approx(expected, rel=1e-12)
+    # And the per-outcome cycles sum to the same total.
+    backend_system, backend_table, _ = build_system()
+    outcomes = backend_system.engine.run_process(
+        backend_system.backend("software").lookup_stream(backend_table, keys))
+    assert sum(o.cycles for o in outcomes) == pytest.approx(expected,
+                                                            rel=1e-12)
+
+
+def test_legacy_episode_result_types_preserved():
+    system, table, inserted = build_system()
+    keys = [key for key, _ in inserted[:20]]
+    software = system.run_software_lookups(table, keys)
+    assert software.results == [value for _, value in inserted[:20]]
+    blocking = system.run_blocking_lookups(table, keys)
+    assert all(result.found for result in blocking.results)
+    assert [result.value for result in blocking.results] == software.results
+    nonblocking = system.run_nonblocking_lookups(table, keys)
+    assert [result.value for result in nonblocking.results] == software.results
+
+
+def test_make_backend_kinds_and_strings():
+    system, _, _ = build_system(entries=64, keys=16)
+    for kind in BackendKind:
+        backend = make_backend(kind, system)
+        assert backend.kind is kind
+        assert make_backend(kind.value, system).kind is kind
+    assert isinstance(system.backend(BackendKind.SOFTWARE), SoftwareBackend)
+
+
+def test_halo_backends_replace_emc_software_does_not():
+    system, _, _ = build_system(entries=64, keys=16)
+    assert not system.backend("software").replaces_emc
+    assert system.backend("halo-b").replaces_emc
+    assert system.backend("halo-nb").replaces_emc
+    assert not system.backend("adaptive").replaces_emc
+
+
+def test_blocking_search_stops_at_first_match():
+    system, table, inserted = build_system()
+    other = system.create_table(1024, name="exec_other")
+    hit_key = inserted[0][0]
+    backend = system.backend("halo-b")
+    outcomes = system.engine.run_process(backend.search(
+        [(table, hit_key), (other, hit_key), (other, hit_key)],
+        first_match=True))
+    assert len(outcomes) == 1 and outcomes[0].found
+
+
+def test_nonblocking_search_issues_everything():
+    system, table, inserted = build_system()
+    other = system.create_table(1024, name="exec_other")
+    hit_key = inserted[0][0]
+    backend = system.backend("halo-nb")
+    outcomes = system.engine.run_process(backend.search(
+        [(table, hit_key), (other, hit_key)], first_match=True))
+    assert len(outcomes) == 2
+    assert outcomes[0].found and not outcomes[1].found
+
+
+def test_adaptive_backend_switches_modes_with_flow_estimate():
+    system, table, inserted = build_system()
+    keys = [key for key, _ in inserted[:400]]
+    episode = system.run_adaptive_lookups(table, keys, window=100)
+    assert episode.operations == 400
+    assert episode.results[:5] == [value for _, value in inserted[:5]]
+    # Enough distinct flows must push the controller out of software mode.
+    assert system.hybrid.stats.windows >= 3

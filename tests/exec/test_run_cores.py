@@ -1,0 +1,145 @@
+"""run_cores: pinned backends genuinely share one engine timeline —
+interleaving, determinism, and emergent shared-hierarchy contention."""
+
+import pytest
+
+from repro.core import HaloSystem
+from repro.exec import CoreWorkload, run_cores
+
+from ..conftest import make_keys
+
+
+def build_loaded_system(table_specs, seed=17):
+    """One system with one warm table per (name, core) spec."""
+    system = HaloSystem()
+    tables = {}
+    for index, name in enumerate(table_specs):
+        table = system.create_table(4096, name=name)
+        inserted = []
+        for value, key in enumerate(make_keys(1500, seed=seed + index)):
+            if table.insert(key, value):
+                inserted.append(key)
+        system.warm_table(table)
+        tables[name] = (table, inserted)
+    return system, tables
+
+
+def mixed_run(n_keys=40, seed=17):
+    system, tables = build_loaded_system(["sw_t", "halo_t"], seed=seed)
+    sw_table, sw_keys = tables["sw_t"]
+    halo_table, halo_keys = tables["halo_t"]
+    run = system.run_cores([
+        CoreWorkload(backend="software", core_id=0, table=sw_table,
+                     keys=sw_keys[:n_keys]),
+        CoreWorkload(backend="halo-nb", core_id=1, table=halo_table,
+                     keys=halo_keys[:n_keys]),
+    ])
+    return system, run
+
+
+def test_mixed_backends_interleave_on_one_timeline():
+    system, run = mixed_run()
+    assert {result.kind.value for result in run.results} == \
+        {"software", "halo-nb"}
+    # Each core's marks advance monotonically and the merged timeline
+    # alternates between cores — not two back-to-back serial phases.
+    for result in run.results:
+        assert result.marks == sorted(result.marks)
+        assert len(result.marks) == 40
+    assert run.interleavings() > 10
+    assert run.elapsed > 0
+    assert system.engine.now == run.finished
+
+
+def test_all_outcomes_correct_in_concurrent_run():
+    _, run = mixed_run()
+    for result in run.results:
+        assert all(outcome.found for outcome in result.result)
+        assert result.cycles > 0
+        assert result.cycles_per_op > 0
+
+
+def test_run_cores_is_deterministic():
+    def snapshot():
+        _, run = mixed_run()
+        return ([(r.core_id, r.started, r.finished, r.marks,
+                  [(o.value, o.cycles) for o in r.result])
+                 for r in run.results], run.timeline())
+
+    assert snapshot() == snapshot()
+
+
+def test_single_core_software_workload_matches_serial_run():
+    """With one core the scheduled run degenerates to the serial walk."""
+    system, tables = build_loaded_system(["solo"])
+    table, keys = tables["solo"]
+    run = system.run_cores([
+        CoreWorkload(backend="software", core_id=0, table=table,
+                     keys=keys[:30]),
+    ])
+
+    ref_system, ref_tables = build_loaded_system(["solo"])
+    ref_table, ref_keys = ref_tables["solo"]
+    engine = ref_system.software_engine(0)
+    expected = 0.0
+    for key in ref_keys[:30]:
+        _value, result = engine.lookup(ref_table, key)
+        expected += result.cycles
+    assert run.by_core(0).cycles == pytest.approx(expected, rel=1e-12)
+
+
+def test_collocated_software_cores_contend_on_shared_hierarchy():
+    """Two software PMDs on one machine touch the same LLC: each sees the
+    other's cache pressure, and the run is slower than either solo."""
+    def software_cycles(core_ids):
+        system, tables = build_loaded_system(
+            [f"t{core}" for core in core_ids])
+        workloads = []
+        for index, core in enumerate(core_ids):
+            table, keys = tables[f"t{core}"]
+            workloads.append(CoreWorkload(
+                backend="software", core_id=core, table=table,
+                keys=keys[:50]))
+        run = system.run_cores(workloads)
+        llc = sum(cache.stats.accesses for cache in system.hierarchy.llc)
+        return run, llc
+
+    solo, _ = software_cycles([0])
+    duo, llc_accesses = software_cycles([0, 1])
+    assert duo.interleavings() > 0
+    assert llc_accesses > 0
+    # Wall-clock of the collocated pair covers both cores' busy time.
+    assert duo.elapsed >= solo.elapsed
+
+
+def test_custom_program_workload_and_by_core():
+    system, tables = build_loaded_system(["prog"])
+    table, keys = tables["prog"]
+
+    def program(backend):
+        first = yield from backend.lookup(table, keys[0])
+        second = yield from backend.lookup(table, keys[1])
+        return [first, second]
+
+    run = system.run_cores([
+        CoreWorkload(backend="halo-b", core_id=3, program=program,
+                     name="custom"),
+    ])
+    result = run.by_core(3)
+    assert result.name == "custom"
+    assert [outcome.found for outcome in result.result] == [True, True]
+    with pytest.raises(KeyError):
+        run.by_core(9)
+
+
+def test_streamed_workload_uses_batch_idiom():
+    system, tables = build_loaded_system(["batch"])
+    table, keys = tables["batch"]
+    run = system.run_cores([
+        CoreWorkload(backend="halo-nb", core_id=0, table=table,
+                     keys=keys[:24], stream=True),
+    ])
+    outcomes = run.by_core(0).result
+    assert len(outcomes) == 24 and all(o.found for o in outcomes)
+    # Batched streams have no per-key marks.
+    assert run.by_core(0).marks == []

@@ -1,0 +1,103 @@
+"""The import-layering lint: the repo stays one-directional, and the
+checker itself catches upward edges, resolves relative imports, and
+exempts both root modules and function-local (lazy) imports."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+SCRIPT = REPO_ROOT / "scripts" / "check_layering.py"
+
+spec = importlib.util.spec_from_file_location("check_layering", SCRIPT)
+check_layering = importlib.util.module_from_spec(spec)
+sys.modules.setdefault("check_layering", check_layering)
+spec.loader.exec_module(check_layering)
+
+
+def write(root: Path, relative: str, content: str = "") -> None:
+    path = root / relative
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(content)
+
+
+@pytest.fixture
+def tree(tmp_path):
+    src = tmp_path / "src"
+    for package in ("", "obs", "sim", "core", "exec", "analysis"):
+        write(src, f"repro/{package}/__init__.py" if package
+              else "repro/__init__.py")
+    return src
+
+
+def test_repo_is_clean():
+    violations = check_layering.check_tree(REPO_ROOT / "src")
+    assert violations == [], violations
+
+
+def test_flags_absolute_upward_import(tree):
+    write(tree, "repro/obs/report.py",
+          "from repro.analysis.reporting import format_table\n")
+    violations = check_layering.check_tree(tree)
+    assert len(violations) == 1
+    module, lineno, target, reason = violations[0]
+    assert module == "repro.obs.report"
+    assert target == "repro.analysis.reporting"
+    assert "'obs'" in reason and "'analysis'" in reason
+
+
+def test_flags_relative_upward_import(tree):
+    write(tree, "repro/sim/engine.py",
+          "from ..core.isa import HaloIsa\n")
+    violations = check_layering.check_tree(tree)
+    assert [v[2] for v in violations] == ["repro.core.isa"]
+
+
+def test_resolves_from_dot_import_names(tree):
+    # ``from .. import analysis`` inside repro/sim names the upper package.
+    write(tree, "repro/sim/engine.py", "from .. import analysis\n")
+    violations = check_layering.check_tree(tree)
+    assert [v[2] for v in violations] == ["repro.analysis"]
+
+
+def test_downward_and_same_layer_imports_allowed(tree):
+    write(tree, "repro/exec/backend.py",
+          "from ..sim.trace import capture\n"
+          "from ..core.isa import HaloIsa\n"
+          "from .cores import run_cores\n")
+    write(tree, "repro/exec/cores.py")
+    assert check_layering.check_tree(tree) == []
+
+
+def test_function_local_import_is_sanctioned(tree):
+    write(tree, "repro/core/halo_system.py",
+          "def backend(kind):\n"
+          "    from ..exec.backend import make_backend\n"
+          "    return make_backend\n")
+    assert check_layering.check_tree(tree) == []
+
+
+def test_root_modules_exempt(tree):
+    write(tree, "repro/__main__.py",
+          "from .analysis import experiments\n"
+          "from .obs import Observability\n")
+    assert check_layering.check_tree(tree) == []
+
+
+def test_package_init_resolves_against_itself(tree):
+    # repro/exec/__init__.py doing ``from .backend import X`` targets
+    # repro.exec.backend (same layer) — not repro.backend.
+    write(tree, "repro/exec/__init__.py",
+          "from .backend import make_backend\n")
+    write(tree, "repro/exec/backend.py")
+    assert check_layering.check_tree(tree) == []
+
+
+def test_cli_exit_codes(tree, capsys):
+    assert check_layering.main(["--src", str(tree)]) == 0
+    write(tree, "repro/obs/report.py", "import repro.analysis\n")
+    assert check_layering.main(["--src", str(tree)]) == 1
+    out = capsys.readouterr().out
+    assert "layering check FAILED" in out
