@@ -1,0 +1,32 @@
+"""Graceful degradation under injected hardware faults (§6 extension).
+
+Sweeps the machine-wide fault-intensity mix over every lookup backend and
+checks that throughput degrades monotonically while the resilience
+policies keep every lookup answered.
+
+Thin wrapper over the ``repro.runner`` registry (experiment
+``degradation``); ``python -m repro bench --only degradation`` runs the
+same grid.
+"""
+
+from repro.runner import run_for_bench
+
+from _common import record_report, run_once
+
+
+def test_degradation_sweep(benchmark):
+    payloads, report = run_once(benchmark, run_for_bench, "degradation")
+    record_report("degradation_sweep", report)
+    points = sorted(payloads.values(), key=lambda p: p.intensity)
+    assert points[0].intensity == 0.0
+    for point in points:
+        assert all(cell.wrong_results == 0
+                   for cell in point.cells.values())
+    healthy = points[0].cells["adaptive"].lookups_per_kcycle
+    worst = points[-1].cells["adaptive"].lookups_per_kcycle
+    assert worst < healthy, "max fault intensity must cost throughput"
+    for kind in ("software", "halo-b", "halo-nb", "adaptive"):
+        series = [point.cells[kind].lookups_per_kcycle for point in points]
+        assert all(cur <= prev * 1.01
+                   for prev, cur in zip(series, series[1:])), \
+            f"{kind} throughput is not monotone non-increasing: {series}"

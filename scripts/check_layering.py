@@ -4,7 +4,7 @@
 The repo's layers, bottom to top (rank 0 upward)::
 
     obs < sim < hashtable < classifier < traffic < core < tcam
-        < exec < vswitch < nf < analysis < runner
+        < exec < faults < vswitch < nf < analysis < runner
 
 A module in layer L may import (at module level) only from layers with a
 rank <= L.  Upward imports — e.g. ``repro.obs`` importing from
@@ -13,6 +13,13 @@ flagged.  Only *module-level* (top-level AST) imports count: a
 function-local import is the sanctioned escape hatch for facades such as
 ``HaloSystem.backend()``, which constructs objects from the layer above
 without creating a static upward edge.
+
+Some layers additionally restrict who above them may import them at all:
+``repro.faults`` is a leaf capability — it may import sim/core/exec, but
+of the layers above it only ``analysis`` and ``runner`` may depend on it
+(workload layers such as ``vswitch``/``nf`` must stay fault-agnostic;
+fault plans are installed from experiments and examples, not from inside
+the modelled dataplane).
 
 Root modules (``repro/__init__.py``, ``repro/__main__.py``) are exempt:
 they are the user-facing aggregation points and may import from any layer.
@@ -39,12 +46,20 @@ LAYERS = (
     "core",
     "tcam",
     "exec",
+    "faults",
     "vswitch",
     "nf",
     "analysis",
     "runner",
 )
 RANK = {name: index for index, name in enumerate(LAYERS)}
+
+#: Layers only *some* higher layers may import: ``{layer: allowed}``.
+#: A module above ``layer`` whose own layer is not in ``allowed`` must not
+#: import it, even though the rank rule alone would permit the edge.
+RESTRICTED_IMPORTERS = {
+    "faults": ("analysis", "runner"),
+}
 
 
 def module_name(path: Path, src: Path) -> str:
@@ -120,6 +135,14 @@ def check_file(path: Path, src: Path) -> List[Tuple[str, int, str, str]]:
                     module, node.lineno, target,
                     f"layer '{layer}' (rank {rank}) must not import "
                     f"'{target_layer}' (rank {RANK[target_layer]})"))
+                continue
+            allowed = RESTRICTED_IMPORTERS.get(target_layer)
+            if (allowed is not None and layer != target_layer
+                    and RANK[target_layer] < rank and layer not in allowed):
+                violations.append((
+                    module, node.lineno, target,
+                    f"layer '{target_layer}' may only be imported by "
+                    f"{', '.join(allowed)} (not '{layer}')"))
     return violations
 
 

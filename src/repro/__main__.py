@@ -67,10 +67,14 @@ def run_report_demo(quick: bool = False):
 
     Exercises every instrumented layer on one machine: software, blocking
     and non-blocking lookups against a shared table, an adaptive (hybrid)
-    episode, and a virtual-switch packet stream.  Returns the
+    episode, a degraded non-blocking episode under an injected accelerator
+    outage (populating the ``faults.*`` and ``exec.resilience.*``
+    counters), and a virtual-switch packet stream.  Returns the
     :class:`~repro.core.halo_system.HaloSystem` with its registry loaded.
     """
     from .core.halo_system import HaloSystem
+    from .exec import ResiliencePolicy
+    from .faults import FaultInjector, FaultPlan
     from .traffic.generator import FlowSet, PacketStream, random_keys
     from .traffic.profiles import FIGURE3_PROFILES
     from .vswitch.switch import SwitchMode, VirtualSwitch
@@ -87,6 +91,24 @@ def run_report_demo(quick: bool = False):
     system.run_blocking_lookups(table, keys[:lookups])
     system.run_nonblocking_lookups(table, keys[lookups:2 * lookups])
     system.run_adaptive_lookups(table, keys[:lookups], window=64)
+
+    # Degraded episode: the table's slice goes dark for a stretch; the
+    # resilient non-blocking backend times out, falls back to software,
+    # probes, and recovers once the outage lifts.
+    outage_slice = system.hierarchy.interconnect.slice_of_table(
+        table.table_addr)
+    start = system.engine.now
+    injector = FaultInjector(system, FaultPlan.slice_outage(
+        outage_slice, start=start + 200, end=start + (2_000 if quick
+                                                      else 8_000)))
+    injector.install()
+    backend = system.backend(
+        "halo-nb",
+        policy=ResiliencePolicy(poll_budget=8, max_retries=1,
+                                probe_interval=8))
+    system.run_program(backend.lookup_stream(table, keys[:lookups]),
+                       name="degraded_stream")
+    injector.uninstall()
 
     profile = FIGURE3_PROFILES[0]
     flow_set = FlowSet.generate(min(profile.num_flows, 2000),
@@ -150,6 +172,12 @@ def _bench(args) -> int:
                   file=sys.stderr)
             return 1
     print(summary.render_footer())
+    if summary.failures:
+        print(f"{len(summary.failures)} run(s) FAILED:", file=sys.stderr)
+        for failure in summary.failures:
+            print(f"  {failure.render()}", file=sys.stderr)
+            print(failure.traceback, file=sys.stderr)
+        return 1
     return 0
 
 

@@ -11,6 +11,7 @@ from . import (
     abl_design,
     abl_prefetch,
     abl_tlb,
+    degradation_sweep,
     fig03_breakdown,
     fig04_hash,
     fig08_flow_register,
@@ -31,6 +32,7 @@ __all__ = [
     "abl_design",
     "abl_prefetch",
     "abl_tlb",
+    "degradation_sweep",
     "fig03_breakdown",
     "fig04_hash",
     "fig08_flow_register",

@@ -192,6 +192,12 @@ class HaloAccelerator:
         queue_span = parent.child("accelerator.queue", self.engine.now,
                                   slice=self.slice_id)
         yield self.scoreboard.admit()
+        # Fault seam: an installed injector may stall the query here, after
+        # it holds a scoreboard slot — a stalled slice backs up exactly like
+        # real head-of-line blocking (busy bit rises, distributor holds).
+        gate = self.engine.fault_hook("accelerator.serve")
+        if gate is not None:
+            yield from gate(self)
         port = self._table_ports.get(query.table_addr)
         if port is None:
             port = self.engine.resource(1)

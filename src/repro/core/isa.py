@@ -128,13 +128,19 @@ class HaloIsa:
         return self.distributor.dispatch(query)
 
     # -- SNAPSHOT_READ ---------------------------------------------------------------
-    def snapshot_read_poll(self, core_id: int,
-                           pending: List[Process]) -> Generator:
+    def snapshot_read_poll(self, core_id: int, pending: List[Process],
+                           budget: Optional[int] = None) -> Generator:
         """Poll a batch's result line until every query completed.
 
         Each poll is one (vector) SNAPSHOT_READ: an LLC-latency read that
         does not change the line's ownership, plus an AVX all-non-zero check.
         Returns the list of :class:`QueryResult`.
+
+        ``budget`` bounds the number of polls (resilience policies use it
+        as a timeout against stalled accelerators): once spent, returns
+        ``None`` instead of results — the in-flight queries stay pending
+        and keep draining in the background.  ``budget=None`` (default)
+        polls forever, replaying the unbounded cycle sequence exactly.
         """
         poll_latency = (self.hierarchy.latency.cha_llc_hit
                         + self.hierarchy.latency.llc_hit) // 2
@@ -145,6 +151,9 @@ class HaloIsa:
             yield self.engine.timeout(poll_latency + self.costs.snapshot_check)
             if all(process.done for process in pending):
                 break
+            if budget is not None and polls >= budget:
+                self._m_polls.observe(polls)
+                return None
             self.stats.snapshot_polls_spent += 1
             # Re-poll after a short back-off (the snapshot keeps the line in
             # the LLC, so re-reads stay cheap and cause no bouncing).

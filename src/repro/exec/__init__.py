@@ -16,6 +16,8 @@ from .backend import (
     HaloNonblockingBackend,
     LookupBackend,
     LookupOutcome,
+    ResiliencePolicy,
+    SliceHealth,
     SoftwareBackend,
     make_backend,
 )
@@ -31,6 +33,8 @@ __all__ = [
     "LookupBackend",
     "LookupOutcome",
     "MultiCoreRun",
+    "ResiliencePolicy",
+    "SliceHealth",
     "SoftwareBackend",
     "make_backend",
     "run_cores",

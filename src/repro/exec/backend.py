@@ -52,13 +52,107 @@ class LookupOutcome:
 
     ``raw`` carries the backend-native result object when one exists (the
     :class:`~repro.core.query.QueryResult` for HALO paths); software
-    lookups leave it ``None``.
+    lookups leave it ``None``.  ``degraded`` marks results produced by a
+    resilience fallback (software answered because the accelerator path
+    timed out or was known-unhealthy).
     """
 
     value: Any
     found: bool
     cycles: float
     raw: Any = None
+    degraded: bool = False
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """Bounded-wait + graceful-degradation knobs for accelerator backends.
+
+    Installed on ``halo-nb`` (and through it, ``adaptive``) backends:
+
+    * each ``SNAPSHOT_READ`` poll loop gets a ``poll_budget`` — once spent,
+      the wait is retried ``max_retries`` times with exponential backoff
+      (``backoff_base * backoff_factor**attempt`` cycles between polls);
+    * when every retry times out and ``fallback`` is set, the lookup is
+      answered by the software path instead (zero lost lookups — the
+      abandoned accelerator query keeps draining in the background) and
+      the target slice is marked unhealthy;
+    * an unhealthy slice serves from software, but every
+      ``probe_interval``-th lookup probes the accelerator again;
+      ``recovery_successes`` consecutive probe successes flip it back to
+      healthy (the hysteresis that prevents flapping).
+    """
+
+    poll_budget: int = 2048
+    max_retries: int = 2
+    backoff_base: float = 32.0
+    backoff_factor: float = 2.0
+    fallback: bool = True
+    probe_interval: int = 32
+    recovery_successes: int = 2
+
+    def __post_init__(self) -> None:
+        if self.poll_budget < 1:
+            raise ValueError("poll_budget must be >= 1")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.probe_interval < 1:
+            raise ValueError("probe_interval must be >= 1")
+        if self.recovery_successes < 1:
+            raise ValueError("recovery_successes must be >= 1")
+
+    def backoff(self, attempt: int) -> float:
+        """Cycles to wait before retry number ``attempt`` (0-based)."""
+        return self.backoff_base * (self.backoff_factor ** attempt)
+
+
+class SliceHealth:
+    """Health state one backend tracks for one accelerator slice.
+
+    ``events`` is the fallback/recovery timeline:
+    ``(cycle, "degraded" | "probe" | "recovered", slice_id)`` tuples, in
+    simulated-time order — what ``examples/chaos_demo.py`` prints.
+    """
+
+    __slots__ = ("slice_id", "policy", "healthy", "probe_successes",
+                 "since_probe", "degraded_lookups", "events")
+
+    def __init__(self, slice_id: int, policy: ResiliencePolicy) -> None:
+        self.slice_id = slice_id
+        self.policy = policy
+        self.healthy = True
+        self.probe_successes = 0
+        self.since_probe = 0
+        self.degraded_lookups = 0
+        self.events: List[Tuple[float, str, int]] = []
+
+    def mark_degraded(self, now: float) -> None:
+        if self.healthy:
+            self.events.append((now, "degraded", self.slice_id))
+        self.healthy = False
+        self.probe_successes = 0
+        self.since_probe = 0
+
+    def should_probe(self) -> bool:
+        """While unhealthy: is this lookup the periodic accelerator probe?"""
+        self.since_probe += 1
+        if self.since_probe >= self.policy.probe_interval:
+            self.since_probe = 0
+            return True
+        return False
+
+    def note_probe_success(self, now: float) -> bool:
+        """Record a successful probe; True when it completes the recovery."""
+        self.probe_successes += 1
+        if self.probe_successes >= self.policy.recovery_successes:
+            self.healthy = True
+            self.probe_successes = 0
+            self.events.append((now, "recovered", self.slice_id))
+            return True
+        return False
+
+    def note_probe_failure(self) -> None:
+        self.probe_successes = 0
 
 
 class LookupBackend(ABC):
@@ -181,12 +275,61 @@ class HaloBlockingBackend(LookupBackend):
 
 
 class HaloNonblockingBackend(LookupBackend):
-    """The batched ``LOOKUP_NB`` + ``SNAPSHOT_READ`` idiom (§4.5)."""
+    """The batched ``LOOKUP_NB`` + ``SNAPSHOT_READ`` idiom (§4.5).
+
+    With a :class:`ResiliencePolicy` installed, every poll loop is bounded
+    and the backend degrades to the software path per slice (see the
+    policy's docstring).  Without one — the default — the cycle behaviour
+    is byte-for-byte the original unbounded idiom.
+    """
 
     kind = BackendKind.HALO_NONBLOCKING
     replaces_emc = True
 
+    def __init__(self, system, core_id: int = 0,
+                 policy: Optional[ResiliencePolicy] = None) -> None:
+        super().__init__(system, core_id)
+        self.policy = policy
+        self._health: dict = {}
+        self._fallback: Optional[SoftwareBackend] = None
+        if policy is not None:
+            registry = system.obs.metrics
+            self._m_timeouts = registry.counter("exec.resilience.timeouts")
+            self._m_retries = registry.counter("exec.resilience.retries")
+            self._m_fallbacks = registry.counter("exec.resilience.fallbacks")
+            self._m_degraded = registry.counter(
+                "exec.resilience.degraded_lookups")
+            self._m_probes = registry.counter("exec.resilience.probes")
+            self._m_recoveries = registry.counter(
+                "exec.resilience.recoveries")
+
+    # -- health bookkeeping ------------------------------------------------
+    def health_of(self, table) -> SliceHealth:
+        """This backend's health record for the slice serving ``table``."""
+        slice_id = self.system.hierarchy.interconnect.slice_of_table(
+            table.table_addr)
+        health = self._health.get(slice_id)
+        if health is None:
+            health = self._health[slice_id] = SliceHealth(slice_id,
+                                                          self.policy)
+        return health
+
+    @property
+    def resilience_events(self) -> List[Tuple[float, str, int]]:
+        """All slices' fallback/recovery events, in simulated-time order."""
+        events = [event for health in self._health.values()
+                  for event in health.events]
+        events.sort()
+        return events
+
+    @property
+    def degraded_lookups(self) -> int:
+        return sum(health.degraded_lookups for health in self._health.values())
+
     def lookup(self, table, key: bytes) -> Generator:
+        if self.policy is not None:
+            outcome = yield from self._resilient_lookup(table, key)
+            return outcome
         engine = self.system.engine
         isa = self.system.isa
         start = engine.now
@@ -197,6 +340,12 @@ class HaloNonblockingBackend(LookupBackend):
                              cycles=engine.now - start, raw=result)
 
     def lookup_stream(self, table, keys: Iterable[bytes]) -> Generator:
+        if self.policy is not None:
+            # Per-key bounded waits: the batched poll shares one result
+            # line across eight queries and cannot time one out alone.
+            outcomes = yield from LookupBackend.lookup_stream(self, table,
+                                                              keys)
+            return outcomes
         keys = list(keys)
         engine = self.system.engine
         start = engine.now
@@ -206,6 +355,92 @@ class HaloNonblockingBackend(LookupBackend):
         per_op = elapsed / len(results) if results else 0.0
         return [LookupOutcome(value=r.value, found=r.found, cycles=per_op,
                               raw=r) for r in results]
+
+    # -- the resilient path ------------------------------------------------
+    def _resilient_lookup(self, table, key: bytes) -> Generator:
+        engine = self.system.engine
+        policy = self.policy
+        health = self.health_of(table)
+        start = engine.now
+        if not health.healthy:
+            if health.should_probe():
+                self._m_probes.inc()
+                outcome = yield from self._attempt(table, key, start, health,
+                                                   probing=True)
+                if outcome is not None:
+                    return outcome
+            health.degraded_lookups += 1
+            self._m_degraded.inc()
+            outcome = yield from self._fallback_lookup(table, key, start)
+            return outcome
+        outcome = yield from self._attempt(table, key, start, health,
+                                           probing=False)
+        if outcome is not None:
+            return outcome
+        if not policy.fallback:
+            # Bounded-wait-then-block: no fallback path configured, so
+            # finish the wait unbounded (never loses the lookup).
+            process = yield from self.system.isa.lookup_nb(
+                self.core_id, table, key)
+            results = yield from self.system.isa.snapshot_read_poll(
+                self.core_id, [process])
+            result = results[0]
+            return LookupOutcome(value=result.value, found=result.found,
+                                 cycles=engine.now - start, raw=result)
+        self._m_fallbacks.inc()
+        if health.healthy:
+            self.system.obs.trace.root(
+                "resilience.degraded", engine.now,
+                slice=health.slice_id, core=self.core_id).finish(engine.now)
+        health.mark_degraded(engine.now)
+        health.degraded_lookups += 1
+        self._m_degraded.inc()
+        outcome = yield from self._fallback_lookup(table, key, start)
+        return outcome
+
+    def _attempt(self, table, key: bytes, start: float, health: SliceHealth,
+                 probing: bool) -> Generator:
+        """One accelerated lookup under the poll budget; None on timeout.
+
+        A timed-out query is abandoned, not cancelled: it still drains in
+        the background and its result slot is simply never read.
+        """
+        engine = self.system.engine
+        isa = self.system.isa
+        policy = self.policy
+        process = yield from isa.lookup_nb(self.core_id, table, key)
+        results = yield from isa.snapshot_read_poll(
+            self.core_id, [process], budget=policy.poll_budget)
+        attempt = 0
+        while results is None and attempt < policy.max_retries:
+            self._m_timeouts.inc()
+            self._m_retries.inc()
+            yield engine.timeout(policy.backoff(attempt))
+            attempt += 1
+            results = yield from isa.snapshot_read_poll(
+                self.core_id, [process], budget=policy.poll_budget)
+        if results is None:
+            self._m_timeouts.inc()
+            if probing:
+                health.note_probe_failure()
+            return None
+        result = results[0]
+        if probing and health.note_probe_success(engine.now):
+            self._m_recoveries.inc()
+            self.system.obs.trace.root(
+                "resilience.recovered", engine.now,
+                slice=health.slice_id, core=self.core_id).finish(engine.now)
+        return LookupOutcome(value=result.value, found=result.found,
+                             cycles=engine.now - start, raw=result)
+
+    def _fallback_lookup(self, table, key: bytes,
+                         start: float) -> Generator:
+        if self._fallback is None:
+            self._fallback = SoftwareBackend(self.system, self.core_id)
+        outcome = yield from self._fallback.lookup(table, key)
+        return LookupOutcome(value=outcome.value, found=outcome.found,
+                             cycles=self.system.engine.now - start,
+                             raw=outcome.raw, degraded=True)
 
     def search(self, queries: Sequence[Tuple[Any, bytes]],
                first_match: bool = False) -> Generator:
@@ -238,12 +473,23 @@ class AdaptiveBackend(LookupBackend):
     kind = BackendKind.ADAPTIVE
     replaces_emc = False
 
-    def __init__(self, system, core_id: int = 0, window: int = 256) -> None:
+    def __init__(self, system, core_id: int = 0, window: int = 256,
+                 policy: Optional[ResiliencePolicy] = None) -> None:
         super().__init__(system, core_id)
         self.window = window
+        self.policy = policy
         self._software = SoftwareBackend(system, core_id)
-        self._halo = HaloNonblockingBackend(system, core_id)
+        self._halo = HaloNonblockingBackend(system, core_id, policy=policy)
         self._in_window = 0
+
+    @property
+    def resilience_events(self) -> List[Tuple[float, str, int]]:
+        """Fallback/recovery timeline of the HALO sub-backend."""
+        return self._halo.resilience_events
+
+    @property
+    def degraded_lookups(self) -> int:
+        return self._halo.degraded_lookups
 
     @property
     def active(self) -> LookupBackend:

@@ -41,6 +41,11 @@ class CoreWorkload:
     stream: bool = False
     backend_kwargs: dict = field(default_factory=dict)
     name: str = ""
+    #: Optional :class:`~repro.exec.backend.ResiliencePolicy`, applied to
+    #: backend kinds that honour one (``halo-nb`` and ``adaptive``);
+    #: ignored — rather than rejected — for the others so heterogeneous
+    #: workload lists can share a single policy object.
+    policy: Any = None
 
 
 @dataclass
@@ -110,11 +115,21 @@ class MultiCoreRun:
                    if prev[1] != cur[1])
 
 
+_POLICY_KINDS = (BackendKind.HALO_NONBLOCKING, BackendKind.ADAPTIVE)
+
+
 def _resolve_backend(system, workload: CoreWorkload) -> LookupBackend:
     if isinstance(workload.backend, LookupBackend):
         return workload.backend
+    kwargs = dict(workload.backend_kwargs)
+    if workload.policy is not None:
+        kind = workload.backend
+        if isinstance(kind, str):
+            kind = BackendKind(kind)
+        if kind in _POLICY_KINDS:
+            kwargs.setdefault("policy", workload.policy)
     return make_backend(workload.backend, system, core_id=workload.core_id,
-                        **workload.backend_kwargs)
+                        **kwargs)
 
 
 def _stream_program(backend: LookupBackend, workload: CoreWorkload,

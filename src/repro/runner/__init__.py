@@ -33,13 +33,16 @@ from __future__ import annotations
 
 from .cache import ResultCache, code_fingerprint
 from .registry import (
+    ExperimentLoadError,
     UnknownExperimentError,
     discover,
     get_experiment,
     resolve_names,
 )
 from .scheduler import (
+    BenchFailedError,
     BenchSummary,
+    RunFailure,
     default_jobs,
     derive_seed,
     execute,
@@ -51,10 +54,13 @@ from .scheduler import (
 from .schema import ExperimentSpec, GridPoint, RunResult, RunSpec
 
 __all__ = [
+    "BenchFailedError",
     "BenchSummary",
+    "ExperimentLoadError",
     "ExperimentSpec",
     "GridPoint",
     "ResultCache",
+    "RunFailure",
     "RunResult",
     "RunSpec",
     "UnknownExperimentError",

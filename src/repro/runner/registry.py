@@ -35,8 +35,26 @@ class UnknownExperimentError(KeyError):
             f"unknown experiment {name!r}; known: {', '.join(self.known)}")
 
 
+class ExperimentLoadError(RuntimeError):
+    """An experiment module failed to import or register.
+
+    Raised instead of the raw ``ImportError``/``AttributeError`` so the
+    failing *module* is named: a syntax error in one experiment file
+    otherwise surfaces as an opaque discovery failure for the whole CLI.
+    """
+
+    def __init__(self, module_name: str, cause: BaseException) -> None:
+        self.module_name = module_name
+        super().__init__(
+            f"failed to load experiment module {module_name!r}: "
+            f"{type(cause).__name__}: {cause}")
+
+
 def _spec_from_module(module_name: str) -> ExperimentSpec:
-    module = importlib.import_module(module_name)
+    try:
+        module = importlib.import_module(module_name)
+    except Exception as exc:
+        raise ExperimentLoadError(module_name, exc) from exc
     bench = getattr(module, "BENCH", None)
     if bench is None:
         raise ValueError(f"{module_name} has no BENCH declaration")

@@ -31,6 +31,7 @@ import hashlib
 import os
 import pathlib
 import time
+import traceback as traceback_module
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
@@ -81,6 +82,63 @@ def _execute_payload(experiment: str, label: str, params: Dict[str, Any],
 
 
 @dataclass
+class RunFailure:
+    """One grid point that crashed, as a structured record.
+
+    A crashing experiment must not abort the whole bench invocation: the
+    remaining runs finish, and the failure surfaces here — name, label,
+    exception type, message, and the worker-side traceback — plus a
+    nonzero CLI exit code.
+    """
+
+    experiment: str
+    label: str
+    error_type: str
+    message: str
+    traceback: str
+    worker: str = "inline"
+
+    @property
+    def run_id(self) -> str:
+        return f"{self.experiment}/{self.label}"
+
+    @classmethod
+    def from_exception(cls, spec_run: RunSpec, exc: BaseException,
+                       worker: str) -> "RunFailure":
+        return cls(
+            experiment=spec_run.experiment,
+            label=spec_run.label,
+            error_type=type(exc).__name__,
+            message=str(exc),
+            traceback="".join(traceback_module.format_exception(
+                type(exc), exc, exc.__traceback__)),
+            worker=worker,
+        )
+
+    def to_json_dict(self) -> Dict[str, str]:
+        return {
+            "experiment": self.experiment,
+            "label": self.label,
+            "error_type": self.error_type,
+            "message": self.message,
+            "traceback": self.traceback,
+            "worker": self.worker,
+        }
+
+    def render(self) -> str:
+        return (f"FAILED {self.run_id} ({self.worker}): "
+                f"{self.error_type}: {self.message}")
+
+
+class BenchFailedError(RuntimeError):
+    """Raised by strict callers when a bench invocation had failed runs."""
+
+    def __init__(self, failures: Sequence[RunFailure]) -> None:
+        self.failures = list(failures)
+        super().__init__("; ".join(f.render() for f in self.failures))
+
+
+@dataclass
 class BenchSummary:
     """Everything one ``repro bench`` invocation produced."""
 
@@ -94,6 +152,11 @@ class BenchSummary:
     cache_dir: Optional[str]
     fingerprint: Optional[str]
     metrics: Dict[str, object] = field(default_factory=dict)
+    failures: List[RunFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
 
     @property
     def run_seconds(self) -> float:
@@ -113,6 +176,8 @@ class BenchSummary:
                 "misses": self.cache_misses,
             },
             "runs": [result.meta_dict() for result in self.results],
+            "failures": [failure.to_json_dict()
+                         for failure in self.failures],
             "reports": {
                 report.name: {
                     "artifact": report.artifact,
@@ -129,10 +194,12 @@ class BenchSummary:
     def render_footer(self) -> str:
         cached = (f"{self.cache_hits} cache hits, "
                   f"{self.cache_misses} executed")
+        failed = (f" | {len(self.failures)} FAILED"
+                  if self.failures else "")
         return (f"bench summary: {len(self.results)} runs "
                 f"({cached}) across {len(self.reports)} experiments | "
                 f"jobs={self.jobs} wall={self.wall_s:.2f}s "
-                f"cpu-run-time={self.run_seconds:.2f}s")
+                f"cpu-run-time={self.run_seconds:.2f}s{failed}")
 
 
 def execute(specs: Sequence[ExperimentSpec], *, jobs: int = 1,
@@ -187,11 +254,24 @@ def execute(specs: Sequence[ExperimentSpec], *, jobs: int = 1,
             cache.store(spec_run, payload, wall)
         say(f"{spec_run.run_id}: ran in {wall:.2f}s ({worker})")
 
+    failures: List[RunFailure] = []
+    failed_counter = metrics.counter("runner.runs.failed")
+
+    def _fail(spec_run: RunSpec, exc: BaseException, worker: str) -> None:
+        failed_counter.inc()
+        failure = RunFailure.from_exception(spec_run, exc, worker)
+        failures.append(failure)
+        say(failure.render())
+
     if jobs <= 1 or len(pending) <= 1:
         for spec_run in pending:
-            payload, wall = _execute_payload(
-                spec_run.experiment, spec_run.label, spec_run.params,
-                spec_run.seed)
+            try:
+                payload, wall = _execute_payload(
+                    spec_run.experiment, spec_run.label, spec_run.params,
+                    spec_run.seed)
+            except Exception as exc:
+                _fail(spec_run, exc, worker="inline")
+                continue
             _finish(spec_run, payload, wall, worker="inline")
     else:
         workers = min(jobs, len(pending))
@@ -208,20 +288,40 @@ def execute(specs: Sequence[ExperimentSpec], *, jobs: int = 1,
                                        return_when=FIRST_COMPLETED)
                 for future in done:
                     spec_run = futures[future]
-                    payload, wall = future.result()
+                    try:
+                        payload, wall = future.result()
+                    except Exception as exc:
+                        # One worker crash must not abort the pool run;
+                        # the rest of the sweep keeps executing.
+                        _fail(spec_run, exc, worker=f"pool-{workers}")
+                        continue
                     _finish(spec_run, payload, wall,
                             worker=f"pool-{workers}")
+
+    failed_by_spec: Dict[str, List[RunFailure]] = {}
+    for failure in failures:
+        failed_by_spec.setdefault(failure.experiment, []).append(failure)
 
     reports: List[ExperimentReport] = []
     all_results: List[RunResult] = []
     for spec in specs:
         spec_results = [outcomes[f"{spec.name}/{label}"]
-                        for label, _params in spec.points(quick)]
-        payloads = {result.label: result.payload
-                    for result in spec_results}
+                        for label, _params in spec.points(quick)
+                        if f"{spec.name}/{label}" in outcomes]
+        spec_failures = failed_by_spec.get(spec.name, ())
+        if spec_failures:
+            # Partial payloads would feed the report hook a grid it never
+            # expects; render the failure record instead.
+            text = "\n".join(
+                [f"{spec.name}: {len(spec_failures)} run(s) failed"]
+                + [f"  {failure.render()}" for failure in spec_failures])
+        else:
+            payloads = {result.label: result.payload
+                        for result in spec_results}
+            text = spec.report(payloads)
         reports.append(ExperimentReport(
             name=spec.name, artifact=spec.artifact, slug=spec.slug,
-            text=spec.report(payloads), runs=spec_results))
+            text=text, runs=spec_results))
         all_results.extend(spec_results)
 
     return BenchSummary(
@@ -231,10 +331,11 @@ def execute(specs: Sequence[ExperimentSpec], *, jobs: int = 1,
         quick=quick,
         wall_s=time.perf_counter() - started,
         cache_hits=hit_counter.value,
-        cache_misses=len(runs) - hit_counter.value,
+        cache_misses=len(runs) - hit_counter.value - len(failures),
         cache_dir=str(cache.root) if cache is not None else None,
         fingerprint=cache.fingerprint if cache is not None else None,
         metrics=metrics.snapshot(),
+        failures=failures,
     )
 
 
@@ -262,6 +363,10 @@ def run_for_bench(name: str, quick: bool = False):
     spec = get_experiment(name)
     summary = execute([spec], jobs=1, quick=quick, cache=None,
                       use_cache=False)
+    if summary.failures:
+        # Benchmark wrappers want the old strict contract: a crashing
+        # experiment raises instead of returning partial payloads.
+        raise BenchFailedError(summary.failures)
     payloads = {result.label: result.payload
                 for result in summary.results}
     return payloads, summary.reports[0].text

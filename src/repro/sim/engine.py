@@ -215,6 +215,28 @@ class Engine:
         self._calendar: list = []
         self._sequence = itertools.count()
         self.events_processed = 0
+        self._fault_hooks: dict = {}
+
+    # -- fault-injection hook bus -------------------------------------------
+    def add_fault_hook(self, site: str, hook: Callable) -> None:
+        """Register a fault hook at a named seam (one hook per site).
+
+        Model code polls seams via :meth:`fault_hook`; with no hook the
+        poll is a single empty-dict check, so an uninstrumented run pays
+        no simulated time and (near) no host time.
+        """
+        if site in self._fault_hooks:
+            raise SimulationError(f"fault hook already installed at {site!r}")
+        self._fault_hooks[site] = hook
+
+    def remove_fault_hook(self, site: str) -> None:
+        self._fault_hooks.pop(site, None)
+
+    def fault_hook(self, site: str) -> Optional[Callable]:
+        """The hook installed at ``site``, or None (fast path)."""
+        if not self._fault_hooks:
+            return None
+        return self._fault_hooks.get(site)
 
     # -- scheduling internals ------------------------------------------------
     def _schedule(self, when: float, process: Process, value: Any) -> None:

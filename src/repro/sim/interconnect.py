@@ -50,6 +50,10 @@ class Interconnect:
         self.stops = stops
         self.latency = latency
         self.stats = InterconnectStats()
+        #: Fault seam (``repro.faults``): called per message with
+        #: ``(src, dst, hops)``, returns extra cycles (drop → retransmit)
+        #: and may bump ``stats`` itself (duplication).  None = uninstalled.
+        self.fault_hook = None
 
     def slice_of_line(self, line: int) -> int:
         """The LLC slice (and CHA) owning a cache line."""
@@ -74,7 +78,10 @@ class Interconnect:
         hops = self.hops(src_stop, dst_stop)
         self.stats.messages += 1
         self.stats.total_hops += hops
-        return hops * self.latency.hop
+        latency = hops * self.latency.hop
+        if self.fault_hook is not None:
+            latency += self.fault_hook(src_stop, dst_stop, hops)
+        return latency
 
     def average_hops(self) -> float:
         if not self.stats.messages:

@@ -111,6 +111,9 @@ class Dram:
         self.pressure_penalty = pressure_penalty
         self.stats = DramStats()
         self._outstanding = 0
+        #: Fault seam (``repro.faults``): called per access, returns extra
+        #: cycles to add (latency-spike injection).  None when uninstalled.
+        self.fault_hook = None
 
     def access_latency(self, write: bool = False) -> int:
         if write:
@@ -121,4 +124,7 @@ class Dram:
         # concurrently tracked requests adds one penalty quantum.
         self._outstanding = (self._outstanding + 1) % (self.queue_window * 4)
         pressure = self._outstanding // self.queue_window
-        return self.base_latency + pressure * self.pressure_penalty
+        latency = self.base_latency + pressure * self.pressure_penalty
+        if self.fault_hook is not None:
+            latency += self.fault_hook(write)
+        return latency

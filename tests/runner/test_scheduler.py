@@ -5,21 +5,44 @@ grids) so these tests exercise the real worker path end to end without
 taking benchmark-scale time.
 """
 
+import pytest
+
 from repro.obs import MetricsRegistry
 from repro.runner import (
+    BenchFailedError,
+    BenchSummary,
     ResultCache,
+    RunFailure,
     derive_seed,
     execute,
     get_experiment,
     plan_runs,
     run_benchmarks,
 )
+from repro.runner.schema import ExperimentSpec, GridPoint
 
 CHEAP = ("tab04", "fig08")
 
 
 def _specs():
     return [get_experiment(name) for name in CHEAP]
+
+
+def _broken_fig08():
+    """A fig08 spec whose first grid point carries empty params.
+
+    Workers re-resolve the run hook from the registry by name, so the
+    real ``bench_run`` executes — and crashes on ``params["trials"]`` —
+    exercising the genuine failure path on both inline and pool workers.
+    """
+    real = get_experiment("fig08")
+    good_label, good_params = real.points(quick=True)[0]
+    return ExperimentSpec(
+        name=real.name, artifact=real.artifact, slug=real.slug,
+        title=real.title, module=real.module,
+        grid=(GridPoint("broken", {}, {}),
+              GridPoint(good_label, good_params, good_params)),
+        run=real.run, report=real.report)
 
 
 def test_derive_seed_is_stable_and_distinct():
@@ -101,3 +124,71 @@ def test_summary_json_is_self_describing(tmp_path):
     assert payload["cache"]["dir"] == str(tmp_path)
     assert payload["reports"]["tab04"]["sha256"]
     assert payload["runs"][0]["cache_hit"] is False
+    assert payload["failures"] == []
+    assert summary.ok
+
+
+# -- crash containment -----------------------------------------------------
+def test_inline_crash_becomes_failure_record_not_abort():
+    summary = execute([_broken_fig08(), get_experiment("tab04")],
+                      jobs=1, quick=True, cache=None, use_cache=False)
+    assert not summary.ok
+    assert len(summary.failures) == 1
+    failure = summary.failures[0]
+    assert failure.run_id == "fig08/broken"
+    assert failure.error_type == "KeyError"
+    assert failure.worker == "inline"
+    assert "bench_run" in failure.traceback
+    # The surviving grid point and the other experiment both completed.
+    assert {r.run_id for r in summary.results} >= {"tab04/default"}
+    assert summary.metrics["runner.runs.failed"] == 1
+
+
+def test_pool_crash_keeps_remaining_runs_alive():
+    summary = execute([_broken_fig08(), get_experiment("tab04")],
+                      jobs=2, quick=True, cache=None, use_cache=False)
+    assert len(summary.failures) == 1
+    failure = summary.failures[0]
+    assert failure.run_id == "fig08/broken"
+    assert failure.worker.startswith("pool-")
+    assert "KeyError" in failure.render()
+    assert any(r.experiment == "tab04" for r in summary.results)
+
+
+def test_failed_spec_report_shows_failure_not_partial_payloads():
+    summary = execute([_broken_fig08()], jobs=1, quick=True,
+                      cache=None, use_cache=False)
+    fig08_report = summary.reports[0]
+    assert "1 run(s) failed" in fig08_report.text
+    assert "FAILED fig08/broken" in fig08_report.text
+    assert "FAILED" in summary.render_footer()
+    payload = summary.to_json_dict()
+    assert payload["failures"][0]["error_type"] == "KeyError"
+    assert payload["failures"][0]["traceback"]
+
+
+def test_bench_failed_error_carries_records():
+    failures = [RunFailure(experiment="x", label="p0",
+                           error_type="ValueError", message="boom",
+                           traceback="tb")]
+    with pytest.raises(BenchFailedError) as excinfo:
+        raise BenchFailedError(failures)
+    assert excinfo.value.failures == failures
+    assert "FAILED x/p0" in str(excinfo.value)
+
+
+def test_cli_bench_exits_nonzero_on_failures(monkeypatch, capsys):
+    import repro.__main__ as cli
+
+    summary = BenchSummary(
+        reports=[], results=[], jobs=1, quick=True, wall_s=0.0,
+        cache_hits=0, cache_misses=0, cache_dir=None, fingerprint=None,
+        failures=[RunFailure(experiment="x", label="p0",
+                             error_type="ValueError", message="boom",
+                             traceback="tb")])
+    monkeypatch.setattr(cli, "run_benchmarks",
+                        lambda *args, **kwargs: summary)
+    assert cli.main(["bench", "--jobs", "1"]) == 1
+    captured = capsys.readouterr()
+    assert "FAILED x/p0" in captured.err
+    assert "1 FAILED" in captured.out

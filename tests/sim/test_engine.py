@@ -142,6 +142,58 @@ def test_resource_capacity_validation(engine):
         engine.resource(0)
 
 
+def test_resource_over_release_after_balanced_use(engine):
+    """Regression: the guard fires even after legitimate acquire/release
+    cycles, not only on a never-acquired resource."""
+    resource = engine.resource(2)
+
+    def worker():
+        yield resource.acquire()
+        yield engine.timeout(1)
+        resource.release()
+
+    for _ in range(3):
+        engine.process(worker())
+    engine.run()
+    assert resource.in_use == 0
+    with pytest.raises(SimulationError, match="release without"):
+        resource.release()
+
+
+def test_resource_over_release_after_queued_handoff(engine):
+    """Regression: a release that hands its slot straight to a queued
+    waiter leaves ``in_use`` untouched — the over-release guard must
+    still hold once every legitimate holder has released."""
+    resource = engine.resource(1)
+    releases = []
+
+    def worker(tag):
+        yield resource.acquire()
+        yield engine.timeout(5)
+        resource.release()
+        releases.append(tag)
+
+    for tag in range(3):
+        engine.process(worker(tag))
+    engine.run()
+    assert releases == [0, 1, 2]
+    with pytest.raises(SimulationError, match="release without"):
+        resource.release()
+
+
+def test_fault_hook_bus(engine):
+    """One hook per seam; absent seams resolve to None cheaply."""
+    assert engine.fault_hook("any.site") is None
+    marker = object()
+    engine.add_fault_hook("seam", lambda: marker)
+    assert engine.fault_hook("seam")() is marker
+    with pytest.raises(SimulationError, match="already installed"):
+        engine.add_fault_hook("seam", lambda: None)
+    engine.remove_fault_hook("seam")
+    assert engine.fault_hook("seam") is None
+    engine.remove_fault_hook("seam")   # idempotent
+
+
 def test_store_fifo(engine):
     store = engine.store()
     received = []

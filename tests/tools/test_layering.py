@@ -26,7 +26,8 @@ def write(root: Path, relative: str, content: str = "") -> None:
 @pytest.fixture
 def tree(tmp_path):
     src = tmp_path / "src"
-    for package in ("", "obs", "sim", "core", "exec", "analysis"):
+    for package in ("", "obs", "sim", "core", "exec", "faults", "vswitch",
+                    "analysis", "runner"):
         write(src, f"repro/{package}/__init__.py" if package
               else "repro/__init__.py")
     return src
@@ -93,6 +94,42 @@ def test_package_init_resolves_against_itself(tree):
           "from .backend import make_backend\n")
     write(tree, "repro/exec/backend.py")
     assert check_layering.check_tree(tree) == []
+
+
+def test_restricted_layer_rejects_disallowed_importer(tree):
+    # vswitch sits above faults in rank, but the dataplane must stay
+    # fault-agnostic: only analysis/runner may depend on repro.faults.
+    write(tree, "repro/vswitch/switch.py",
+          "from ..faults.plan import FaultPlan\n")
+    violations = check_layering.check_tree(tree)
+    assert len(violations) == 1
+    module, _lineno, target, reason = violations[0]
+    assert module == "repro.vswitch.switch"
+    assert target == "repro.faults.plan"
+    assert "may only be imported by" in reason
+
+
+def test_restricted_layer_allows_sanctioned_importers(tree):
+    write(tree, "repro/analysis/experiments.py",
+          "from ..faults.plan import FaultPlan\n")
+    write(tree, "repro/runner/scheduler.py",
+          "from ..faults import FaultInjector\n")
+    write(tree, "repro/faults/injector.py",
+          "from .plan import FaultPlan\n"        # same layer
+          "from ..sim.engine import Engine\n"    # downward
+          "from ..exec.backend import make_backend\n")
+    write(tree, "repro/faults/plan.py")
+    assert check_layering.check_tree(tree) == []
+
+
+def test_restricted_layer_still_flags_upward_imports(tree):
+    # The restriction must not shadow the plain rank rule: a module below
+    # faults importing it is an upward violation, reported as such.
+    write(tree, "repro/sim/engine.py",
+          "from ..faults.plan import FaultPlan\n")
+    violations = check_layering.check_tree(tree)
+    assert len(violations) == 1
+    assert "must not import" in violations[0][3]
 
 
 def test_cli_exit_codes(tree, capsys):
