@@ -3,7 +3,7 @@
 
 The repo's layers, bottom to top (rank 0 upward)::
 
-    obs < sim < hashtable < classifier < traffic < core < tcam
+    obs < guard < sim < hashtable < classifier < traffic < core < tcam
         < exec < faults < vswitch < nf < analysis < runner
 
 A module in layer L may import (at module level) only from layers with a
@@ -19,7 +19,11 @@ Some layers additionally restrict who above them may import them at all:
 of the layers above it only ``analysis`` and ``runner`` may depend on it
 (workload layers such as ``vswitch``/``nf`` must stay fault-agnostic;
 fault plans are installed from experiments and examples, not from inside
-the modelled dataplane).
+the modelled dataplane).  ``repro.guard`` is the same kind of leaf: the
+safety net attaches from the harness (``sim`` owns the attachment seam,
+``runner``/``analysis`` opt campaigns in), never from inside the
+modelled hardware or workloads — a cache or NF that imported its own
+invariant checker would entangle the model with its auditor.
 
 Root modules (``repro/__init__.py``, ``repro/__main__.py``) are exempt:
 they are the user-facing aggregation points and may import from any layer.
@@ -39,6 +43,7 @@ from typing import Iterator, List, Optional, Tuple
 #: Bottom-to-top layer order; the index is the rank.
 LAYERS = (
     "obs",
+    "guard",
     "sim",
     "hashtable",
     "classifier",
@@ -59,6 +64,7 @@ RANK = {name: index for index, name in enumerate(LAYERS)}
 #: import it, even though the rank rule alone would permit the edge.
 RESTRICTED_IMPORTERS = {
     "faults": ("analysis", "runner"),
+    "guard": ("sim", "runner", "analysis"),
 }
 
 

@@ -9,6 +9,8 @@ Usage::
     python -m repro bench [--jobs N] [--only fig09,fig13] [--quick]
                           [--no-cache] [--cache-dir DIR]
                           [--json out.json] [--reports DIR]
+                          [--timeout SECONDS] [--retries N]
+                          [--resume] [--journal PATH]
     python -m repro report [--quick] [--json metrics.json]
 
 ``run`` executes experiments serially and prints the same
@@ -22,7 +24,11 @@ cache (keyed on params + a fingerprint of the ``repro`` source, so any
 code change recomputes), and ``--reports benchmarks/reports``
 regenerates every archived report from one command.  ``--no-cache``
 forces recomputation; ``--json`` exports run metadata, per-experiment
-report digests, and the runner's own metrics registry.
+report digests, and the runner's own metrics registry.  ``--timeout``
+kills runs that blow their wall-clock budget (``--retries`` re-runs
+them a bounded number of times first); ``--resume`` replays the
+campaign journal so a crashed or Ctrl-C'd invocation picks up where it
+stopped.  Ctrl-C drains in-flight runs gracefully and exits 130.
 
 ``report`` drives a demo workload (table lookups in all three modes plus
 a virtual-switch packet stream) and renders the per-component metrics
@@ -69,18 +75,22 @@ def run_report_demo(quick: bool = False):
     and non-blocking lookups against a shared table, an adaptive (hybrid)
     episode, a degraded non-blocking episode under an injected accelerator
     outage (populating the ``faults.*`` and ``exec.resilience.*``
-    counters), and a virtual-switch packet stream.  Returns the
+    counters), and a virtual-switch packet stream.  The standard safety
+    net (:mod:`repro.guard`) rides along, so the ``guard.*`` counters
+    show what the watchdog and invariant checker observed.  Returns the
     :class:`~repro.core.halo_system.HaloSystem` with its registry loaded.
     """
     from .core.halo_system import HaloSystem
     from .exec import ResiliencePolicy
     from .faults import FaultInjector, FaultPlan
+    from .guard import attach_standard_guard
     from .traffic.generator import FlowSet, PacketStream, random_keys
     from .traffic.profiles import FIGURE3_PROFILES
     from .vswitch.switch import SwitchMode, VirtualSwitch
 
     lookups = 40 if quick else 200
     system = HaloSystem()
+    attach_standard_guard(system)
     table = system.create_table(1 << 10, name="report_demo")
     keys = random_keys(600, seed=11)
     for index, key in enumerate(keys):
@@ -150,7 +160,9 @@ def _bench(args) -> int:
         summary = run_benchmarks(
             only, jobs=args.jobs, quick=args.quick,
             use_cache=not args.no_cache, cache_dir=args.cache_dir,
-            progress=_progress)
+            progress=_progress, timeout_s=args.timeout,
+            retries=args.retries, resume=args.resume,
+            journal_path=args.journal)
     except UnknownExperimentError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
@@ -177,8 +189,11 @@ def _bench(args) -> int:
         for failure in summary.failures:
             print(f"  {failure.render()}", file=sys.stderr)
             print(failure.traceback, file=sys.stderr)
-        return 1
-    return 0
+    if summary.interrupted:
+        print("interrupted: completed runs are journaled; "
+              "re-run with --resume to finish", file=sys.stderr)
+        return 130
+    return 1 if summary.failures else 0
 
 
 def main(argv=None) -> int:
@@ -218,6 +233,24 @@ def main(argv=None) -> int:
                               help="archive each experiment report as "
                                    "DIR/<slug>.txt (use benchmarks/reports "
                                    "to regenerate the checked-in set)")
+    bench_parser.add_argument("--timeout", type=float, default=None,
+                              metavar="SECONDS",
+                              help="per-run wall-clock budget; hung runs "
+                                   "are killed (and retried, see "
+                                   "--retries) instead of wedging the "
+                                   "campaign")
+    bench_parser.add_argument("--retries", type=int, default=0,
+                              metavar="N",
+                              help="re-run a timed-out or crashed worker "
+                                   "up to N times with backoff before "
+                                   "recording the failure")
+    bench_parser.add_argument("--resume", action="store_true",
+                              help="skip runs the campaign journal marks "
+                                   "complete (after a crash or Ctrl-C)")
+    bench_parser.add_argument("--journal", metavar="PATH", default=None,
+                              help="campaign journal location (default: "
+                                   "derived from the campaign under the "
+                                   "cache dir; implies journaling)")
 
     report_parser = subparsers.add_parser(
         "report",

@@ -1,0 +1,90 @@
+"""The guard object the engine holds: watchdog + invariant checker.
+
+:class:`EngineGuard` is the single attachment point
+(``engine.attach_guard(guard)``): it multiplexes the engine's two hook
+sites — ``before_event`` on every dispatched event, ``on_drain`` when
+the calendar empties — into the :class:`~repro.guard.watchdog.Watchdog`
+and :class:`~repro.guard.invariants.InvariantChecker`, and publishes
+what it observed as a ``guard.*`` metrics pull source plus a trace span
+per violation (when wired to an :mod:`repro.obs` registry/recorder by
+:func:`repro.guard.presets.attach_standard_guard`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Optional
+
+from .invariants import Invariant, InvariantChecker
+from .watchdog import Watchdog, WatchdogConfig
+
+
+class EngineGuard:
+    """Watchdog + invariant checking bound to one engine."""
+
+    def __init__(self, watchdog: Optional[Watchdog] = None,
+                 invariants: Iterable[Invariant] = (),
+                 cadence: int = 256, strict: bool = True,
+                 trace: Optional[Any] = None) -> None:
+        self.watchdog = watchdog
+        invariants = list(invariants)
+        self.checker = (InvariantChecker(invariants, cadence=cadence,
+                                         strict=strict)
+                        if invariants else None)
+        self.trace = trace
+        self.events_observed = 0
+        self._violations_traced = 0
+
+    # -- engine hook protocol ------------------------------------------------
+    def on_attach(self, engine: Any) -> None:
+        if self.watchdog is not None:
+            self.watchdog.start(engine)
+
+    def before_event(self, engine: Any) -> None:
+        self.events_observed += 1
+        if self.watchdog is not None:
+            self.watchdog.check(engine)
+        if self.checker is not None:
+            self.checker.maybe_check(engine)
+            self._trace_new_violations(engine)
+
+    def on_drain(self, engine: Any) -> None:
+        if self.checker is not None:
+            # Final sweep so violations between the last cadence sample
+            # and the drain still surface.
+            self.checker.check_now(engine)
+            self._trace_new_violations(engine)
+        if self.watchdog is not None:
+            self.watchdog.on_drain(engine)
+
+    def _trace_new_violations(self, engine: Any) -> None:
+        """Record one root span per new (non-strict) violation."""
+        if self.trace is None or self.checker is None:
+            return
+        pending = self.checker.violations[self._violations_traced:]
+        for name, detail, at_cycle in pending:
+            span = self.trace.root("guard.violation", at_cycle,
+                                   invariant=name, detail=detail)
+            span.finish(at_cycle)
+        self._violations_traced = len(self.checker.violations)
+
+    # -- metrics pull source -------------------------------------------------
+    def as_dict(self) -> Dict[str, float]:
+        """Flat scalar view for the metrics registry (``guard.*``)."""
+        out: Dict[str, float] = {"events_observed": self.events_observed}
+        if self.checker is not None:
+            out["invariants"] = len(self.checker.invariants)
+            out["invariant_checks"] = self.checker.checks
+            out["invariant_violations"] = len(self.checker.violations)
+        if self.watchdog is not None:
+            config = self.watchdog.config
+            out["watchdog_deadlock_detection"] = int(config.detect_deadlock)
+            out["watchdog_stall_events"] = config.stall_events or 0
+        return out
+
+
+def default_guard(config: Optional[WatchdogConfig] = None,
+                  invariants: Iterable[Invariant] = (),
+                  cadence: int = 256, strict: bool = True) -> EngineGuard:
+    """A guard with a watchdog always on and optional invariants."""
+    return EngineGuard(watchdog=Watchdog(config), invariants=invariants,
+                       cadence=cadence, strict=strict)

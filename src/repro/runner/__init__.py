@@ -17,6 +17,12 @@ that structure into an orchestration subsystem:
   content-addressed on-disk cache keyed on experiment name, grid label,
   parameters, seed, and a fingerprint of the ``repro`` source tree —
   re-runs are instant until the code changes;
+* :mod:`repro.runner.pool` supervises one killable process per run when
+  ``--timeout``/``--retries`` are in play — hung runs are terminated at
+  their wall-clock deadline and retried with backoff;
+* :mod:`repro.runner.journal` keeps an append-only, crash-safe record of
+  completed runs so ``--resume`` skips finished work after a crash or a
+  Ctrl-C (which drains in-flight runs gracefully and exits 130);
 * :mod:`repro.runner.schema` defines the grid/run/result dataclasses
   shared by all of the above.
 
@@ -31,7 +37,10 @@ sits in the system.
 
 from __future__ import annotations
 
-from .cache import ResultCache, code_fingerprint
+from .cache import CACHE_FORMAT_VERSION, ResultCache, code_fingerprint
+from .journal import RunJournal, campaign_id, default_journal_path
+from .pool import PoolOutcome, RunTimeoutError, WorkerCrashedError, \
+    run_supervised
 from .registry import (
     ExperimentLoadError,
     UnknownExperimentError,
@@ -56,16 +65,23 @@ from .schema import ExperimentSpec, GridPoint, RunResult, RunSpec
 __all__ = [
     "BenchFailedError",
     "BenchSummary",
+    "CACHE_FORMAT_VERSION",
     "ExperimentLoadError",
     "ExperimentSpec",
     "GridPoint",
+    "PoolOutcome",
     "ResultCache",
     "RunFailure",
+    "RunJournal",
     "RunResult",
     "RunSpec",
+    "RunTimeoutError",
     "UnknownExperimentError",
+    "WorkerCrashedError",
+    "campaign_id",
     "code_fingerprint",
     "default_jobs",
+    "default_journal_path",
     "derive_seed",
     "discover",
     "execute",
@@ -74,5 +90,6 @@ __all__ = [
     "resolve_names",
     "run_benchmarks",
     "run_for_bench",
+    "run_supervised",
     "write_reports",
 ]

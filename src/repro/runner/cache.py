@@ -4,8 +4,8 @@ The paper's evaluation (HALO §6) is a grid of deterministic simulations,
 so a completed run never needs recomputing unless its inputs change —
 exactly the property a content-addressed cache can enforce.
 
-A run's cache key is the SHA-256 of ``(experiment name, grid label,
-canonical-JSON params, seed, code fingerprint)``.  The code fingerprint
+A run's cache key is the SHA-256 of ``(cache format version, experiment
+name, grid label, canonical-JSON params, seed, code fingerprint)``.  The code fingerprint
 hashes every ``*.py`` file under the installed ``repro`` package, so any
 source change — the experiment, the simulator, the hash table — silently
 invalidates every cached result computed with the old code.  That is the
@@ -35,6 +35,13 @@ from .schema import RunSpec
 
 #: Bump when the entry layout changes; old entries then read as misses.
 ENTRY_SCHEMA = 1
+
+#: The cache *format* version, part of the content address itself.  Bump
+#: when the meaning of stored payloads changes without an entry-layout
+#: change — e.g. an experiment's result dataclass gains a field, or the
+#: pickling strategy changes — so every old entry misses (different key,
+#: different filename) instead of deserialising into the wrong shape.
+CACHE_FORMAT_VERSION = 2
 
 DEFAULT_CACHE_ENV = "REPRO_CACHE_DIR"
 
@@ -86,6 +93,7 @@ class ResultCache:
             seed: int) -> str:
         material = "\x00".join((
             f"schema={ENTRY_SCHEMA}",
+            f"format={CACHE_FORMAT_VERSION}",
             experiment,
             label,
             canonical_params(params),
@@ -112,6 +120,8 @@ class ResultCache:
             return None
         if not isinstance(entry, dict) or entry.get("schema") != ENTRY_SCHEMA:
             return None
+        if entry.get("format") != CACHE_FORMAT_VERSION:
+            return None
         expected = spec.cache_key or self.key(spec.experiment, spec.label,
                                               spec.params, spec.seed)
         if entry.get("key") != expected:
@@ -123,6 +133,7 @@ class ResultCache:
         path.parent.mkdir(parents=True, exist_ok=True)
         entry = {
             "schema": ENTRY_SCHEMA,
+            "format": CACHE_FORMAT_VERSION,
             "key": spec.cache_key or self.key(spec.experiment, spec.label,
                                               spec.params, spec.seed),
             "experiment": spec.experiment,

@@ -1,0 +1,174 @@
+"""Crash-safe campaign journal: which runs finished, incrementally.
+
+A multi-hour sweep that dies at run 180/200 — OOM kill, power loss,
+Ctrl-C — should not cost the first 179 runs.  The
+:class:`~repro.runner.cache.ResultCache` already holds their *payloads*;
+what is missing after a crash is an authoritative record of *campaign
+progress*: which grid points completed (and with what outcome) in this
+specific invocation's terms.  The journal is that record.
+
+Design — append-only JSONL, one fact per line:
+
+* line 1 is a header (``kind: "header"``) binding the journal to a
+  journal-format version and the source-tree fingerprint it was written
+  under;
+* every completed run appends one record (``kind: "run"``) with the
+  run id, cache key, outcome (``ok``/``failed``), wall time, and worker
+  — flushed to the OS immediately, so the journal is current to within
+  one line even when the process is killed mid-campaign;
+* a torn final line (the crash happened *during* an append) is ignored
+  on load, never an error.
+
+``repro bench --resume`` replays the journal: grid points journaled
+``ok`` under the same fingerprint *and the same cache key* are served
+from the result cache and skipped; failed or missing points re-run.  A
+fingerprint mismatch (the code changed since the crash) invalidates the
+whole journal — resume then re-runs everything, which is the only safe
+answer once results may differ.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import time
+from typing import Any, Dict, Optional, Sequence, TextIO
+
+#: Bump when the journal line format changes; old journals then read as
+#: empty (every run re-executes — always safe, never wrong).
+JOURNAL_VERSION = 1
+
+
+def campaign_id(names: Sequence[str], quick: bool, fingerprint: str) -> str:
+    """A stable id for one campaign shape: which experiments, which mode,
+    which code.  Different shapes journal to different files, so a quick
+    smoke run never masks progress of the full sweep."""
+    material = "\x00".join((
+        f"journal={JOURNAL_VERSION}",
+        ",".join(sorted(names)),
+        f"quick={int(quick)}",
+        fingerprint,
+    ))
+    return hashlib.sha256(material.encode()).hexdigest()[:16]
+
+
+def default_journal_path(cache_root: pathlib.Path,
+                         names: Sequence[str], quick: bool,
+                         fingerprint: str) -> pathlib.Path:
+    """Default location: alongside the cache, keyed by campaign id."""
+    return (pathlib.Path(cache_root) / "journals"
+            / f"{campaign_id(names, quick, fingerprint)}.jsonl")
+
+
+class RunJournal:
+    """Append-only record of run completions for one campaign.
+
+    Usage: ``open_for(fingerprint)`` once (validates or writes the
+    header and loads prior records), then ``record_ok`` /
+    ``record_failure`` per finished run, then ``close``.  ``completed``
+    maps run id → the latest journaled record for it.
+    """
+
+    def __init__(self, path: os.PathLike) -> None:
+        self.path = pathlib.Path(path)
+        self.completed: Dict[str, Dict[str, Any]] = {}
+        self._handle: Optional[TextIO] = None
+        self._stale = False
+
+    @property
+    def stale(self) -> bool:
+        """True when a prior journal existed but could not be trusted
+        (fingerprint or version mismatch) and was restarted."""
+        return self._stale
+
+    # -- lifecycle -----------------------------------------------------------
+    def open_for(self, fingerprint: str) -> "RunJournal":
+        """Load prior progress written under ``fingerprint`` and open the
+        file for appending.  An unreadable, mismatched, or differently-
+        fingerprinted journal is restarted from scratch."""
+        records = self._load(fingerprint)
+        if records is None:
+            self._stale = self.path.exists()
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "w", encoding="utf-8")
+            self._append({"kind": "header", "version": JOURNAL_VERSION,
+                          "fingerprint": fingerprint,
+                          "created": time.time()})
+        else:
+            self.completed = records
+            self._handle = open(self.path, "a", encoding="utf-8")
+        return self
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # -- writes --------------------------------------------------------------
+    def record_ok(self, run_id: str, cache_key: str, wall_s: float,
+                  worker: str) -> None:
+        self._record(run_id, "ok", cache_key, wall_s=wall_s, worker=worker)
+
+    def record_failure(self, run_id: str, cache_key: str,
+                       error_type: str) -> None:
+        self._record(run_id, "failed", cache_key, error_type=error_type)
+
+    def _record(self, run_id: str, status: str, cache_key: str,
+                **extra: Any) -> None:
+        record = {"kind": "run", "run_id": run_id, "status": status,
+                  "key": cache_key, **extra}
+        self.completed[run_id] = record
+        self._append(record)
+
+    def _append(self, record: Dict[str, Any]) -> None:
+        if self._handle is None:
+            raise RuntimeError("journal is not open (call open_for first)")
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        # Flush per record: the whole point is surviving a kill mid-campaign.
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    # -- reads ---------------------------------------------------------------
+    def completed_ok(self, run_id: str, cache_key: str) -> bool:
+        """True when ``run_id`` is journaled ``ok`` under this exact cache
+        key — the resume-skip predicate."""
+        record = self.completed.get(run_id)
+        return (record is not None and record.get("status") == "ok"
+                and record.get("key") == cache_key)
+
+    def _load(self, fingerprint: str) -> Optional[Dict[str, Dict[str, Any]]]:
+        """Parse the journal; ``None`` means start fresh (absent, torn
+        header, version bump, or written by different code)."""
+        try:
+            lines = self.path.read_text(encoding="utf-8").splitlines()
+        except OSError:
+            return None
+        if not lines:
+            return None
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError:
+            return None
+        if (not isinstance(header, dict)
+                or header.get("kind") != "header"
+                or header.get("version") != JOURNAL_VERSION
+                or header.get("fingerprint") != fingerprint):
+            return None
+        records: Dict[str, Dict[str, Any]] = {}
+        for line in lines[1:]:
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn tail line from a mid-append crash
+            if isinstance(record, dict) and record.get("kind") == "run" \
+                    and "run_id" in record:
+                records[record["run_id"]] = record
+        return records

@@ -23,6 +23,13 @@ Runner metrics (``runner.cache.hits``, ``runner.cache.misses``,
 ``runner.run.wall_seconds``, ...) are published through a
 :class:`repro.obs.MetricsRegistry` and included in the ``--json``
 export.
+
+Campaign hardening (the harness safety net, layer 2 — see
+``docs/MODELING.md`` §9): per-run wall-clock budgets and bounded
+retries via the supervised pool (:mod:`repro.runner.pool`), an
+incremental completion journal (:mod:`repro.runner.journal`) behind
+``--resume``, and SIGINT graceful drain that flushes partial results
+before exiting nonzero.
 """
 
 from __future__ import annotations
@@ -30,6 +37,8 @@ from __future__ import annotations
 import hashlib
 import os
 import pathlib
+import signal
+import threading
 import time
 import traceback as traceback_module
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
@@ -38,6 +47,8 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
 from ..obs import MetricsRegistry
 from .cache import ResultCache
+from .journal import RunJournal, default_journal_path
+from .pool import run_supervised
 from .registry import get_experiment, resolve_names
 from .schema import ExperimentReport, ExperimentSpec, RunResult, RunSpec
 
@@ -153,10 +164,13 @@ class BenchSummary:
     fingerprint: Optional[str]
     metrics: Dict[str, object] = field(default_factory=dict)
     failures: List[RunFailure] = field(default_factory=list)
+    #: True when SIGINT cut the campaign short: in-flight runs were
+    #: drained and journaled, queued ones never started.
+    interrupted: bool = False
 
     @property
     def ok(self) -> bool:
-        return not self.failures
+        return not self.failures and not self.interrupted
 
     @property
     def run_seconds(self) -> float:
@@ -167,6 +181,7 @@ class BenchSummary:
         return {
             "jobs": self.jobs,
             "quick": self.quick,
+            "interrupted": self.interrupted,
             "wall_s": round(self.wall_s, 6),
             "run_seconds": round(self.run_seconds, 6),
             "cache": {
@@ -196,17 +211,21 @@ class BenchSummary:
                   f"{self.cache_misses} executed")
         failed = (f" | {len(self.failures)} FAILED"
                   if self.failures else "")
+        interrupted = " | INTERRUPTED (resume with --resume)" \
+            if self.interrupted else ""
         return (f"bench summary: {len(self.results)} runs "
                 f"({cached}) across {len(self.reports)} experiments | "
                 f"jobs={self.jobs} wall={self.wall_s:.2f}s "
-                f"cpu-run-time={self.run_seconds:.2f}s{failed}")
+                f"cpu-run-time={self.run_seconds:.2f}s{failed}{interrupted}")
 
 
 def execute(specs: Sequence[ExperimentSpec], *, jobs: int = 1,
             quick: bool = False, cache: Optional[ResultCache] = None,
             use_cache: bool = True,
             metrics: Optional[MetricsRegistry] = None,
-            progress: Optional[Callable[[str], None]] = None
+            progress: Optional[Callable[[str], None]] = None,
+            timeout_s: Optional[float] = None, retries: int = 0,
+            journal: Optional[RunJournal] = None, resume: bool = False
             ) -> BenchSummary:
     """Run ``specs`` and return rendered reports plus run metadata.
 
@@ -214,6 +233,22 @@ def execute(specs: Sequence[ExperimentSpec], *, jobs: int = 1,
     *stores* fresh results, so the next cached invocation benefits.
     ``jobs=1`` executes inline (no pool) — the reference ordering that
     parallel runs must reproduce exactly.
+
+    Hardening knobs:
+
+    * ``timeout_s``/``retries`` switch execution to the supervised pool
+      (:mod:`repro.runner.pool`): one killable process per run, hung
+      runs terminated at the deadline and retried with backoff up to
+      ``retries`` times before becoming a :class:`RunFailure`.
+    * ``journal`` records every completion incrementally (crash-safe);
+      with ``resume=True``, grid points the journal marks ``ok`` under
+      the current cache key are served from the result cache and
+      skipped even when ``use_cache`` is off.
+    * SIGINT (main thread only) triggers a graceful drain: no new runs
+      dispatch, in-flight runs finish and are journaled, and the
+      summary comes back with ``interrupted=True`` so the CLI can exit
+      130 — re-running with ``--resume`` picks up where the drain
+      stopped.
     """
     metrics = metrics if metrics is not None else MetricsRegistry()
     wall_hist = metrics.histogram("runner.run.wall_seconds",
@@ -230,14 +265,27 @@ def execute(specs: Sequence[ExperimentSpec], *, jobs: int = 1,
     outcomes: Dict[str, RunResult] = {}
     pending: List[RunSpec] = []
     for spec_run in runs:
-        entry = cache.load(spec_run) if (cache and use_cache) else None
+        entry = None
+        journaled_ok = (resume and journal is not None
+                        and journal.completed_ok(spec_run.run_id,
+                                                 spec_run.cache_key))
+        if cache is not None and (use_cache or journaled_ok):
+            # A journal "ok" alone is not a result: the payload must
+            # still come from the cache.  A journaled run whose cache
+            # entry is gone simply re-runs.
+            entry = cache.load(spec_run)
         if entry is not None:
             hit_counter.inc()
+            worker = "resume" if (journaled_ok and not use_cache) \
+                else "cache"
             outcomes[spec_run.run_id] = RunResult(
                 experiment=spec_run.experiment, label=spec_run.label,
                 params=spec_run.params, seed=spec_run.seed,
                 payload=entry["payload"], wall_s=entry.get("wall_s", 0.0),
-                cache_hit=True, worker="cache")
+                cache_hit=True, worker=worker)
+            if journal is not None:
+                journal.record_ok(spec_run.run_id, spec_run.cache_key,
+                                  entry.get("wall_s", 0.0), worker)
             say(f"{spec_run.run_id}: cache hit")
         else:
             miss_counter.inc()
@@ -252,52 +300,116 @@ def execute(specs: Sequence[ExperimentSpec], *, jobs: int = 1,
             wall_s=wall, cache_hit=False, worker=worker)
         if cache is not None:
             cache.store(spec_run, payload, wall)
+        if journal is not None:
+            journal.record_ok(spec_run.run_id, spec_run.cache_key, wall,
+                              worker)
         say(f"{spec_run.run_id}: ran in {wall:.2f}s ({worker})")
 
     failures: List[RunFailure] = []
     failed_counter = metrics.counter("runner.runs.failed")
 
-    def _fail(spec_run: RunSpec, exc: BaseException, worker: str) -> None:
+    def _record_failure(failure: RunFailure, spec_run: RunSpec) -> None:
         failed_counter.inc()
-        failure = RunFailure.from_exception(spec_run, exc, worker)
         failures.append(failure)
+        if journal is not None:
+            journal.record_failure(spec_run.run_id, spec_run.cache_key,
+                                   failure.error_type)
         say(failure.render())
 
-    if jobs <= 1 or len(pending) <= 1:
-        for spec_run in pending:
-            try:
-                payload, wall = _execute_payload(
-                    spec_run.experiment, spec_run.label, spec_run.params,
-                    spec_run.seed)
-            except Exception as exc:
-                _fail(spec_run, exc, worker="inline")
-                continue
-            _finish(spec_run, payload, wall, worker="inline")
-    else:
-        workers = min(jobs, len(pending))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                pool.submit(_execute_payload, spec_run.experiment,
-                            spec_run.label, spec_run.params,
-                            spec_run.seed): spec_run
-                for spec_run in pending
-            }
-            remaining = set(futures)
-            while remaining:
-                done, remaining = wait(remaining,
-                                       return_when=FIRST_COMPLETED)
-                for future in done:
-                    spec_run = futures[future]
-                    try:
-                        payload, wall = future.result()
-                    except Exception as exc:
-                        # One worker crash must not abort the pool run;
-                        # the rest of the sweep keeps executing.
-                        _fail(spec_run, exc, worker=f"pool-{workers}")
-                        continue
-                    _finish(spec_run, payload, wall,
-                            worker=f"pool-{workers}")
+    def _fail(spec_run: RunSpec, exc: BaseException, worker: str) -> None:
+        _record_failure(RunFailure.from_exception(spec_run, exc, worker),
+                        spec_run)
 
+    # SIGINT → graceful drain.  Handlers only install on the main thread
+    # (the signal module refuses elsewhere); worker processes never see
+    # this handler, and the supervised pool's children ignore SIGINT
+    # outright so the drain stays in the supervisor's hands.
+    stop_event = threading.Event()
+    previous_handler = None
+    on_main_thread = threading.current_thread() is threading.main_thread()
+    if on_main_thread:
+        def _handle_sigint(_signum, _frame) -> None:
+            if stop_event.is_set():
+                raise KeyboardInterrupt  # second Ctrl-C: stop insisting
+            stop_event.set()
+            say("interrupt: draining in-flight runs "
+                "(Ctrl-C again to abort)")
+        previous_handler = signal.signal(signal.SIGINT, _handle_sigint)
+
+    try:
+        if timeout_s is not None or retries > 0:
+            workers = min(max(1, jobs), max(1, len(pending)))
+            pool_outcomes, _skipped = run_supervised(
+                pending, jobs=workers, timeout_s=timeout_s,
+                retries=retries, should_stop=stop_event.is_set)
+            for outcome in pool_outcomes:
+                if outcome.ok:
+                    _finish(outcome.spec, outcome.payload, outcome.wall_s,
+                            worker=f"supervised-{workers}")
+                else:
+                    _record_failure(RunFailure(
+                        experiment=outcome.spec.experiment,
+                        label=outcome.spec.label,
+                        error_type=outcome.error_type,
+                        message=outcome.message,
+                        traceback=outcome.traceback,
+                        worker=f"supervised-{workers}"), outcome.spec)
+        elif jobs <= 1 or len(pending) <= 1:
+            for spec_run in pending:
+                if stop_event.is_set():
+                    break
+                try:
+                    payload, wall = _execute_payload(
+                        spec_run.experiment, spec_run.label,
+                        spec_run.params, spec_run.seed)
+                except KeyboardInterrupt:
+                    stop_event.set()
+                    break
+                except Exception as exc:
+                    _fail(spec_run, exc, worker="inline")
+                    continue
+                _finish(spec_run, payload, wall, worker="inline")
+        else:
+            workers = min(jobs, len(pending))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    pool.submit(_execute_payload, spec_run.experiment,
+                                spec_run.label, spec_run.params,
+                                spec_run.seed): spec_run
+                    for spec_run in pending
+                }
+                remaining = set(futures)
+                cancelled = False
+                while remaining:
+                    done, remaining = wait(remaining, timeout=0.25,
+                                           return_when=FIRST_COMPLETED)
+                    for future in done:
+                        spec_run = futures[future]
+                        if future.cancelled():
+                            continue
+                        try:
+                            payload, wall = future.result()
+                        except Exception as exc:
+                            # One worker crash must not abort the pool
+                            # run; the rest of the sweep keeps executing.
+                            _fail(spec_run, exc, worker=f"pool-{workers}")
+                            continue
+                        _finish(spec_run, payload, wall,
+                                worker=f"pool-{workers}")
+                    if stop_event.is_set() and not cancelled:
+                        # Drain: cancel everything not yet started;
+                        # already-running futures finish and record.
+                        cancelled = True
+                        for future in set(remaining):
+                            if future.cancel():
+                                remaining.discard(future)
+    except KeyboardInterrupt:
+        stop_event.set()
+    finally:
+        if on_main_thread:
+            signal.signal(signal.SIGINT, previous_handler)
+
+    interrupted = stop_event.is_set()
     failed_by_spec: Dict[str, List[RunFailure]] = {}
     for failure in failures:
         failed_by_spec.setdefault(failure.experiment, []).append(failure)
@@ -305,8 +417,9 @@ def execute(specs: Sequence[ExperimentSpec], *, jobs: int = 1,
     reports: List[ExperimentReport] = []
     all_results: List[RunResult] = []
     for spec in specs:
+        points = spec.points(quick)
         spec_results = [outcomes[f"{spec.name}/{label}"]
-                        for label, _params in spec.points(quick)
+                        for label, _params in points
                         if f"{spec.name}/{label}" in outcomes]
         spec_failures = failed_by_spec.get(spec.name, ())
         if spec_failures:
@@ -315,6 +428,10 @@ def execute(specs: Sequence[ExperimentSpec], *, jobs: int = 1,
             text = "\n".join(
                 [f"{spec.name}: {len(spec_failures)} run(s) failed"]
                 + [f"  {failure.render()}" for failure in spec_failures])
+        elif interrupted and len(spec_results) < len(points):
+            text = (f"{spec.name}: interrupted with "
+                    f"{len(spec_results)}/{len(points)} runs complete "
+                    f"(re-run with --resume to finish)")
         else:
             payloads = {result.label: result.payload
                         for result in spec_results}
@@ -324,6 +441,8 @@ def execute(specs: Sequence[ExperimentSpec], *, jobs: int = 1,
             text=text, runs=spec_results))
         all_results.extend(spec_results)
 
+    executed = sum(1 for result in outcomes.values()
+                   if not result.cache_hit)
     return BenchSummary(
         reports=reports,
         results=all_results,
@@ -331,11 +450,12 @@ def execute(specs: Sequence[ExperimentSpec], *, jobs: int = 1,
         quick=quick,
         wall_s=time.perf_counter() - started,
         cache_hits=hit_counter.value,
-        cache_misses=len(runs) - hit_counter.value - len(failures),
+        cache_misses=executed,
         cache_dir=str(cache.root) if cache is not None else None,
         fingerprint=cache.fingerprint if cache is not None else None,
         metrics=metrics.snapshot(),
         failures=failures,
+        interrupted=interrupted,
     )
 
 
@@ -343,13 +463,36 @@ def run_benchmarks(only: Iterable[str] = (), *, jobs: int = 1,
                    quick: bool = False, use_cache: bool = True,
                    cache_dir: Optional[os.PathLike] = None,
                    metrics: Optional[MetricsRegistry] = None,
-                   progress: Optional[Callable[[str], None]] = None
+                   progress: Optional[Callable[[str], None]] = None,
+                   timeout_s: Optional[float] = None, retries: int = 0,
+                   resume: bool = False,
+                   journal_path: Optional[os.PathLike] = None
                    ) -> BenchSummary:
-    """The library face of ``python -m repro bench``."""
+    """The library face of ``python -m repro bench``.
+
+    A journal is kept whenever ``resume`` or an explicit
+    ``journal_path`` asks for one; its default location is derived from
+    the campaign shape (experiments + mode + code fingerprint) under the
+    cache root, so interrupted invocations of the *same* campaign find
+    each other's progress automatically.
+    """
     specs = resolve_names(only)
     cache = ResultCache(pathlib.Path(cache_dir) if cache_dir else None)
-    return execute(specs, jobs=jobs, quick=quick, cache=cache,
-                   use_cache=use_cache, metrics=metrics, progress=progress)
+    journal: Optional[RunJournal] = None
+    if resume or journal_path is not None:
+        path = (pathlib.Path(journal_path) if journal_path is not None
+                else default_journal_path(cache.root,
+                                          [spec.name for spec in specs],
+                                          quick, cache.fingerprint))
+        journal = RunJournal(path).open_for(cache.fingerprint)
+    try:
+        return execute(specs, jobs=jobs, quick=quick, cache=cache,
+                       use_cache=use_cache, metrics=metrics,
+                       progress=progress, timeout_s=timeout_s,
+                       retries=retries, journal=journal, resume=resume)
+    finally:
+        if journal is not None:
+            journal.close()
 
 
 def run_for_bench(name: str, quick: bool = False):

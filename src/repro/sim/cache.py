@@ -192,6 +192,12 @@ class Cache:
     def resident_lines(self) -> int:
         return sum(len(s) for s in self._sets.values())
 
+    @property
+    def locked_lines(self) -> int:
+        """Resident lines whose HALO lock bit is currently set."""
+        return sum(1 for s in self._sets.values()
+                   for state in s.values() if state.locked)
+
     def utilisation(self) -> float:
         """Fraction of capacity currently holding lines."""
         capacity = self.num_sets * self.assoc

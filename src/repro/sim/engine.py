@@ -15,13 +15,19 @@ integer (or float) *cycles*.  The engine provides:
 
 The kernel is single-threaded and fully deterministic: events scheduled for
 the same cycle fire in insertion order.
+
+The engine also carries the harness safety net's attachment point: an
+optional *guard* (see :mod:`repro.guard`) observes every event, enforces
+cycle/event/wall-clock budgets, and detects deadlock when the calendar
+drains with processes still blocked.  With no guard attached the event
+loop is byte-for-byte the unguarded fast path.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, Generator, List, Optional
+from typing import Any, Callable, Dict, Generator, List, Optional
 
 
 class SimulationError(RuntimeError):
@@ -33,16 +39,26 @@ class Event:
 
     An event starts *pending*; calling :meth:`succeed` triggers it, wakes all
     waiting processes, and records ``value``.  Triggering twice is an error.
+
+    ``source`` back-references the object that minted the event (a
+    :class:`Resource` for acquire events, a :class:`Store` for get events)
+    so guard dumps can say *what* a blocked process is queued on.
+    ``abandoned`` marks an event whose only waiter was killed while queued
+    in a FIFO — :meth:`Resource.release` and :meth:`Store.put` skip such
+    events instead of handing a slot or item to a dead process.
     """
 
-    __slots__ = ("engine", "triggered", "value", "_waiters", "callbacks")
+    __slots__ = ("engine", "triggered", "value", "_waiters", "callbacks",
+                 "source", "abandoned")
 
-    def __init__(self, engine: "Engine") -> None:
+    def __init__(self, engine: "Engine", source: Any = None) -> None:
         self.engine = engine
         self.triggered = False
         self.value: Any = None
         self._waiters: List["Process"] = []
         self.callbacks: List[Callable[["Event"], None]] = []
+        self.source = source
+        self.abandoned = False
 
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event, delivering ``value`` to every waiter."""
@@ -68,13 +84,14 @@ class Event:
 class Timeout(Event):
     """An event that triggers automatically after a fixed delay."""
 
-    __slots__ = ()
+    __slots__ = ("at",)
 
     def __init__(self, engine: "Engine", delay: float) -> None:
         super().__init__(engine)
         if delay < 0:
             raise SimulationError(f"negative timeout: {delay}")
-        engine._schedule_event(engine.now + delay, self)
+        self.at = engine.now + delay
+        engine._schedule_event(self.at, self)
 
 
 class Process:
@@ -91,7 +108,8 @@ class Process:
     wait on each other (fork/join).
     """
 
-    __slots__ = ("engine", "generator", "done", "result", "_waiters", "name")
+    __slots__ = ("engine", "generator", "done", "result", "_waiters", "name",
+                 "waiting_on", "killed")
 
     def __init__(self, engine: "Engine", generator: Generator, name: str = "") -> None:
         self.engine = engine
@@ -100,6 +118,11 @@ class Process:
         self.done = False
         self.result: Any = None
         self._waiters: List["Process"] = []
+        #: The waitable this process is currently blocked on (None while
+        #: runnable/scheduled) — what a guard's deadlock dump reports.
+        self.waiting_on: Optional[Any] = None
+        self.killed = False
+        engine._live[self] = None
         engine._schedule(engine.now, self, None)
 
     # Event-like interface so processes can be awaited with `yield proc`.
@@ -118,11 +141,13 @@ class Process:
             self._waiters.append(process)
 
     def _step(self, send_value: Any) -> None:
+        self.waiting_on = None
         try:
             target = self.generator.send(send_value)
         except StopIteration as stop:
             self.done = True
             self.result = stop.value
+            self.engine._live.pop(self, None)
             waiters, self._waiters = self._waiters, []
             for waiter in waiters:
                 self.engine._schedule(self.engine.now, waiter, self.result)
@@ -130,17 +155,49 @@ class Process:
         if target is None:
             self.engine._schedule(self.engine.now, self, None)
         elif isinstance(target, (Event, Process)):
+            self.waiting_on = target
             target._add_waiter(self)
         else:
             raise SimulationError(
                 f"process {self.name!r} yielded unsupported value {target!r}"
             )
 
+    def kill(self) -> None:
+        """Terminate the process immediately (watchdog/harness cleanup).
+
+        The generator is closed (running its ``finally`` blocks), the
+        process is marked done with a ``None`` result, and any processes
+        joined on it are woken.  If it was blocked, it is detached from
+        the waitable; an acquire/get event left with no live waiter is
+        marked *abandoned* so :class:`Resource`/:class:`Store` FIFOs skip
+        it instead of stranding capacity on a dead process.
+        """
+        if self.done:
+            return
+        self.generator.close()
+        self.done = True
+        self.killed = True
+        self.result = None
+        target, self.waiting_on = self.waiting_on, None
+        if target is not None and not target.triggered:
+            try:
+                target._waiters.remove(self)
+            except ValueError:
+                pass
+            if (isinstance(target, Event) and not target._waiters
+                    and not target.callbacks):
+                target.abandoned = True
+        self.engine._live.pop(self, None)
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            self.engine._schedule(self.engine.now, waiter, None)
+
 
 class Resource:
     """A counting resource with ``capacity`` slots and a FIFO wait queue."""
 
-    __slots__ = ("engine", "capacity", "in_use", "_queue", "peak_queue", "total_waits")
+    __slots__ = ("engine", "capacity", "in_use", "_queue", "peak_queue",
+                 "total_waits", "dead_skips")
 
     def __init__(self, engine: "Engine", capacity: int) -> None:
         if capacity < 1:
@@ -151,6 +208,7 @@ class Resource:
         self._queue: List[Event] = []
         self.peak_queue = 0
         self.total_waits = 0
+        self.dead_skips = 0
 
     @property
     def available(self) -> int:
@@ -158,7 +216,7 @@ class Resource:
 
     def acquire(self) -> Event:
         """Return an event that fires once a slot is granted."""
-        event = Event(self.engine)
+        event = Event(self.engine, source=self)
         if self.in_use < self.capacity and not self._queue:
             self.in_use += 1
             event.succeed(self)
@@ -169,14 +227,25 @@ class Resource:
         return event
 
     def release(self) -> None:
-        """Free one slot, waking the oldest waiter if any."""
+        """Free one slot, waking the oldest *live* waiter if any.
+
+        A waiter whose process was killed while queued leaves an
+        abandoned event behind; handing it the slot would strand capacity
+        on a dead process forever, so such entries are skipped (counted
+        in ``dead_skips``) until a live waiter — or the free pool — takes
+        the slot.
+        """
         if self.in_use <= 0:
             raise SimulationError("release without matching acquire")
-        if self._queue:
+        while self._queue:
+            event = self._queue.pop(0)
+            if event.abandoned:
+                self.dead_skips += 1
+                continue
             # Hand the slot directly to the next waiter.
-            self._queue.pop(0).succeed(self)
-        else:
-            self.in_use -= 1
+            event.succeed(self)
+            return
+        self.in_use -= 1
 
 
 class Store:
@@ -193,13 +262,16 @@ class Store:
         return len(self._items)
 
     def put(self, item: Any) -> None:
-        if self._getters:
-            self._getters.pop(0).succeed(item)
-        else:
-            self._items.append(item)
+        while self._getters:
+            event = self._getters.pop(0)
+            if event.abandoned:
+                continue  # the getter's process was killed while queued
+            event.succeed(item)
+            return
+        self._items.append(item)
 
     def get(self) -> Event:
-        event = Event(self.engine)
+        event = Event(self.engine, source=self)
         if self._items:
             event.succeed(self._items.pop(0))
         else:
@@ -216,6 +288,43 @@ class Engine:
         self._sequence = itertools.count()
         self.events_processed = 0
         self._fault_hooks: dict = {}
+        #: Live (not-yet-done) processes in creation order; the guard's
+        #: deadlock dump and :meth:`blocked_processes` read this.
+        self._live: Dict[Process, None] = {}
+        self._guard: Optional[Any] = None
+
+    # -- guard attachment (``repro.guard``) ---------------------------------
+    def attach_guard(self, guard: Any) -> None:
+        """Install a guard object observing the event loop.
+
+        The guard must provide ``before_event(engine)`` (called once per
+        dispatched event, after ``now`` advances) and ``on_drain(engine)``
+        (called when the calendar empties).  An optional
+        ``on_attach(engine)`` is called here.  One guard per engine.
+        """
+        if self._guard is not None:
+            raise SimulationError("a guard is already attached")
+        self._guard = guard
+        on_attach = getattr(guard, "on_attach", None)
+        if on_attach is not None:
+            on_attach(self)
+
+    def detach_guard(self) -> None:
+        self._guard = None
+
+    @property
+    def guard(self) -> Optional[Any]:
+        return self._guard
+
+    def live_processes(self) -> List[Process]:
+        """Every registered process that has not finished."""
+        return list(self._live)
+
+    def blocked_processes(self) -> List[Process]:
+        """Live processes currently waiting on an event/resource/process
+        (as opposed to being scheduled on the calendar)."""
+        return [process for process in self._live
+                if process.waiting_on is not None]
 
     # -- fault-injection hook bus -------------------------------------------
     def add_fault_hook(self, site: str, hook: Callable) -> None:
@@ -268,6 +377,8 @@ class Engine:
 
         Returns the final simulation time.
         """
+        if self._guard is not None:
+            return self._run_guarded(until)
         while self._calendar:
             when, _seq, task, value = self._calendar[0]
             if until is not None and when > until:
@@ -277,9 +388,38 @@ class Engine:
             self.now = when
             self.events_processed += 1
             if isinstance(task, Process):
-                task._step(value)
+                if not task.done:   # killed processes may leave stale entries
+                    task._step(value)
             else:  # a plain Event scheduled by Timeout
                 task.succeed(value)
+        if until is not None:
+            self.now = max(self.now, until)
+        return self.now
+
+    def _run_guarded(self, until: Optional[float] = None) -> float:
+        """The :meth:`run` loop with the attached guard in the loop.
+
+        Identical event dispatch — the guard only *observes* (budgets,
+        stall/deadlock detection, cadence-sampled invariants), so
+        simulated time is bit-identical to an unguarded run; it signals
+        trouble by raising ``repro.guard`` errors out of this loop.
+        """
+        guard = self._guard
+        while self._calendar:
+            when, _seq, task, value = self._calendar[0]
+            if until is not None and when > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._calendar)
+            self.now = when
+            self.events_processed += 1
+            guard.before_event(self)
+            if isinstance(task, Process):
+                if not task.done:
+                    task._step(value)
+            else:
+                task.succeed(value)
+        guard.on_drain(self)
         if until is not None:
             self.now = max(self.now, until)
         return self.now

@@ -2,7 +2,11 @@
 
 import pickle
 
-from repro.runner.cache import ResultCache, canonical_params
+from repro.runner.cache import (
+    CACHE_FORMAT_VERSION,
+    ResultCache,
+    canonical_params,
+)
 from repro.runner.schema import RunSpec
 
 
@@ -63,6 +67,40 @@ def test_corrupt_entry_reads_as_miss(tmp_path):
     assert cache.load(spec) is None
     path.write_bytes(pickle.dumps({"schema": 1, "key": "wrong"}))
     assert cache.load(spec) is None
+
+
+def test_format_version_bump_invalidates_entries(tmp_path):
+    """Entries written under an older cache format must read as misses:
+    a payload-layout change silently replayed would corrupt reports."""
+    cache = ResultCache(tmp_path, fingerprint="f" * 16)
+    spec = _spec(cache, params={"n": 7})
+    cache.store(spec, payload="current", wall_s=0.1)
+    path = cache.path_for(spec)
+
+    entry = pickle.loads(path.read_bytes())
+    assert entry["format"] == CACHE_FORMAT_VERSION
+
+    # Rewrite in place as if an older repo version had produced the file.
+    entry["format"] = CACHE_FORMAT_VERSION - 1
+    path.write_bytes(pickle.dumps(entry))
+    assert cache.load(spec) is None
+
+    # Pre-versioning entries (no format field at all) miss too.
+    del entry["format"]
+    path.write_bytes(pickle.dumps(entry))
+    assert cache.load(spec) is None
+
+
+def test_format_version_is_part_of_the_key(monkeypatch):
+    """The format version feeds the content address, so a bump redirects
+    new stores to fresh paths instead of overwriting old entries."""
+    import repro.runner.cache as cache_module
+
+    cache = ResultCache(fingerprint="f" * 16)
+    before = cache.key("exp", "default", {}, 1)
+    monkeypatch.setattr(cache_module, "CACHE_FORMAT_VERSION",
+                        CACHE_FORMAT_VERSION + 1)
+    assert cache.key("exp", "default", {}, 1) != before
 
 
 def test_store_is_atomic_no_temp_files_left(tmp_path):

@@ -1,0 +1,182 @@
+"""Campaign hardening at the ``execute()`` level: timeouts, resume, SIGINT.
+
+These tests drive the scheduler's public entry points with a fake
+experiment injected into the registry (children are forked and inherit
+it), proving the end-to-end contracts the CI interrupt/resume job relies
+on: hung workers become failure records while siblings survive,
+journaled runs never re-execute under ``--resume``, and SIGINT drains
+instead of aborting.
+"""
+
+import os
+import signal
+
+from repro.runner import (
+    BenchSummary,
+    ResultCache,
+    RunFailure,
+    execute,
+    registry,
+    run_benchmarks,
+)
+from repro.runner.journal import RunJournal
+from repro.runner.pool import RunTimeoutError
+from repro.runner.schema import ExperimentSpec, GridPoint
+
+FAKE_NAME = "hardeningtest"
+
+
+def _fake_run(label, params, seed):
+    if "log" in params:
+        with open(params["log"], "a", encoding="utf-8") as handle:
+            handle.write(f"{label}\n")
+    if params.get("hang"):
+        import time
+        time.sleep(30.0)
+    if params.get("interrupt"):
+        # Deterministic stand-in for the operator's Ctrl-C: deliver a
+        # real SIGINT to ourselves mid-run; the scheduler's handler must
+        # drain (finish this run, start no more), not abort.
+        os.kill(os.getpid(), signal.SIGINT)
+    return f"payload:{label}"
+
+
+def _fake_report(payloads):
+    return "\n".join(f"{label}: {value}" for label, value in payloads.items())
+
+
+def _install_fake(monkeypatch, labels_params):
+    registry.discover()
+    spec = ExperimentSpec(
+        name=FAKE_NAME, artifact="test", slug=FAKE_NAME,
+        title="hardening test", module=__name__,
+        grid=tuple(GridPoint(label, params, params)
+                   for label, params in labels_params),
+        run=_fake_run, report=_fake_report)
+    monkeypatch.setitem(registry._cache, FAKE_NAME, spec)
+    return spec
+
+
+def _log_lines(path):
+    return path.read_text().splitlines() if path.exists() else []
+
+
+def test_supervised_timeout_is_a_failure_not_an_abort(monkeypatch):
+    spec = _install_fake(monkeypatch, [("hang", {"hang": True}),
+                                       ("quick", {})])
+    summary = execute([spec], jobs=2, cache=None, use_cache=False,
+                      timeout_s=1.0)
+    assert not summary.ok
+    assert len(summary.failures) == 1
+    failure = summary.failures[0]
+    assert failure.run_id == f"{FAKE_NAME}/hang"
+    assert failure.error_type == RunTimeoutError.__name__
+    assert failure.worker == "supervised-2"
+    # The sibling run on the same pool completed normally.
+    survivors = {result.run_id for result in summary.results}
+    assert f"{FAKE_NAME}/quick" in survivors
+    assert summary.metrics["runner.runs.failed"] == 1
+
+
+def test_resume_serves_journaled_runs_without_reexecution(monkeypatch,
+                                                          tmp_path):
+    log = tmp_path / "executions.log"
+    spec = _install_fake(monkeypatch, [("p1", {"log": str(log)}),
+                                       ("p2", {"log": str(log)})])
+    cache = ResultCache(tmp_path / "cache")
+    journal_path = tmp_path / "campaign.jsonl"
+
+    with RunJournal(journal_path).open_for(cache.fingerprint) as journal:
+        first = execute([spec], jobs=1, cache=cache, journal=journal)
+    assert first.ok
+    assert sorted(_log_lines(log)) == ["p1", "p2"]
+
+    # Resume with the cache *bypassed* (use_cache=False would normally
+    # force recomputation): the journal alone authorises the skip, and
+    # the payload replays from the cache — zero re-executions.
+    with RunJournal(journal_path).open_for(cache.fingerprint) as journal:
+        resumed = execute([spec], jobs=1, cache=cache, use_cache=False,
+                          journal=journal, resume=True)
+    assert resumed.ok
+    assert sorted(_log_lines(log)) == ["p1", "p2"]  # unchanged
+    assert all(result.worker == "resume" for result in resumed.results)
+    assert resumed.cache_hits == 2
+    assert resumed.cache_misses == 0
+
+
+def test_stale_journal_does_not_authorise_skips(monkeypatch, tmp_path):
+    """A journal written under different code (fingerprint mismatch)
+    restarts empty, so resume re-runs everything."""
+    log = tmp_path / "executions.log"
+    spec = _install_fake(monkeypatch, [("p1", {"log": str(log)})])
+    cache = ResultCache(tmp_path / "cache")
+    journal_path = tmp_path / "campaign.jsonl"
+
+    with RunJournal(journal_path).open_for("stale-fingerprint") as journal:
+        journal.record_ok(f"{FAKE_NAME}/p1", "bogus-key", 1.0, "w")
+
+    with RunJournal(journal_path).open_for(cache.fingerprint) as journal:
+        assert journal.stale
+        summary = execute([spec], jobs=1, cache=cache, use_cache=False,
+                          journal=journal, resume=True)
+    assert _log_lines(log) == ["p1"]
+    assert all(not result.cache_hit for result in summary.results)
+
+
+def test_sigint_drains_then_resume_finishes_the_rest(monkeypatch, tmp_path):
+    log = tmp_path / "executions.log"
+    grid = [("p1", {"log": str(log), "interrupt": True}),
+            ("p2", {"log": str(log)}),
+            ("p3", {"log": str(log)})]
+    spec = _install_fake(monkeypatch, grid)
+    cache = ResultCache(tmp_path / "cache")
+    journal_path = tmp_path / "campaign.jsonl"
+
+    with RunJournal(journal_path).open_for(cache.fingerprint) as journal:
+        interrupted = execute([spec], jobs=1, cache=cache, journal=journal)
+    assert interrupted.interrupted
+    assert not interrupted.ok
+    # The interrupting run itself completed (drain, not abort) and was
+    # journaled; the rest never started.
+    assert _log_lines(log) == ["p1"]
+    assert [result.run_id for result in interrupted.results] \
+        == [f"{FAKE_NAME}/p1"]
+    assert "INTERRUPTED" in interrupted.render_footer()
+    assert "re-run with --resume" in interrupted.reports[0].text
+
+    with RunJournal(journal_path).open_for(cache.fingerprint) as journal:
+        resumed = execute([spec], jobs=1, cache=cache, journal=journal,
+                          resume=True)
+    assert resumed.ok and not resumed.interrupted
+    # p1 replayed from journal+cache; only p2/p3 actually executed.
+    assert _log_lines(log) == ["p1", "p2", "p3"]
+    assert len(resumed.results) == 3
+
+
+def test_run_benchmarks_resume_keeps_a_journal_under_cache_root(tmp_path):
+    first = run_benchmarks(["tab04"], jobs=1, quick=True,
+                           cache_dir=tmp_path, resume=True)
+    assert first.ok
+    journals = list((tmp_path / "journals").glob("*.jsonl"))
+    assert len(journals) == 1
+    assert '"kind": "run"' in journals[0].read_text()
+
+    second = run_benchmarks(["tab04"], jobs=1, quick=True,
+                            cache_dir=tmp_path, resume=True)
+    assert second.cache_hits == len(second.results)
+    assert list((tmp_path / "journals").glob("*.jsonl")) == journals
+
+
+def test_cli_bench_exits_130_when_interrupted(monkeypatch, capsys):
+    import repro.__main__ as cli
+
+    summary = BenchSummary(
+        reports=[], results=[], jobs=1, quick=True, wall_s=0.0,
+        cache_hits=1, cache_misses=0, cache_dir=None, fingerprint=None,
+        interrupted=True)
+    monkeypatch.setattr(cli, "run_benchmarks",
+                        lambda *args, **kwargs: summary)
+    assert cli.main(["bench", "--jobs", "1"]) == 130
+    captured = capsys.readouterr()
+    assert "--resume" in captured.err
+    assert "INTERRUPTED" in captured.out

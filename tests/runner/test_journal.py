@@ -1,0 +1,136 @@
+"""Campaign journal semantics: incremental append, crash-safe reload.
+
+The journal's one job is that a campaign killed at run N costs nothing
+from runs 1..N-1 on the next invocation — provided the code (source
+fingerprint) has not changed underneath it.
+"""
+
+import json
+
+from repro.runner.journal import (
+    JOURNAL_VERSION,
+    RunJournal,
+    campaign_id,
+    default_journal_path,
+)
+
+FP = "fingerprint-aaaa"
+
+
+def test_records_survive_reopen(tmp_path):
+    path = tmp_path / "campaign.jsonl"
+    with RunJournal(path).open_for(FP) as journal:
+        journal.record_ok("fig09/p0", "key-0", wall_s=1.5, worker="pool-1")
+        journal.record_ok("fig09/p1", "key-1", wall_s=2.0, worker="pool-2")
+
+    reloaded = RunJournal(path).open_for(FP)
+    assert not reloaded.stale
+    assert reloaded.completed_ok("fig09/p0", "key-0")
+    assert reloaded.completed_ok("fig09/p1", "key-1")
+    assert not reloaded.completed_ok("fig09/p2", "key-2")
+    reloaded.close()
+
+
+def test_completed_ok_requires_matching_cache_key(tmp_path):
+    """A journaled run whose params/seed changed (different cache key)
+    must not be skipped — the old result answers a different question."""
+    path = tmp_path / "campaign.jsonl"
+    with RunJournal(path).open_for(FP) as journal:
+        journal.record_ok("fig09/p0", "key-old", wall_s=1.0, worker="w")
+
+    reloaded = RunJournal(path).open_for(FP)
+    assert reloaded.completed_ok("fig09/p0", "key-old")
+    assert not reloaded.completed_ok("fig09/p0", "key-new")
+    reloaded.close()
+
+
+def test_failures_are_recorded_but_not_skippable(tmp_path):
+    path = tmp_path / "campaign.jsonl"
+    with RunJournal(path).open_for(FP) as journal:
+        journal.record_failure("fig09/p0", "key-0", "RunTimeoutError")
+
+    reloaded = RunJournal(path).open_for(FP)
+    assert "fig09/p0" in reloaded.completed
+    assert reloaded.completed["fig09/p0"]["error_type"] == "RunTimeoutError"
+    assert not reloaded.completed_ok("fig09/p0", "key-0")
+    reloaded.close()
+
+
+def test_torn_tail_line_is_ignored(tmp_path):
+    """A kill mid-append leaves a partial last line; reload keeps every
+    complete record and drops only the torn one."""
+    path = tmp_path / "campaign.jsonl"
+    with RunJournal(path).open_for(FP) as journal:
+        journal.record_ok("fig09/p0", "key-0", wall_s=1.0, worker="w")
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write('{"kind": "run", "run_id": "fig09/p1", "sta')
+
+    reloaded = RunJournal(path).open_for(FP)
+    assert not reloaded.stale
+    assert reloaded.completed_ok("fig09/p0", "key-0")
+    assert "fig09/p1" not in reloaded.completed
+    reloaded.close()
+
+
+def test_fingerprint_mismatch_restarts_journal(tmp_path):
+    """Resume after a source change must re-run everything: results may
+    legitimately differ, so old progress cannot be trusted."""
+    path = tmp_path / "campaign.jsonl"
+    with RunJournal(path).open_for(FP) as journal:
+        journal.record_ok("fig09/p0", "key-0", wall_s=1.0, worker="w")
+
+    restarted = RunJournal(path).open_for("fingerprint-bbbb")
+    assert restarted.stale
+    assert restarted.completed == {}
+    restarted.close()
+    header = json.loads(path.read_text().splitlines()[0])
+    assert header == {
+        "kind": "header", "version": JOURNAL_VERSION,
+        "fingerprint": "fingerprint-bbbb", "created": header["created"],
+    }
+
+
+def test_garbage_file_restarts_journal(tmp_path):
+    path = tmp_path / "campaign.jsonl"
+    path.write_text("not json at all\n")
+    journal = RunJournal(path).open_for(FP)
+    assert journal.stale
+    assert journal.completed == {}
+    journal.close()
+
+
+def test_later_record_wins_for_same_run(tmp_path):
+    """A failed run retried to success in the same campaign resumes as
+    done, not as failed."""
+    path = tmp_path / "campaign.jsonl"
+    with RunJournal(path).open_for(FP) as journal:
+        journal.record_failure("fig09/p0", "key-0", "RunTimeoutError")
+        journal.record_ok("fig09/p0", "key-0", wall_s=3.0, worker="w")
+
+    reloaded = RunJournal(path).open_for(FP)
+    assert reloaded.completed_ok("fig09/p0", "key-0")
+    reloaded.close()
+
+
+def test_write_requires_open():
+    journal = RunJournal("/nonexistent/never-created.jsonl")
+    try:
+        journal.record_ok("r", "k", wall_s=0.0, worker="w")
+    except RuntimeError as exc:
+        assert "not open" in str(exc)
+    else:
+        raise AssertionError("expected RuntimeError")
+
+
+def test_campaign_id_is_order_insensitive_and_shape_sensitive():
+    base = campaign_id(["fig09", "tab04"], False, FP)
+    assert campaign_id(["tab04", "fig09"], False, FP) == base
+    assert campaign_id(["fig09"], False, FP) != base
+    assert campaign_id(["fig09", "tab04"], True, FP) != base
+    assert campaign_id(["fig09", "tab04"], False, "other") != base
+
+
+def test_default_journal_path_lives_under_cache_root(tmp_path):
+    path = default_journal_path(tmp_path, ["fig09"], True, FP)
+    assert path.parent == tmp_path / "journals"
+    assert path.name == f"{campaign_id(['fig09'], True, FP)}.jsonl"

@@ -26,8 +26,8 @@ def write(root: Path, relative: str, content: str = "") -> None:
 @pytest.fixture
 def tree(tmp_path):
     src = tmp_path / "src"
-    for package in ("", "obs", "sim", "core", "exec", "faults", "vswitch",
-                    "analysis", "runner"):
+    for package in ("", "obs", "guard", "sim", "core", "exec", "faults",
+                    "vswitch", "analysis", "runner"):
         write(src, f"repro/{package}/__init__.py" if package
               else "repro/__init__.py")
     return src
@@ -119,6 +119,34 @@ def test_restricted_layer_allows_sanctioned_importers(tree):
           "from ..sim.engine import Engine\n"    # downward
           "from ..exec.backend import make_backend\n")
     write(tree, "repro/faults/plan.py")
+    assert check_layering.check_tree(tree) == []
+
+
+def test_guard_layer_restricted_to_harness_importers(tree):
+    # Modelled hardware (core, exec, ...) must never import the safety
+    # net: guards are attached from sim/runner/analysis only.
+    write(tree, "repro/core/halo_system.py",
+          "from ..guard.presets import attach_standard_guard\n")
+    violations = check_layering.check_tree(tree)
+    assert len(violations) == 1
+    module, _lineno, target, reason = violations[0]
+    assert module == "repro.core.halo_system"
+    assert target == "repro.guard.presets"
+    assert "may only be imported by" in reason
+
+
+def test_guard_layer_allows_harness_importers(tree):
+    write(tree, "repro/sim/engine.py",
+          "from ..guard.watchdog import Watchdog\n")
+    write(tree, "repro/runner/scheduler.py",
+          "from ..guard import default_guard\n")
+    write(tree, "repro/analysis/experiments.py",
+          "from ..guard.presets import maybe_attach_guard\n")
+    write(tree, "repro/guard/watchdog.py",
+          "from .errors import DeadlockError\n"   # same layer
+          "from ..obs.metrics import Counter\n")  # downward
+    write(tree, "repro/guard/errors.py")
+    write(tree, "repro/guard/presets.py")
     assert check_layering.check_tree(tree) == []
 
 
