@@ -4,20 +4,26 @@ Every benchmark regenerates one paper table/figure: it runs the experiment
 once (``benchmark.pedantic(..., rounds=1)`` — these are simulations, not
 micro-benchmarks), prints the paper-vs-measured report, and archives it
 under ``benchmarks/reports/``.
+
+Report paths and seeds come from the :mod:`repro.runner` helpers — the
+same code path ``python -m repro bench --reports`` and the scheduler use
+— so the pytest wrappers can never drift from the CLI on naming, layout,
+or per-run seeding.
 """
 
 from __future__ import annotations
 
-import pathlib
 import sys
 
-REPORTS_DIR = pathlib.Path(__file__).parent / "reports"
+from repro.runner import derive_seed  # noqa: F401  (re-export for wrappers)
+from repro.runner.scheduler import archive_report, default_reports_dir
+
+REPORTS_DIR = default_reports_dir()
 
 
 def record_report(name: str, text: str) -> None:
     """Print a report and archive it for EXPERIMENTS.md."""
-    REPORTS_DIR.mkdir(exist_ok=True)
-    (REPORTS_DIR / f"{name}.txt").write_text(text + "\n")
+    archive_report(name, text, REPORTS_DIR)
     print(f"\n{'=' * 72}\n{text}\n{'=' * 72}", file=sys.stderr, flush=True)
 
 

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""CI perf gate: compare a fresh ``BENCH_*.json`` against the committed
+baseline and fail on a >25% regression.
+
+Usage::
+
+    python scripts/check_perf_regression.py CANDIDATE.json \
+        [--baseline benchmarks/perf/BENCH_baseline.json] \
+        [--threshold 0.25] [--override]
+
+Per bench the gate prefers ``speedup_vs_legacy`` — the workload timed on
+the live engine vs the frozen pre-campaign engine *in the same process on
+the same host* — which cancels out machine speed entirely.  Benches with
+no legacy counterpart fall back to host-normalised events/sec
+(``events_per_cal_op``), which is noisier; the 25% threshold absorbs
+that.
+
+``--override`` (CI passes it when the PR carries the ``perf-override``
+label) downgrades failures to warnings for intentional speed/accuracy
+tradeoffs.  The regression is still printed so the tradeoff is on the
+record.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.runner.perf import compare_snapshots, validate_snapshot  # noqa: E402
+
+DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "perf" / "BENCH_baseline.json"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("candidate", help="fresh BENCH_*.json to check")
+    parser.add_argument("--baseline", default=str(DEFAULT_BASELINE),
+                        help="committed baseline snapshot")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="max allowed fractional drop (default 0.25)")
+    parser.add_argument("--override", action="store_true",
+                        help="report regressions but exit 0 "
+                             "(perf-override label)")
+    args = parser.parse_args(argv)
+
+    with open(args.baseline, encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    with open(args.candidate, encoding="utf-8") as handle:
+        candidate = json.load(handle)
+
+    problems = validate_snapshot(candidate)
+    if problems:
+        for problem in problems:
+            print(f"INVALID candidate snapshot: {problem}")
+        return 1
+
+    failures = compare_snapshots(baseline, candidate,
+                                 threshold=args.threshold)
+    for name, record in sorted(candidate.get("benches", {}).items()):
+        speedup = record.get("speedup_vs_legacy")
+        extra = f"  {speedup:.2f}x vs legacy" if speedup else ""
+        print(f"  {name:20s} {record.get('events_per_sec', 0):14,.0f} "
+              f"events/s{extra}")
+    if not failures:
+        print(f"perf gate PASSED (threshold {args.threshold:.0%})")
+        return 0
+    for failure in failures:
+        print(f"REGRESSION: {failure}")
+    if args.override:
+        print("perf-override active: regressions recorded but not fatal")
+        return 0
+    print("perf gate FAILED — speed up the change, or apply the "
+          "'perf-override' label for an intentional tradeoff")
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -34,6 +34,7 @@ from enum import Enum
 from typing import Any, ClassVar, Generator, Iterable, List, Optional, Sequence, Tuple
 
 from ..hashtable.locking import READ_SIDE_CYCLES
+from ..sim.replay import TraceReplay, batched_replay_default
 from ..sim.trace import capture
 
 
@@ -46,9 +47,11 @@ class BackendKind(Enum):
     ADAPTIVE = "adaptive"
 
 
-@dataclass
+@dataclass(slots=True)
 class LookupOutcome:
     """One lookup's result, uniform across backends.
+
+    Slotted: one is built per lookup on every backend's hot path.
 
     ``raw`` carries the backend-native result object when one exists (the
     :class:`~repro.core.query.QueryResult` for HALO paths); software
@@ -218,16 +221,29 @@ class SoftwareBackend(LookupBackend):
     against the hierarchy and :class:`~repro.sim.core.CoreModel` prices it —
     but the cost is then spent as engine time, so software cores occupy the
     shared timeline and contend with whatever else is running.
+
+    ``batched=True`` (or ``REPRO_BATCHED_REPLAY=1`` in the environment)
+    opts streams into the :class:`~repro.sim.replay.TraceReplay` fast path:
+    when nothing needs per-event interleaving the whole stream is priced in
+    one pass and spent as a single timeout.  Cycle outcomes, run stats, and
+    metrics agree with the serial path (the parity suite pins rel=1e-12);
+    with faults, guards, or concurrent processes the replay transparently
+    falls back to one event per lookup.
     """
 
     kind = BackendKind.SOFTWARE
     replaces_emc = False
 
     def __init__(self, system, core_id: int = 0,
-                 with_locking: bool = True) -> None:
+                 with_locking: bool = True,
+                 batched: Optional[bool] = None) -> None:
         super().__init__(system, core_id)
         self.software = system.software_engine(core_id,
                                                with_locking=with_locking)
+        if batched is None:
+            batched = batched_replay_default()
+        self.replay = TraceReplay(self.software.core, system.engine,
+                                  batched=batched)
 
     @property
     def core(self):
@@ -239,6 +255,23 @@ class SoftwareBackend(LookupBackend):
             yield self.system.engine.timeout(result.cycles)
         return LookupOutcome(value=value, found=value is not None,
                              cycles=result.cycles)
+
+    def lookup_stream(self, table, keys: Iterable[bytes]) -> Generator:
+        """Program for a key stream, batched when the replay is eligible."""
+        if not self.replay.eligible():
+            outcomes = yield from LookupBackend.lookup_stream(self, table,
+                                                              keys)
+            return outcomes
+        software = self.software
+        values, traces = software.capture_lookups(table, keys)
+        lock_cycles = READ_SIDE_CYCLES if software.with_locking else 0.0
+        results = yield from self.replay.replay(
+            traces, lock_cycles_each=lock_cycles)
+        software.record_lookups(values, results)
+        outcome_cls = LookupOutcome
+        return [outcome_cls(value=value, found=value is not None,
+                            cycles=result.cycles)
+                for value, result in zip(values, results)]
 
     def traced_call(self, func, *args, lock_cycles: Optional[float] = None,
                     **kwargs) -> Generator:

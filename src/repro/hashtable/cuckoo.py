@@ -60,12 +60,13 @@ class Entry:
     slot: int
 
 
-@dataclass
+@dataclass(slots=True)
 class LookupPlan:
     """The structured probe a lookup performs.
 
     Shared between the software path (traced, replayed on a core) and the
     HALO accelerator (replayed CHA-side) so both execute the *same* probe.
+    One is allocated per probe on every path, hence ``slots``.
     """
 
     key: bytes
@@ -137,6 +138,8 @@ class CuckooHashTable:
         self._size = 0
         self.stats = CuckooStats()
         self.lock = OptimisticLock()
+        # key -> (hash, index, signature) cache, see :meth:`_indices`.
+        self._hash_memo: dict = {}
         # Scratch buffer standing in for the caller's key storage.
         self._key_scratch = allocator.alloc(64, f"{name}.keybuf").base
 
@@ -187,6 +190,10 @@ class CuckooHashTable:
                 if stored is not None:
                     yield stored
 
+    #: Hash-memo entries kept before the cache resets (bounds memory on
+    #: streaming workloads that never repeat a key).
+    _HASH_MEMO_CAP = 1 << 16
+
     # -- hashing ------------------------------------------------------------------
     def _check_key(self, key: bytes) -> None:
         if len(key) != self.key_bytes:
@@ -194,9 +201,22 @@ class CuckooHashTable:
                 f"key length {len(key)} != table key size {self.key_bytes}")
 
     def _indices(self, key: bytes) -> Tuple[int, int, int]:
-        """(primary_hash, primary_index, signature)."""
-        primary_hash = hash_bytes(key, self.seed)
-        return primary_hash, primary_hash & self._mask, signature_of(primary_hash)
+        """(primary_hash, primary_index, signature).
+
+        Memoised per key: the hash is pure (seed and bucket mask are fixed
+        for the table's lifetime) and NFV key streams revisit the same
+        flows constantly.  The memo is capacity-capped so million-flow
+        churn can't grow it without bound.
+        """
+        memo = self._hash_memo
+        cached = memo.get(key)
+        if cached is None:
+            if len(memo) >= self._HASH_MEMO_CAP:
+                memo.clear()
+            primary_hash = hash_bytes(key, self.seed)
+            cached = memo[key] = (primary_hash, primary_hash & self._mask,
+                                  signature_of(primary_hash))
+        return cached
 
     def _alt_index(self, index: int, signature: int) -> int:
         return secondary_index(index, signature, self._mask)

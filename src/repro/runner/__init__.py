@@ -39,6 +39,15 @@ from __future__ import annotations
 
 from .cache import CACHE_FORMAT_VERSION, ResultCache, code_fingerprint
 from .journal import RunJournal, campaign_id, default_journal_path
+from .perf import (
+    BENCH_NAMES,
+    PERF_SCHEMA_VERSION,
+    BenchResult,
+    compare_snapshots,
+    run_perf_suite,
+    validate_snapshot,
+    write_snapshot,
+)
 from .pool import PoolOutcome, RunTimeoutError, WorkerCrashedError, \
     run_supervised
 from .registry import (
@@ -52,7 +61,9 @@ from .scheduler import (
     BenchFailedError,
     BenchSummary,
     RunFailure,
+    archive_report,
     default_jobs,
+    default_reports_dir,
     derive_seed,
     execute,
     plan_runs,
@@ -63,9 +74,12 @@ from .scheduler import (
 from .schema import ExperimentSpec, GridPoint, RunResult, RunSpec
 
 __all__ = [
+    "BENCH_NAMES",
     "BenchFailedError",
+    "BenchResult",
     "BenchSummary",
     "CACHE_FORMAT_VERSION",
+    "PERF_SCHEMA_VERSION",
     "ExperimentLoadError",
     "ExperimentSpec",
     "GridPoint",
@@ -78,10 +92,13 @@ __all__ = [
     "RunTimeoutError",
     "UnknownExperimentError",
     "WorkerCrashedError",
+    "archive_report",
     "campaign_id",
     "code_fingerprint",
+    "compare_snapshots",
     "default_jobs",
     "default_journal_path",
+    "default_reports_dir",
     "derive_seed",
     "discover",
     "execute",
@@ -90,6 +107,9 @@ __all__ = [
     "resolve_names",
     "run_benchmarks",
     "run_for_bench",
+    "run_perf_suite",
     "run_supervised",
+    "validate_snapshot",
     "write_reports",
+    "write_snapshot",
 ]

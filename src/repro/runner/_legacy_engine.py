@@ -1,12 +1,22 @@
-"""Discrete-event simulation engine.
+"""Frozen pre-campaign DES engine — the ``repro bench --perf`` baseline.
+
+This is a verbatim snapshot of ``repro.sim.engine`` as it stood before the
+hot-loop speed campaign (binary-heap calendar, per-hop tuple re-pack, no
+slots).  The perf suite runs the same workload on this engine and on the
+live one so every ``BENCH_*.json`` snapshot records ``speedup_vs_legacy``
+measured on the *same host in the same process* — immune to machine noise
+in a way absolute events/sec numbers are not.
+
+Do not modernise this module; its whole value is that it does not change.
+The original module docstring follows.
+
+Discrete-event simulation engine.
 
 A deliberately small, deterministic event-driven kernel in the spirit of
 SimPy, tuned for cycle-level architecture modelling.  Time is measured in
 integer (or float) *cycles*.  The engine provides:
 
-* :class:`Engine` — the event loop over a pluggable calendar queue (see
-  :mod:`repro.sim.calendar`): a slot/bucketed calendar by default, the
-  legacy flat binary heap behind ``Engine(calendar="heap")``.
+* :class:`Engine` — the event loop with a binary-heap calendar.
 * :class:`Process` — a coroutine (generator) driven by the engine.  A process
   ``yield``\\ s *waitables*: a cycle delay (``yield engine.timeout(n)``), an
   :class:`Event`, or a resource request.
@@ -16,9 +26,7 @@ integer (or float) *cycles*.  The engine provides:
 * :class:`Store` — an unbounded FIFO message channel (command/result queues).
 
 The kernel is single-threaded and fully deterministic: events scheduled for
-the same cycle fire in insertion order, whatever the calendar
-implementation — the ordering contract lives in :mod:`repro.sim.calendar`
-and the equivalence property suite holds both implementations to it.
+the same cycle fire in insertion order.
 
 The engine also carries the harness safety net's attachment point: an
 optional *guard* (see :mod:`repro.guard`) observes every event, enforces
@@ -29,11 +37,9 @@ loop is byte-for-byte the unguarded fast path.
 
 from __future__ import annotations
 
+import heapq
 import itertools
-from heapq import heappop, heappush
-from typing import Any, Callable, Dict, Generator, List, Optional, Sequence
-
-from .calendar import BucketCalendar, DEFAULT_CALENDAR, make_calendar
+from typing import Any, Callable, Dict, Generator, List, Optional
 
 
 class SimulationError(RuntimeError):
@@ -52,10 +58,6 @@ class Event:
     ``abandoned`` marks an event whose only waiter was killed while queued
     in a FIFO — :meth:`Resource.release` and :meth:`Store.put` skip such
     events instead of handing a slot or item to a dead process.
-
-    ``callbacks`` starts as a shared empty tuple (events are allocated on
-    the hot path; virtually none ever carry callbacks) — assign a list to
-    register completion callbacks on a specific event.
     """
 
     __slots__ = ("engine", "triggered", "value", "_waiters", "callbacks",
@@ -66,7 +68,7 @@ class Event:
         self.triggered = False
         self.value: Any = None
         self._waiters: List["Process"] = []
-        self.callbacks: Sequence[Callable[["Event"], None]] = ()
+        self.callbacks: List[Callable[["Event"], None]] = []
         self.source = source
         self.abandoned = False
 
@@ -76,17 +78,11 @@ class Event:
             raise SimulationError("event already triggered")
         self.triggered = True
         self.value = value
-        if self.callbacks:
-            for callback in self.callbacks:
-                callback(self)
-        waiters = self._waiters
-        if waiters:
-            self._waiters = []
-            engine = self.engine
-            schedule = engine._schedule
-            now = engine.now
-            for process in waiters:
-                schedule(now, process, value)
+        for callback in self.callbacks:
+            callback(self)
+        waiters, self._waiters = self._waiters, []
+        for process in waiters:
+            self.engine._schedule(self.engine.now, process, value)
         return self
 
     def _add_waiter(self, process: "Process") -> None:
@@ -98,28 +94,16 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that triggers automatically after a fixed delay.
-
-    Allocated once per ``yield engine.timeout(n)`` — the single most
-    common allocation in any simulation — so the constructor writes its
-    slots directly (no ``super().__init__`` hop) and schedules itself in
-    one calendar push.
-    """
+    """An event that triggers automatically after a fixed delay."""
 
     __slots__ = ("at",)
 
     def __init__(self, engine: "Engine", delay: float) -> None:
+        super().__init__(engine)
         if delay < 0:
             raise SimulationError(f"negative timeout: {delay}")
-        self.engine = engine
-        self.triggered = False
-        self.value = None
-        self._waiters = []
-        self.callbacks = ()
-        self.source = None
-        self.abandoned = False
-        self.at = at = engine.now + delay
-        engine._schedule(at, self, None)
+        self.at = engine.now + delay
+        engine._schedule_event(self.at, self)
 
 
 class Process:
@@ -175,35 +159,16 @@ class Process:
         except StopIteration as stop:
             self.done = True
             self.result = stop.value
-            engine = self.engine
-            engine._live.pop(self, None)
-            waiters = self._waiters
-            if waiters:
-                self._waiters = []
-                schedule = engine._schedule
-                now = engine.now
-                for waiter in waiters:
-                    schedule(now, waiter, self.result)
+            self.engine._live.pop(self, None)
+            waiters, self._waiters = self._waiters, []
+            for waiter in waiters:
+                self.engine._schedule(self.engine.now, waiter, self.result)
             return
-        if target.__class__ is Timeout:
-            # The dominant yield: a fresh (never-triggered unless re-
-            # yielded) timeout.  Inlined ``target._add_waiter(self)``.
-            self.waiting_on = target
-            if target.triggered:
-                engine = self.engine
-                engine._schedule(engine.now, self, target.value)
-            else:
-                target._waiters.append(self)
-        elif target is None:
-            engine = self.engine
-            engine._schedule(engine.now, self, None)
+        if target is None:
+            self.engine._schedule(self.engine.now, self, None)
         elif isinstance(target, (Event, Process)):
             self.waiting_on = target
-            if target.triggered:
-                engine = self.engine
-                engine._schedule(engine.now, self, target.value)
-            else:
-                target._waiters.append(self)
+            target._add_waiter(self)
         else:
             raise SimulationError(
                 f"process {self.name!r} yielded unsupported value {target!r}"
@@ -327,21 +292,11 @@ class Store:
 
 
 class Engine:
-    """The simulation kernel: a calendar queue of (time, seq, task).
+    """The simulation kernel: a calendar queue of (time, seq, task)."""
 
-    ``calendar`` selects the queue implementation: ``"bucket"`` (default,
-    the slot/bucketed calendar — O(1) schedule/pop for the common
-    short-delay case) or ``"heap"`` (the legacy flat binary heap kept as
-    the ordering model of record).  Both produce bit-identical event
-    orders; ``tests/sim/test_calendar_equivalence.py`` holds them to it.
-    """
-
-    __slots__ = ("now", "_calendar", "_schedule", "timeout", "_sequence",
-                 "events_processed", "_fault_hooks", "_live", "_guard")
-
-    def __init__(self, calendar: str = DEFAULT_CALENDAR) -> None:
+    def __init__(self) -> None:
         self.now: float = 0
-        self._calendar = make_calendar(calendar)
+        self._calendar: list = []
         self._sequence = itertools.count()
         self.events_processed = 0
         self._fault_hooks: dict = {}
@@ -349,80 +304,6 @@ class Engine:
         #: deadlock dump and :meth:`blocked_processes` read this.
         self._live: Dict[Process, None] = {}
         self._guard: Optional[Any] = None
-        #: ``_schedule(when, task, value)`` is *the* scheduling primitive —
-        #: called for every event hop, so it is a closure specialised to
-        #: the calendar implementation (captured locals, no attribute
-        #: hops, no intermediate method layer).  ``timeout(delay)`` — the
-        #: single most common engine call — is likewise a closure that
-        #: allocates, initialises, and schedules the Timeout in one hop.
-        self._schedule = self._make_scheduler()
-        self.timeout = self._make_timeout()
-
-    def _make_scheduler(self) -> Callable[[float, Any, Any], None]:
-        """Build the calendar-specialised scheduling closure."""
-        next_seq = self._sequence.__next__
-        calendar = self._calendar
-        if isinstance(calendar, BucketCalendar):
-            buckets = calendar._buckets
-            cycles = calendar._cycles
-            get_bucket = buckets.get
-
-            def schedule(when: float, task: Any, value: Any) -> None:
-                bucket = get_bucket(cycle := int(when))
-                if bucket is None:
-                    buckets[cycle] = bucket = []
-                    heappush(cycles, cycle)
-                heappush(bucket, (when, next_seq(), task, value))
-        else:
-            push = calendar.push
-
-            def schedule(when: float, task: Any, value: Any) -> None:
-                push(when, next_seq(), task, value)
-        return schedule
-
-    def _make_timeout(self) -> Callable[[float], "Timeout"]:
-        """Build the ``timeout(delay)`` fast-path closure.
-
-        Semantically identical to ``Timeout(self, delay)`` — allocate the
-        event, write its slots, schedule it at ``now + delay`` — but in a
-        single call frame with the calendar push inlined for the bucket
-        calendar.
-        """
-        next_seq = self._sequence.__next__
-        new = Timeout.__new__
-        calendar = self._calendar
-        if isinstance(calendar, BucketCalendar):
-            buckets = calendar._buckets
-            cycles = calendar._cycles
-            get_bucket = buckets.get
-
-            def timeout(delay: float) -> Timeout:
-                if delay < 0:
-                    raise SimulationError(f"negative timeout: {delay}")
-                event = new(Timeout)
-                event.engine = self
-                event.triggered = False
-                event.value = None
-                event._waiters = []
-                event.callbacks = ()
-                event.source = None
-                event.abandoned = False
-                event.at = at = self.now + delay
-                bucket = get_bucket(cycle := int(at))
-                if bucket is None:
-                    buckets[cycle] = bucket = []
-                    heappush(cycles, cycle)
-                heappush(bucket, (at, next_seq(), event, None))
-                return event
-        else:
-            def timeout(delay: float) -> Timeout:
-                return Timeout(self, delay)
-        return timeout
-
-    @property
-    def calendar_kind(self) -> str:
-        """Which calendar implementation this engine runs on."""
-        return self._calendar.kind
 
     # -- guard attachment (``repro.guard``) ---------------------------------
     def attach_guard(self, guard: Any) -> None:
@@ -478,10 +359,17 @@ class Engine:
             return None
         return self._fault_hooks.get(site)
 
+    # -- scheduling internals ------------------------------------------------
+    def _schedule(self, when: float, process: Process, value: Any) -> None:
+        heapq.heappush(self._calendar, (when, next(self._sequence), process, value))
+
+    def _schedule_event(self, when: float, event: Event) -> None:
+        heapq.heappush(self._calendar, (when, next(self._sequence), event, None))
+
     # -- public API ----------------------------------------------------------
-    # ``timeout(delay)`` — an event that fires ``delay`` cycles from now —
-    # is an instance closure assigned in ``__init__`` (see
-    # :meth:`_make_timeout`).
+    def timeout(self, delay: float) -> Timeout:
+        """An event that fires ``delay`` cycles from now."""
+        return Timeout(self, delay)
 
     def event(self) -> Event:
         return Event(self)
@@ -503,123 +391,21 @@ class Engine:
         """
         if self._guard is not None:
             return self._run_guarded(until)
-        calendar = self._calendar
-        pop = calendar.pop
-        if until is None:
-            # The dominant mode (run to exhaustion): no peek, no bound
-            # check — pop and dispatch until the calendar drains.
-            events = 0
-            try:
-                if type(calendar) is BucketCalendar:
-                    # Specialised drain loop: the calendar pop is inlined
-                    # against the bucket structures so each event costs a
-                    # dict probe + tiny heappop instead of a method call.
-                    buckets = calendar._buckets
-                    cycles = calendar._cycles
-                    process_cls = Process
-                    timeout_cls = Timeout
-                    next_seq = self._sequence.__next__
-                    while cycles:
-                        # Drain one bucket to exhaustion.  All entries pushed
-                        # while draining land in this bucket or a later one
-                        # (time never rewinds), so the inner loop only has to
-                        # re-test the bucket itself — no dict probe, no
-                        # cycle-heap peek per event.
-                        cycle = cycles[0]
-                        bucket = buckets[cycle]
-                        while bucket:
-                            when, _seq, task, value = heappop(bucket)
-                            self.now = when
-                            events += 1
-                            if task.__class__ is timeout_cls:
-                                task.triggered = True
-                                if task.callbacks:
-                                    for callback in task.callbacks:
-                                        callback(task)
-                                # No fresh empty list: once ``triggered``
-                                # is set nothing reads ``_waiters`` again
-                                # (re-yields short-circuit on ``triggered``,
-                                # ``kill`` only detaches from untriggered
-                                # targets).
-                                waiters = task._waiters
-                                if waiters:
-                                    if bucket:
-                                        # Other entries share this bucket:
-                                        # wakes go through the calendar, but
-                                        # straight into the bucket we are
-                                        # draining — skipping the int()/dict
-                                        # probe of the generic schedule path.
-                                        for process in waiters:
-                                            heappush(
-                                                bucket,
-                                                (when, next_seq(),
-                                                 process, None))
-                                    elif len(waiters) == 1:
-                                        # Fused wake: the calendar holds
-                                        # nothing else at this timestamp
-                                        # (bucket drained; all other buckets
-                                        # are later cycles), so the scheduled
-                                        # wake would be the very next pop —
-                                        # step the waiter now and skip the
-                                        # push/pop round-trip.  The wake
-                                        # still counts as an event so
-                                        # `events_processed` matches the
-                                        # generic dispatch exactly.
-                                        events += 1
-                                        waiter = waiters[0]
-                                        if not waiter.done:
-                                            waiter._step(None)
-                                    else:
-                                        for process in waiters:
-                                            heappush(
-                                                bucket,
-                                                (when, next_seq(),
-                                                 process, None))
-                            elif (task.__class__ is process_cls
-                                    or isinstance(task, process_cls)):
-                                if not task.done:  # killed procs: stale entries
-                                    task._step(value)
-                            else:
-                                task.succeed(value)
-                        del buckets[cycle]
-                        heappop(cycles)
-                else:
-                    while calendar:
-                        when, _seq, task, value = pop()
-                        self.now = when
-                        events += 1
-                        if isinstance(task, Process):
-                            if not task.done:
-                                task._step(value)
-                        else:  # a plain Event scheduled by Timeout
-                            task.succeed(value)
-            finally:
-                self.events_processed += events
-                if type(calendar) is BucketCalendar:
-                    # If an exception unwound the drain loop between
-                    # emptying the head bucket and deregistering it, drop
-                    # the empty husk so the calendar stays consistent.
-                    cycles = calendar._cycles
-                    buckets = calendar._buckets
-                    while cycles and not buckets.get(cycles[0]):
-                        buckets.pop(cycles[0], None)
-                        heappop(cycles)
-            return self.now
-        min_time = calendar.min_time
-        while calendar:
-            when = min_time()
-            if when > until:
+        while self._calendar:
+            when, _seq, task, value = self._calendar[0]
+            if until is not None and when > until:
                 self.now = until
                 return self.now
-            when, _seq, task, value = pop()
+            heapq.heappop(self._calendar)
             self.now = when
             self.events_processed += 1
             if isinstance(task, Process):
-                if not task.done:
+                if not task.done:   # killed processes may leave stale entries
                     task._step(value)
-            else:
+            else:  # a plain Event scheduled by Timeout
                 task.succeed(value)
-        self.now = max(self.now, until)
+        if until is not None:
+            self.now = max(self.now, until)
         return self.now
 
     def _run_guarded(self, until: Optional[float] = None) -> float:
@@ -631,13 +417,12 @@ class Engine:
         trouble by raising ``repro.guard`` errors out of this loop.
         """
         guard = self._guard
-        calendar = self._calendar
-        while calendar:
-            when = calendar.min_time()
+        while self._calendar:
+            when, _seq, task, value = self._calendar[0]
             if until is not None and when > until:
                 self.now = until
                 return self.now
-            when, _seq, task, value = calendar.pop()
+            heapq.heappop(self._calendar)
             self.now = when
             self.events_processed += 1
             guard.before_event(self)

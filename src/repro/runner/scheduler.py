@@ -515,17 +515,38 @@ def run_for_bench(name: str, quick: bool = False):
     return payloads, summary.reports[0].text
 
 
+def default_reports_dir() -> pathlib.Path:
+    """The checked-in report archive (``benchmarks/reports``).
+
+    Resolved relative to the repository root (two levels above the
+    ``repro`` package) so the benchmark wrappers and ``--reports`` agree
+    on one location regardless of the current working directory.
+    """
+    package_root = pathlib.Path(__file__).resolve().parent.parent
+    return package_root.parent.parent / "benchmarks" / "reports"
+
+
+def archive_report(slug: str, text: str,
+                   directory: os.PathLike) -> pathlib.Path:
+    """Write one rendered report as ``<directory>/<slug>.txt``.
+
+    The single report-path code path: ``write_reports`` (the ``--reports``
+    CLI flag) and ``benchmarks/_common.record_report`` (the pytest
+    wrappers) both land here, so archived perf numbers and experiment
+    reports can never disagree about naming or layout.
+    """
+    out_dir = pathlib.Path(directory)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"{slug}.txt"
+    path.write_text(text + "\n")
+    return path
+
+
 def write_reports(summary: BenchSummary,
                   directory: os.PathLike) -> List[pathlib.Path]:
     """Archive each experiment's rendered report as ``<slug>.txt``."""
-    out_dir = pathlib.Path(directory)
-    out_dir.mkdir(parents=True, exist_ok=True)
-    written = []
-    for report in summary.reports:
-        path = out_dir / f"{report.slug}.txt"
-        path.write_text(report.text + "\n")
-        written.append(path)
-    return written
+    return [archive_report(report.slug, report.text, directory)
+            for report in summary.reports]
 
 
 def default_jobs() -> int:

@@ -12,11 +12,19 @@ Public surface:
 """
 
 from .cache import Cache, CacheStats
+from .calendar import (
+    BucketCalendar,
+    CALENDARS,
+    DEFAULT_CALENDAR,
+    HeapCalendar,
+    make_calendar,
+)
 from .core import CoreModel, ExecutionResult
 from .engine import Engine, Event, Process, Resource, SimulationError, Store
 from .hierarchy import AccessResult, MemoryHierarchy
 from .interconnect import Interconnect, MeshInterconnect, build_interconnect
 from .memory import AddressAllocator, Dram, OutOfSimulatedMemory, Region
+from .replay import TraceReplay, batched_replay_default
 from .params import (
     CACHE_LINE_BYTES,
     CacheParams,
@@ -45,7 +53,11 @@ __all__ = [
     "AccessResult",
     "AddressAllocator",
     "Breakdown",
+    "BucketCalendar",
     "CACHE_LINE_BYTES",
+    "CALENDARS",
+    "DEFAULT_CALENDAR",
+    "HeapCalendar",
     "Cache",
     "CacheParams",
     "CacheStats",
@@ -80,10 +92,13 @@ __all__ = [
     "Tlb",
     "TlbParams",
     "TlbStats",
+    "TraceReplay",
     "Tracer",
+    "batched_replay_default",
     "build_interconnect",
     "capture",
     "geometric_mean",
+    "make_calendar",
     "mpkl",
     "throughput_mops",
 ]

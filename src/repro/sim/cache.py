@@ -62,7 +62,7 @@ class CacheStats:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class LineState:
     """Per-line metadata: dirty bit plus HALO's reserved lock bit (§4.4)."""
 
@@ -99,7 +99,15 @@ class Cache:
         return line & (self.num_sets - 1)
 
     def _set_for(self, line: int) -> OrderedDict:
-        return self._sets.setdefault(self.set_index(line), OrderedDict())
+        # Not ``setdefault(..., OrderedDict())``: that would allocate a
+        # throwaway OrderedDict on every probe of an existing set, and this
+        # runs once per access per level.
+        sets = self._sets
+        index = line & (self.num_sets - 1)
+        cache_set = sets.get(index)
+        if cache_set is None:
+            cache_set = sets[index] = OrderedDict()
+        return cache_set
 
     # -- operations ----------------------------------------------------------
     def lookup(self, line: int, write: bool = False) -> bool:

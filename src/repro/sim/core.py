@@ -23,7 +23,7 @@ from typing import Dict, List
 from .hierarchy import MemoryHierarchy
 from .params import CoreParams
 from .stats import Breakdown
-from .trace import MemTrace
+from .trace import MemOpKind, MemTrace
 
 
 @dataclass
@@ -123,6 +123,165 @@ class CoreModel:
             stores=stores,
             instructions=mix.total,
         )
+
+    def execute_batch(self, traces,
+                      lock_cycles_each: float = 0.0) -> List[ExecutionResult]:
+        """Replay many traces with the per-access metric pushes deferred.
+
+        Cycle arithmetic is expression-for-expression :meth:`execute`, and
+        the accesses hit the hierarchy in exactly the order the serial path
+        would issue them (trace by trace, op by op), so cache state — and
+        therefore every latency — evolves identically.  Only the
+        *observation* is batched: latencies and level counts are
+        aggregated and flushed once through
+        :meth:`~repro.sim.hierarchy.MemoryHierarchy.observe_core_accesses`.
+        This is the compute half of the ``TraceReplay(batched=True)`` fast
+        path (see :mod:`repro.sim.replay`).
+        """
+        hierarchy = self.hierarchy
+        access = hierarchy._core_access
+        core_id = self.core_id
+        l1_hit = hierarchy.latency.l1_hit
+        mlp = self.params.mlp
+        issue_width = self.params.issue_width
+        base_cpi = self.params.base_cpi
+        compute_overlap = self.params.compute_overlap
+
+        latency_counts: Dict[int, int] = {}
+        latency_get = latency_counts.get
+        batch_levels: Dict[str, int] = {}
+        batch_get = batch_levels.get
+        lock_retry_total = 0
+        results: List[ExecutionResult] = []
+        append_result = results.append
+        new_breakdown = Breakdown.__new__
+        breakdown_cls = Breakdown
+        result_cls = ExecutionResult
+        store_kind = MemOpKind.STORE
+
+        for trace in traces:
+            mix = trace.mix
+            mix_total = mix.total
+            front_end_floor = mix_total / issue_width
+            compute_cycles = mix_total * base_cpi * compute_overlap
+
+            memory_cycles = 0.0
+            level_counts: Dict[str, int] = {}
+            level_get = level_counts.get
+            loads = stores = 0
+            # Recorded traces have non-decreasing deps, so the dependency
+            # chains are just runs of equal ``dep`` — walk the ops once,
+            # closing a wave computation at each dep change, instead of
+            # materialising group lists.  Hand-built traces that interleave
+            # groups fall back to the generic grouping (which also fixes
+            # the access order to match :meth:`execute`).
+            ops = trace.ops
+            prev_dep = 0
+            for op in ops:
+                if op[3] < prev_dep:
+                    groups = trace.dependency_chains()
+                    break
+                prev_dep = op[3]
+            else:
+                groups = None
+            if groups is None:
+                latencies: List[int] = []
+                add_latency = latencies.append
+                current_dep = ops[0][3] if ops else 0
+                for op in ops:
+                    # MemOp fields by index (NamedTuple):
+                    # 0=addr, 2=kind, 3=dep.
+                    dep = op[3]
+                    if dep != current_dep:
+                        latencies.sort(reverse=True)
+                        group_cycles = 0.0
+                        for start in range(0, len(latencies), mlp):
+                            exposed = latencies[start] - l1_hit
+                            if exposed > 0:
+                                group_cycles += exposed
+                        memory_cycles += group_cycles
+                        latencies = []
+                        add_latency = latencies.append
+                        current_dep = dep
+                    write = op[2] is store_kind
+                    result = access(core_id, op[0], write)
+                    latency = result[0]
+                    add_latency(latency)
+                    latency_counts[latency] = latency_get(latency, 0) + 1
+                    level = result[1]
+                    level_counts[level] = level_get(level, 0) + 1
+                    batch_levels[level] = batch_get(level, 0) + 1
+                    lock_retry_total += result[3]
+                    if write:
+                        stores += 1
+                    else:
+                        loads += 1
+                if latencies:
+                    latencies.sort(reverse=True)
+                    group_cycles = 0.0
+                    for start in range(0, len(latencies), mlp):
+                        exposed = latencies[start] - l1_hit
+                        if exposed > 0:
+                            group_cycles += exposed
+                    memory_cycles += group_cycles
+            else:
+                for group in groups:
+                    latencies = []
+                    add_latency = latencies.append
+                    for op in group:
+                        write = op.kind is store_kind
+                        result = access(core_id, op.addr, write)
+                        latency = result.latency
+                        add_latency(latency)
+                        latency_counts[latency] = latency_get(latency, 0) + 1
+                        level = result.level
+                        level_counts[level] = level_get(level, 0) + 1
+                        batch_levels[level] = batch_get(level, 0) + 1
+                        lock_retry_total += result.lock_retries
+                        if write:
+                            stores += 1
+                        else:
+                            loads += 1
+                    latencies.sort(reverse=True)
+                    # Only the longest access of each MLP wave counts —
+                    # index into the sorted list instead of slicing waves.
+                    group_cycles = 0.0
+                    for start in range(0, len(latencies), mlp):
+                        exposed = latencies[start] - l1_hit
+                        if exposed > 0:
+                            group_cycles += exposed
+                    memory_cycles += group_cycles
+
+            # Inline Breakdown assembly (same float-add order as the
+            # ``Breakdown``/``add``/``total`` calls in :meth:`execute`).
+            parts = {"compute": compute_cycles, "memory": memory_cycles}
+            total = compute_cycles + memory_cycles
+            if lock_cycles_each:
+                parts["locking"] = lock_cycles_each
+                total += lock_cycles_each
+            if total < front_end_floor:
+                parts["compute"] = (compute_cycles
+                                    + (front_end_floor - total))
+                total = front_end_floor
+            breakdown = new_breakdown(breakdown_cls)
+            breakdown.parts = parts
+            # Same per-trace accumulation order as ``execute`` so the
+            # floating-point core totals match bit for bit.
+            self.retired_instructions += mix_total
+            self.retired_loads += loads
+            self.total_cycles += total
+            append_result(result_cls(
+                cycles=total,
+                breakdown=breakdown,
+                level_counts=level_counts,
+                loads=loads,
+                stores=stores,
+                instructions=mix_total,
+            ))
+
+        hierarchy.observe_core_accesses(latency_counts, batch_levels,
+                                        lock_retry_total)
+        return results
 
     def execute_program(self, engine, trace: MemTrace,
                         lock_cycles: float = 0.0):

@@ -15,9 +15,8 @@ The hierarchy is inclusive: an LLC eviction back-invalidates private copies.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from functools import reduce
-from typing import List, Optional
+from typing import Dict, List, NamedTuple, Optional
 
 from ..obs import Observability
 from .cache import Cache, CacheStats
@@ -36,9 +35,12 @@ LOCK_RETRY_CYCLES = 20
 MAX_LOCK_RETRIES = 64
 
 
-@dataclass
-class AccessResult:
-    """Outcome of one memory access."""
+class AccessResult(NamedTuple):
+    """Outcome of one memory access.
+
+    A named tuple: one is allocated per simulated memory access, so cheap
+    construction matters (see the replay fast path in :mod:`repro.sim.core`).
+    """
 
     latency: int
     level: str            # "L1" | "L2" | "LLC" | "PRIV" | "DRAM"
@@ -151,6 +153,25 @@ class MemoryHierarchy:
             self._m_lock_retries.inc(result.lock_retries)
         return result
 
+    def observe_core_accesses(self, latency_counts: Dict[int, int],
+                              level_counts: Dict[str, int],
+                              lock_retries: int = 0) -> None:
+        """Flush a batch of deferred :meth:`core_access` observations.
+
+        The batched trace-replay fast path calls :meth:`_core_access`
+        directly (skipping the per-access metric pushes) and hands the
+        aggregated latencies/levels here, so the registry ends up in the
+        same state as if every access had gone through the instrumented
+        wrapper.
+        """
+        observe_many = self._m_core_cycles.observe_many
+        for latency in sorted(latency_counts):
+            observe_many(latency, latency_counts[latency])
+        for level, count in level_counts.items():
+            self._m_core_level[level].inc(count)
+        if lock_retries:
+            self._m_lock_retries.inc(lock_retries)
+
     def _core_access(self, core_id: int, addr: int,
                      write: bool = False) -> AccessResult:
         line = self.line_of(addr)
@@ -164,15 +185,16 @@ class MemoryHierarchy:
             ownership, retries = self._gain_ownership(line, core_id)
             extra += ownership
 
+        slice_of_line = self.interconnect.slice_of_line
         if l1.lookup(line, write=write):
             return AccessResult(self.latency.l1_hit + extra, "L1",
-                                self.slice_of(addr), retries)
+                                slice_of_line(line), retries)
         if l2.lookup(line, write=write):
             self._fill_private(l1, line, core_id, dirty=write)
             return AccessResult(self.latency.l2_hit + extra, "L2",
-                                self.slice_of(addr), retries)
+                                slice_of_line(line), retries)
 
-        slice_id = self.slice_of(addr)
+        slice_id = slice_of_line(line)
         llc = self.llc[slice_id]
         stop = self.core_stop(core_id)
         if llc.lookup(line, write=write):

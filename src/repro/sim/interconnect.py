@@ -54,10 +54,18 @@ class Interconnect:
         #: ``(src, dst, hops)``, returns extra cycles (drop → retransmit)
         #: and may bump ``stats`` itself (duplication).  None = uninstalled.
         self.fault_hook = None
+        # line -> slice memo: the mapping is a pure stateless hash, and a
+        # run touches the same lines over and over, so a dict probe beats
+        # re-running the mixer on the per-access hot path.
+        self._slice_memo: dict = {}
 
     def slice_of_line(self, line: int) -> int:
         """The LLC slice (and CHA) owning a cache line."""
-        return _mix64(line) % self.stops
+        memo = self._slice_memo
+        slice_id = memo.get(line)
+        if slice_id is None:
+            slice_id = memo[line] = _mix64(line) % self.stops
+        return slice_id
 
     def slice_of_table(self, table_base_addr: int) -> int:
         """HALO query-distributor target for a table address (§4.3).

@@ -1,0 +1,105 @@
+"""Batched trace replay: the straight-line fast path through the cache model.
+
+The conventional way to charge a stream of traced operations is one DES hop
+per operation — price the trace on the :class:`~repro.sim.core.CoreModel`,
+``yield engine.timeout(cycles)``, repeat.  Each hop costs a generator resume
+plus a calendar round-trip, which dominates wall time for the single-stream
+replay workloads (fig09-style sweeps) where nothing else shares the engine.
+
+:class:`TraceReplay` keeps the same contract but, when *batched* mode is on
+**and** nothing needs per-event interleaving, prices the whole sequence in
+one pass (:meth:`~repro.sim.core.CoreModel.execute_batch` — identical cycle
+arithmetic, deferred metric pushes) and spends the summed cost as a single
+timeout.  The eligibility check is dynamic, per call:
+
+* no fault hooks installed on the engine (:mod:`repro.faults` rewires
+  latencies per access, so every access must stay an observable event);
+* no guard attached (:mod:`repro.guard` budgets/invariants sample the event
+  stream — collapsing it would blind the watchdog);
+* at most one live process on the engine (with concurrent processes —
+  multicore runs, accelerator traffic — intermediate ``engine.now`` states
+  are observable and the per-operation hops must stay).
+
+When any of these holds the call silently falls back to the generator path,
+so ``TraceReplay(batched=True)`` is always safe to use; ``fallbacks`` counts
+how often that happened.  Cycle outcomes agree with the serial path to
+rel=1e-12 (the parity suite pins this): the only drift source is float
+summation order for ``engine.now``, a few ulps at worst.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Generator, Iterable, List
+
+from .core import CoreModel, ExecutionResult
+from .engine import Engine
+from .trace import MemTrace
+
+#: Environment toggle consulted by stream executors that wire a
+#: :class:`TraceReplay` in by default (see
+#: :meth:`repro.exec.backend.SoftwareBackend.lookup_stream`).
+BATCHED_REPLAY_ENV = "REPRO_BATCHED_REPLAY"
+
+
+def batched_replay_default() -> bool:
+    """Whether batched replay is switched on for this process (opt-in)."""
+    return os.environ.get(BATCHED_REPLAY_ENV, "0").lower() in (
+        "1", "true", "yes", "on")
+
+
+class TraceReplay:
+    """Replays :class:`~repro.sim.trace.MemTrace` sequences as DES programs.
+
+    ``batched=False`` (default) reproduces the classic one-timeout-per-trace
+    idiom exactly.  ``batched=True`` opts into the fast path described in
+    the module docstring, subject to the per-call :meth:`eligible` check.
+    """
+
+    __slots__ = ("core", "engine", "batched", "batches", "fallbacks")
+
+    def __init__(self, core: CoreModel, engine: Engine,
+                 batched: bool = False) -> None:
+        self.core = core
+        self.engine = engine
+        self.batched = batched
+        #: Fast-path batches executed / batched calls that fell back.
+        self.batches = 0
+        self.fallbacks = 0
+
+    def eligible(self) -> bool:
+        """May the *next* replay call collapse into a single event?"""
+        if not self.batched:
+            return False
+        engine = self.engine
+        return (not engine._fault_hooks
+                and engine._guard is None
+                and len(engine._live) <= 1)
+
+    def replay(self, traces: Iterable[MemTrace],
+               lock_cycles_each: float = 0.0) -> Generator:
+        """DES program replaying ``traces``; returns ``List[ExecutionResult]``.
+
+        Drive with ``engine.run_process`` (or ``yield from`` it inside a
+        larger program).
+        """
+        traces = list(traces)
+        if self.eligible():
+            self.batches += 1
+            results = self.core.execute_batch(
+                traces, lock_cycles_each=lock_cycles_each)
+            total = 0.0
+            for result in results:
+                total += result.cycles
+            if total:
+                yield self.engine.timeout(total)
+            return results
+        if self.batched:
+            self.fallbacks += 1
+        results: List[ExecutionResult] = []
+        for trace in traces:
+            result = self.core.execute(trace, lock_cycles=lock_cycles_each)
+            if result.cycles:
+                yield self.engine.timeout(result.cycles)
+            results.append(result)
+        return results

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, NamedTuple, Optional, Tuple
 
 
 class MemOpKind(Enum):
@@ -23,13 +23,16 @@ class MemOpKind(Enum):
     STORE = "store"
 
 
-@dataclass(frozen=True)
-class MemOp:
+class MemOp(NamedTuple):
     """One memory operation performed by functional code.
 
     ``dep`` is a dependency-group index: operation *i* with ``dep=d`` cannot
     start before all operations with group ``< d`` have completed; operations
     sharing a group are independent and may overlap up to the core's MLP.
+
+    A named tuple rather than a (frozen) dataclass: traces allocate one of
+    these per memory access on the replay hot path, and tuple construction
+    is several times cheaper while keeping the value-semantics contract.
     """
 
     addr: int
@@ -114,10 +117,35 @@ class MemTrace:
 
     def dependency_chains(self) -> List[List[MemOp]]:
         """Group ops by dependency group, ordered."""
-        groups: dict = {}
-        for op in self.ops:
-            groups.setdefault(op.dep, []).append(op)
-        return [groups[key] for key in sorted(groups)]
+        ops = self.ops
+        if not ops:
+            return []
+        # Recorded traces always have non-decreasing deps (a tracer's dep
+        # counter only moves forward), so grouping is a single split pass.
+        groups: List[List[MemOp]] = []
+        current_dep = ops[0].dep
+        current = [ops[0]]
+        groups.append(current)
+        push = current.append
+        for op in ops[1:]:
+            dep = op.dep
+            if dep == current_dep:
+                push(op)
+            elif dep > current_dep:
+                current = [op]
+                push = current.append
+                groups.append(current)
+                current_dep = dep
+            else:
+                break
+        else:
+            return groups
+        # Hand-built traces may interleave groups: fall back to the
+        # generic group-by-value ordering.
+        by_dep: dict = {}
+        for op in ops:
+            by_dep.setdefault(op.dep, []).append(op)
+        return [by_dep[key] for key in sorted(by_dep)]
 
     def touched_lines(self, line_bytes: int = 64) -> set:
         lines = set()
@@ -152,10 +180,12 @@ class Tracer:
         self._dep += 1
 
     def load(self, addr: int, size: int = 8) -> None:
-        self.trace.load(addr, size, self._dep)
+        # Appends inline (not via MemTrace.load): one call level less on
+        # the per-access recording path.
+        self.trace.ops.append(MemOp(addr, size, MemOpKind.LOAD, self._dep))
 
     def store(self, addr: int, size: int = 8) -> None:
-        self.trace.store(addr, size, self._dep)
+        self.trace.ops.append(MemOp(addr, size, MemOpKind.STORE, self._dep))
 
     def count(self, loads: int = 0, stores: int = 0, arithmetic: int = 0,
               others: int = 0) -> None:

@@ -1,0 +1,166 @@
+"""Property suite: the bucketed calendar is order-equivalent to the heap.
+
+The bucket calendar (:class:`repro.sim.calendar.BucketCalendar`) replaced
+the flat binary heap in the engine hot loop; these properties are what
+make that swap safe.  Two layers:
+
+* **Calendar-level** — push randomized ``(time, seq)`` schedules into
+  both implementations (interleaving pushes and pops, same-cycle ties,
+  fractional times sharing a floor, far-future outliers) and assert the
+  pop sequences are identical.
+* **Engine-level** — run randomized process programs (zero-delay
+  self-wakes, same-cycle ties, far-future timeouts, ``Process.kill()``
+  mid-wait, timeouts left orphaned in the calendar by a killed waiter)
+  on ``Engine(calendar="heap")`` and ``Engine(calendar="bucket")`` and
+  assert identical execution traces, final clocks, and event counts.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.calendar import BucketCalendar, HeapCalendar
+from repro.sim.engine import Engine
+
+# ---------------------------------------------------------------------------
+# calendar-level equivalence
+
+
+# Times deliberately collide: integer ties, fractional times sharing a
+# floor, and far-future outliers that land in the bucket calendar's
+# overflow path.
+_TIMES = st.sampled_from(
+    [0, 0, 1, 1, 2, 3, 5, 7, 40, 200, 1000, 10**6, 10**9,
+     0.5, 0.25, 1.5, 1.75, 2.5, 40.125, 999.875])
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(_TIMES, min_size=0, max_size=60),
+       st.data())
+def test_calendars_pop_identically(times, data):
+    """Same pushes (with interleaved pops) -> same pop sequence."""
+    heap, bucket = HeapCalendar(), BucketCalendar()
+    popped_heap, popped_bucket = [], []
+    floor = 0.0  # engine invariant: never schedule into the past
+    for seq, when in enumerate(times):
+        when = max(when, floor)
+        heap.push(when, seq, f"task{seq}", seq)
+        bucket.push(when, seq, f"task{seq}", seq)
+        if len(heap) and data.draw(st.booleans(), label="pop now"):
+            entry_h, entry_b = heap.pop(), bucket.pop()
+            assert entry_h == entry_b
+            floor = entry_h[0]
+            popped_heap.append(entry_h)
+            popped_bucket.append(entry_b)
+    assert len(heap) == len(bucket)
+    assert (heap.min_time() is None) == (bucket.min_time() is None)
+    while heap:
+        assert heap.min_time() == bucket.min_time()
+        entry_h, entry_b = heap.pop(), bucket.pop()
+        assert entry_h == entry_b
+        popped_heap.append(entry_h)
+        popped_bucket.append(entry_b)
+    assert popped_heap == popped_bucket
+    # The merged sequence must itself be (time, seq)-sorted within each
+    # drain segment; over the full run times are non-decreasing.
+    drained = [(entry[0], entry[1]) for entry in popped_heap]
+    assert drained == sorted(drained, key=lambda e: e)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.tuples(_TIMES, st.integers(0, 3)),
+                min_size=1, max_size=40))
+def test_same_cycle_fifo_order(entries):
+    """Entries pushed for one cycle pop in push (seq) order — both kinds."""
+    for calendar in (HeapCalendar(), BucketCalendar()):
+        for seq, (when, _jitter) in enumerate(entries):
+            calendar.push(float(math.floor(when)), seq, None, seq)
+        popped = []
+        while calendar:
+            popped.append(calendar.pop())
+        by_time = {}
+        for when, seq, _task, _value in popped:
+            by_time.setdefault(when, []).append(seq)
+        for seqs in by_time.values():
+            assert seqs == sorted(seqs)
+
+
+# ---------------------------------------------------------------------------
+# engine-level equivalence
+
+
+#: Delays a worker can yield: zero-delay self-wakes, same-cycle ties,
+#: short cache-ish latencies, fractional cycles, and far-future parks.
+_DELAYS = [0, 0, 1, 1, 2, 3, 5, 40, 200, 1000, 0.5, 2.5, 10**7]
+
+_ACTIONS = st.one_of(
+    st.tuples(st.just("timeout"), st.sampled_from(_DELAYS)),
+    st.tuples(st.just("spawn"),
+              st.lists(st.sampled_from(_DELAYS), min_size=0, max_size=4)),
+    st.tuples(st.just("kill"), st.integers(0, 9)),
+)
+
+_PROGRAMS = st.lists(st.lists(_ACTIONS, min_size=1, max_size=8),
+                     min_size=1, max_size=5)
+
+
+def _run_schedule(calendar: str, programs):
+    """Interpret the randomized programs; return (trace, now, events)."""
+    engine = Engine(calendar=calendar)
+    trace = []
+    registry = []  # every process ever spawned, kill targets by index
+    own = {}       # wid -> the worker's own Process (self-kill excluded)
+
+    def child(cid, delays):
+        for step, delay in enumerate(delays):
+            yield engine.timeout(delay)
+            trace.append(("child", cid, step, engine.now))
+
+    def worker(wid, actions):
+        for step, action in enumerate(actions):
+            kind = action[0]
+            if kind == "timeout":
+                yield engine.timeout(action[1])
+            elif kind == "spawn":
+                cid = (wid, step)
+                registry.append(engine.process(child(cid, action[1]),
+                                               name=f"child{cid}"))
+            else:  # kill: may hit a live, finished, or parked process
+                if registry:
+                    target = registry[action[1] % len(registry)]
+                    if target is not own.get(wid):  # no self-kill
+                        target.kill()
+                yield engine.timeout(0)
+            trace.append(("worker", wid, step, engine.now))
+
+    for wid, actions in enumerate(programs):
+        process = engine.process(worker(wid, actions), name=f"worker{wid}")
+        own[wid] = process
+        registry.append(process)
+    engine.run()
+    return trace, engine.now, engine.events_processed
+
+
+@settings(max_examples=120, deadline=None)
+@given(_PROGRAMS)
+def test_engines_execute_identically(programs):
+    """Heap and bucket engines: same trace, same clock, same event count.
+
+    Killed processes exercise the orphaned-timeout path: their pending
+    timeout entries stay in the calendar and must drain in the same
+    order on both implementations without waking anyone.
+    """
+    heap_run = _run_schedule("heap", programs)
+    bucket_run = _run_schedule("bucket", programs)
+    assert heap_run[0] == bucket_run[0]          # execution trace
+    assert heap_run[1] == bucket_run[1]          # final clock
+    assert heap_run[2] == bucket_run[2]          # events processed
+
+
+def test_default_engine_is_bucketed():
+    engine = Engine()
+    assert engine._calendar.kind == "bucket"
+    assert Engine(calendar="heap")._calendar.kind == "heap"
