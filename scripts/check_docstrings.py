@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Enforce public-contract module docstrings on the perf-critical modules.
+
+The engine-speed campaign's surface area — the perf suite, the
+supervised pool, the campaign journal, and the trace-replay fast path —
+is API other sessions and external harnesses build against.  Each of
+those modules must open with a module docstring that (a) exists, (b) is
+substantial (not a one-line stub), and (c) explicitly states its public
+contract: a line containing the phrase ``Public contract`` separating
+the stable API from internals.
+
+This is deliberately a *lint*, not a style checker: it pins the four
+modules named in ``CONTRACT_MODULES`` and nothing else, so adding a
+module here is an explicit decision to promise a stable surface.
+
+Usage:  python scripts/check_docstrings.py [--src SRC_DIR]
+Exits non-zero listing every violation, or zero (silent) when clean.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+from typing import List
+
+#: Modules (relative to the source root) that must declare their public
+#: contract in the module docstring.
+CONTRACT_MODULES = (
+    "repro/runner/perf.py",
+    "repro/runner/pool.py",
+    "repro/runner/journal.py",
+    "repro/sim/replay.py",
+)
+
+#: The marker phrase the docstring must contain (case-sensitive).
+CONTRACT_MARKER = "Public contract"
+
+#: Below this many characters a docstring is a stub, not a contract.
+MIN_DOCSTRING_CHARS = 200
+
+
+def check_module(path: Path) -> List[str]:
+    """Lint one module file; returns human-readable violations."""
+    problems: List[str] = []
+    if not path.exists():
+        return [f"{path}: contract module is missing"]
+    try:
+        tree = ast.parse(path.read_text())
+    except SyntaxError as error:
+        return [f"{path}: cannot parse ({error})"]
+    docstring = ast.get_docstring(tree)
+    if not docstring:
+        return [f"{path}: no module docstring"]
+    if len(docstring) < MIN_DOCSTRING_CHARS:
+        problems.append(
+            f"{path}: module docstring is a stub "
+            f"({len(docstring)} chars < {MIN_DOCSTRING_CHARS})")
+    if CONTRACT_MARKER not in docstring:
+        problems.append(
+            f"{path}: docstring does not state its public contract "
+            f"(missing the phrase {CONTRACT_MARKER!r})")
+    return problems
+
+
+def check_tree(src: Path) -> List[str]:
+    """Lint every pinned contract module under ``src``."""
+    problems: List[str] = []
+    for relative in CONTRACT_MODULES:
+        problems.extend(check_module(src / relative))
+    return problems
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--src", default=None,
+                        help="source root (default: <repo>/src)")
+    args = parser.parse_args(argv)
+    src = (Path(args.src) if args.src
+           else Path(__file__).resolve().parent.parent / "src")
+    problems = check_tree(src)
+    for problem in problems:
+        print(problem)
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -79,12 +79,26 @@ class SoftwareLookupEngine:
         # re-beginning per key would just allocate a throwaway trace.
         recorder = tracer.tracer_for(self.core.core_id)
         take = recorder.take
+        # Capture fast path: point ``table.tracer`` straight at this
+        # core's recorder for the duration of the bracket, skipping the
+        # per-op router delegation hop.  The router stays activated, so
+        # the recording is identical either way; tables whose ``tracer``
+        # is not assignable simply keep routing through it.
+        saved_tracer = table.tracer
+        swapped = False
+        try:
+            table.tracer = recorder
+            swapped = True
+        except AttributeError:
+            pass
         try:
             recorder.begin()
             for key in keys:
                 push_value(lookup(key))
                 push_trace(take())
         finally:
+            if swapped:
+                table.tracer = saved_tracer
             tracer.restore(token)
         return values, traces
 
@@ -106,15 +120,34 @@ class SoftwareLookupEngine:
         stats equal the serial run's exactly.
         """
         stats = self.stats
-        record_cycles = stats.cycles.record
         parts = dict(stats.breakdown.parts)
+        parts_get = parts.get
         hits = 0
+        # Welford fold inlined on locals — identical op sequence to
+        # RunningStats.record, written back once at the end.
+        cycle_stats = stats.cycles
+        count = cycle_stats.count
+        mean = cycle_stats.mean
+        m2 = cycle_stats._m2
+        minimum = cycle_stats.minimum
+        maximum = cycle_stats.maximum
         for value, result in zip(values, results):
             if value is not None:
                 hits += 1
-            record_cycles(result.cycles)
+            cycles = result.cycles
+            count += 1
+            delta = cycles - mean
+            mean += delta / count
+            m2 += delta * (cycles - mean)
+            minimum = min(minimum, cycles)
+            maximum = max(maximum, cycles)
             for name, amount in result.breakdown.parts.items():
-                parts[name] = parts.get(name, 0.0) + amount
+                parts[name] = parts_get(name, 0.0) + amount
+        cycle_stats.count = count
+        cycle_stats.mean = mean
+        cycle_stats._m2 = m2
+        cycle_stats.minimum = minimum
+        cycle_stats.maximum = maximum
         stats.lookups += len(results)
         stats.hits += hits
         stats.breakdown = Breakdown(parts)

@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from ..sim.memory import AddressAllocator
-from ..sim.trace import InstructionMix, Tracer, NULL_TRACER
+from ..sim.trace import InstructionMix, MemOp, MemOpKind, Tracer, NULL_TRACER
 from .hashing import hash_bytes, secondary_index, signature_of
 from .layout import StandaloneAllocator, TableLayout, allocate_table, next_power_of_two
 from .locking import OptimisticLock
@@ -138,8 +138,17 @@ class CuckooHashTable:
         self._size = 0
         self.stats = CuckooStats()
         self.lock = OptimisticLock()
-        # key -> (hash, index, signature) cache, see :meth:`_indices`.
+        # key -> per-key probe geometry cache, see :meth:`_indices`.
         self._hash_memo: dict = {}
+        # Layout constants hoisted off the hot probe path (pure, fixed at
+        # construction; ``kv_slot_bytes`` is a computed property).
+        self._kv_base = self.layout.key_values.base
+        self._kv_slot_bytes = self.layout.kv_slot_bytes
+        # key -> (mutation stamp, op tuple, mix) memo for lookup trace
+        # emission; any structural change bumps ``_mutations`` and lets
+        # stale entries age out lazily.  See :meth:`lookup`.
+        self._trace_memo: dict = {}
+        self._mutations = 0
         # Scratch buffer standing in for the caller's key storage.
         self._key_scratch = allocator.alloc(64, f"{name}.keybuf").base
 
@@ -200,13 +209,14 @@ class CuckooHashTable:
             raise ValueError(
                 f"key length {len(key)} != table key size {self.key_bytes}")
 
-    def _indices(self, key: bytes) -> Tuple[int, int, int]:
-        """(primary_hash, primary_index, signature).
+    def _indices(self, key: bytes) -> Tuple[int, int, int, int, int, int]:
+        """(primary_hash, primary_index, signature, secondary_index,
+        primary_addr, secondary_addr).
 
-        Memoised per key: the hash is pure (seed and bucket mask are fixed
-        for the table's lifetime) and NFV key streams revisit the same
-        flows constantly.  The memo is capacity-capped so million-flow
-        churn can't grow it without bound.
+        Memoised per key: everything here is pure (seed, bucket mask, and
+        layout are fixed for the table's lifetime) and NFV key streams
+        revisit the same flows constantly.  The memo is capacity-capped so
+        million-flow churn can't grow it without bound.
         """
         memo = self._hash_memo
         cached = memo.get(key)
@@ -214,8 +224,13 @@ class CuckooHashTable:
             if len(memo) >= self._HASH_MEMO_CAP:
                 memo.clear()
             primary_hash = hash_bytes(key, self.seed)
-            cached = memo[key] = (primary_hash, primary_hash & self._mask,
-                                  signature_of(primary_hash))
+            index1 = primary_hash & self._mask
+            signature = signature_of(primary_hash)
+            index2 = secondary_index(index1, signature, self._mask)
+            cached = memo[key] = (
+                primary_hash, index1, signature, index2,
+                self.layout.bucket_addr(index1),
+                self.layout.bucket_addr(index2))
         return cached
 
     def _alt_index(self, index: int, signature: int) -> int:
@@ -225,32 +240,37 @@ class CuckooHashTable:
     def probe(self, key: bytes) -> LookupPlan:
         """Pure functional probe: no tracing, no stats mutation."""
         self._check_key(key)
-        primary_hash, index1, signature = self._indices(key)
-        index2 = self._alt_index(index1, signature)
+        primary_hash, index1, signature, index2, addr1, addr2 = (
+            self._indices(key))
         plan = LookupPlan(
             key=key,
             primary_hash=primary_hash,
             signature=signature,
             primary_index=index1,
             secondary_index=index2,
-            primary_addr=self.layout.bucket_addr(index1),
-            secondary_addr=self.layout.bucket_addr(index2),
+            primary_addr=addr1,
+            secondary_addr=addr2,
         )
+        buckets = self._buckets
+        kv = self._kv
+        kv_base = self._kv_base
+        kv_slot_bytes = self._kv_slot_bytes
         for which, index in enumerate((index1, index2)):
             plan.buckets_scanned += 1
             kv_probes = (plan.kv_probes_secondary if which
                          else plan.kv_probes_primary)
-            for entry in self._buckets[index]:
+            for entry in buckets[index]:
                 plan.sig_compares += 1
                 if entry.signature != signature:
                     continue
-                stored = self._kv[entry.slot]
-                kv_probes.append(self.layout.kv_addr(entry.slot))
+                slot = entry.slot
+                stored = kv[slot]
+                kv_probes.append(kv_base + slot * kv_slot_bytes)
                 if stored is not None and stored[0] == key:
                     plan.found = True
                     plan.found_in_secondary = bool(which)
                     plan.value = stored[1]
-                    plan.slot = entry.slot
+                    plan.slot = slot
                     return plan
             if which == 0 and index2 == index1:
                 break  # degenerate: both candidates are the same bucket
@@ -273,28 +293,49 @@ class CuckooHashTable:
 
         tracer = self.tracer
         if tracer.enabled:
-            tracer.load(key_addr if key_addr is not None else self._key_scratch,
-                        self.key_bytes)
-            tracer.barrier()
-            tracer.load(plan.primary_addr, 64)
+            # A lookup's trace is a pure function of the key and the
+            # table's contents, so memoise the emitted op sequence per
+            # key and invalidate on any mutation (NFV key streams repeat
+            # flows constantly; the real hardware's flow cache exploits
+            # exactly this locality).  ``key_addr`` callers place the key
+            # load at a caller-chosen address, so only the default-scratch
+            # form is cached.
+            if key_addr is None:
+                memo = self._trace_memo
+                cached = memo.get(key)
+                if cached is not None and cached[0] == self._mutations:
+                    tracer.emit_trace(cached[1], 2, cached[2])
+                    return plan.value
+            # Relative dependency groups: key load (0) -> bucket reads
+            # (1) -> kv probes (2), two barriers total — identical to the
+            # serial load/barrier emission this replaces.
+            ops = [MemOp(key_addr if key_addr is not None
+                         else self._key_scratch, self.key_bytes,
+                         MemOpKind.LOAD, 0),
+                   MemOp(plan.primary_addr, 64, MemOpKind.LOAD, 1)]
             if plan.secondary_addr != plan.primary_addr:
-                tracer.load(plan.secondary_addr, 64)
-            tracer.barrier()
+                ops.append(MemOp(plan.secondary_addr, 64, MemOpKind.LOAD, 1))
+            kv_slot_bytes = self._kv_slot_bytes
             for kv_addr in plan.kv_probes:
-                tracer.load(kv_addr, self.layout.kv_slot_bytes)
+                ops.append(MemOp(kv_addr, kv_slot_bytes, MemOpKind.LOAD, 2))
             mix = LOOKUP_MIX
             for _ in range(extra_compares):
                 mix = mix + SIG_COLLISION_MIX
             for _ in range(self.extra_key_lanes):
                 mix = mix + EXTRA_LANE_MIX
-            tracer.count(loads=mix.loads, stores=mix.stores,
-                         arithmetic=mix.arithmetic, others=mix.others)
+            ops = tuple(ops)
+            tracer.emit_trace(ops, 2, mix)
+            if key_addr is None:
+                if len(memo) >= self._HASH_MEMO_CAP:
+                    memo.clear()
+                memo[key] = (self._mutations, ops, mix)
         return plan.value
 
     # -- insert -----------------------------------------------------------------------
     def insert(self, key: bytes, value: Any) -> bool:
         """Insert or update ``key``; returns False only if the table is full."""
         self._check_key(key)
+        self._mutations += 1
         plan = self.probe(key)
         self.stats.inserts += 1
         tracer = self.tracer
@@ -415,6 +456,7 @@ class CuckooHashTable:
 
     # -- delete -------------------------------------------------------------------------
     def delete(self, key: bytes) -> bool:
+        self._mutations += 1
         plan = self.probe(key)
         self.stats.deletes += 1
         if not plan.found:

@@ -25,6 +25,13 @@ from the result cache and skipped; failed or missing points re-run.  A
 fingerprint mismatch (the code changed since the crash) invalidates the
 whole journal — resume then re-runs everything, which is the only safe
 answer once results may differ.
+
+Public contract: :class:`RunJournal` (open/append/replay and the
+torn-line tolerance), :func:`campaign_id`, and
+:func:`default_journal_path` are stable API, as is the JSONL record
+shape documented above (``kind``/``run_id``/``outcome``/...). The
+header's internal fields beyond ``version`` and ``fingerprint`` may
+grow without notice; readers must ignore unknown keys.
 """
 
 from __future__ import annotations

@@ -1,8 +1,8 @@
 """``repro bench --perf`` — the pinned engine-performance microbench suite.
 
-Four microbenches track the simulator's own speed (not the paper's
-modelled results) so every PR leaves a ``BENCH_<n>.json`` footprint in
-the perf trajectory:
+Public contract: six microbenches track the simulator's own speed (not
+the paper's modelled results) so every PR leaves a ``BENCH_<n>.json``
+footprint in the perf trajectory:
 
 * ``engine_churn`` — pure DES calendar stress: 16 worker processes
   ping-ponging through a short-delay latency mix while 10k far-future
@@ -15,13 +15,22 @@ the perf trajectory:
   trace captured, priced, and yielded per key), sized like a Figure 9
   grid point.
 * ``multicore_step`` — several software cores interleaving on one shared
-  engine via :func:`repro.exec.cores.run_cores`.
+  engine via :func:`repro.exec.cores.run_cores`, one lookup per DES hop.
+* ``multicore_batched`` — the same collocated shape but *streamed*:
+  batched capture plus windowed replay between interaction points,
+  against the per-key composition as its reference side.
+* ``vector_pricing`` — raw :meth:`repro.sim.core.CoreModel.execute_batch`
+  pricing throughput, numpy kernels against the pure-Python fallback
+  (``events`` counts priced traces — no engine runs here).
 
-The first two also run on the *frozen pre-campaign engine* vendored in
-:mod:`repro.runner._legacy_engine` and record ``speedup_vs_legacy``.
-Because both sides execute in the same process on the same host, that
-ratio is robust to machine speed in a way absolute events/sec is not —
-it is the number the CI regression gate trusts first.
+``engine_churn`` and ``cache_replay`` also run on the *frozen
+pre-campaign engine* vendored in :mod:`repro.runner._legacy_engine`;
+``multicore_batched`` and ``vector_pricing`` time their slow-mode
+counterparts in the same process.  All four record the ratio as
+``speedup_vs_legacy``.  Because both sides execute in the same process
+on the same host, that ratio is robust to machine speed in a way
+absolute events/sec is not — it is the number the CI regression gate
+trusts first.
 
 Measurement protocol: ``time.process_time`` (immune to scheduler
 preemption inflating wall time), interleaved repeats, min-of-N (the
@@ -40,14 +49,23 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
-PERF_SCHEMA_VERSION = 1
+PERF_SCHEMA_VERSION = 2
 
 #: Default location for committed snapshots (``BENCH_<n>.json``).
 DEFAULT_PERF_DIR = "benchmarks/perf"
 
 #: Names every snapshot must contain, in suite order.
 BENCH_NAMES = ("engine_churn", "cache_replay", "fig09_single_lookup",
-               "multicore_step")
+               "multicore_step", "multicore_batched", "vector_pricing")
+
+#: Required bench names per schema version.  Snapshots validate against
+#: the schema they were written with, so the committed trajectory stays
+#: checkable as the suite grows.
+NAMES_BY_SCHEMA = {
+    1: ("engine_churn", "cache_replay", "fig09_single_lookup",
+        "multicore_step"),
+    2: BENCH_NAMES,
+}
 
 
 # ---------------------------------------------------------------------------
@@ -63,7 +81,9 @@ class BenchResult:
     lookups: int                # table lookups performed (0 if N/A)
     cycles: float               # simulated cycles elapsed
     wall_s: float               # best-of-N process time, current engine
-    legacy_wall_s: Optional[float] = None   # same workload, frozen engine
+    legacy_wall_s: Optional[float] = None   # reference side: same workload
+                                            # on the frozen engine or in the
+                                            # bench's slow mode
     repeats: int = 1
 
     @property
@@ -169,17 +189,25 @@ class _Shape:
     multicore_cores: int
     multicore_lookups: int
     repeats: int
+    #: Per-core stream length for ``multicore_batched`` (sized separately
+    #: from ``multicore_lookups``: batching needs longer streams before
+    #: its fixed costs amortise).
+    batched_lookups: int = 400
+    #: Captured-trace volume for ``vector_pricing``.
+    pricing_lookups: int = 8000
 
 
 FULL_SHAPE = _Shape(churn_workers=16, churn_hops=2000, churn_parked=10_000,
                     replay_lookups=8000, fig09_lookups=2000,
-                    multicore_cores=4, multicore_lookups=400, repeats=5)
+                    multicore_cores=4, multicore_lookups=400, repeats=5,
+                    batched_lookups=800, pricing_lookups=8000)
 # Quick walls must stay >= ~50ms per bench: the CI gate compares rates
 # from this flavour, and few-millisecond timings swing tens of percent.
 # "Quick" trims repeats and lookup volume, not workload character.
 QUICK_SHAPE = _Shape(churn_workers=16, churn_hops=2000, churn_parked=10_000,
                      replay_lookups=4000, fig09_lookups=800,
-                     multicore_cores=2, multicore_lookups=200, repeats=3)
+                     multicore_cores=2, multicore_lookups=200, repeats=3,
+                     batched_lookups=800, pricing_lookups=8000)
 
 #: Latency mix the churn workers cycle through: L1 / L2 / LLC / DRAM-ish.
 _CHURN_LATENCIES = (4, 12, 40, 200)
@@ -389,11 +417,123 @@ def bench_multicore_step(shape: _Shape) -> BenchResult:
                        repeats=shape.repeats)
 
 
+def bench_multicore_batched(shape: _Shape) -> BenchResult:
+    """Streamed collocated cores: windowed batched replay vs per-key hops.
+
+    Both sides run on the *live* engine over the identical streamed
+    workload — the reference side simply builds its backends with
+    ``batched=False`` — so ``speedup_vs_legacy`` isolates exactly what
+    the windowed replay buys concurrent software cores.
+    """
+    from ..traffic.generator import random_keys
+
+    current: Dict[str, float] = {}
+
+    def _run(batched: bool) -> Tuple[float, float, int]:
+        from ..core import HaloSystem
+        from ..exec.cores import CoreWorkload
+
+        system = HaloSystem()
+        table = system.create_table(1 << 10, name="perf_mc_batched")
+        keys = random_keys(512, seed=37)
+        for index, key in enumerate(keys):
+            table.insert(key, index)
+        system.warm_table(table)
+        per_core = shape.batched_lookups
+        workloads = [
+            CoreWorkload(backend="software", core_id=core, table=table,
+                         keys=[keys[(core * 97 + i) % len(keys)]
+                               for i in range(per_core)],
+                         stream=True,
+                         backend_kwargs={"batched": batched},
+                         name=f"perfb{core}")
+            for core in range(shape.multicore_cores)
+        ]
+        t0 = time.process_time()
+        system.run_cores(workloads)
+        elapsed = time.process_time() - t0
+        return elapsed, system.engine.now, system.engine.events_processed
+
+    def run_current() -> float:
+        elapsed, now, events = _run(True)
+        current["now"], current["events"] = now, events
+        return elapsed
+
+    def run_legacy() -> float:
+        elapsed, _now, _events = _run(False)
+        return elapsed
+
+    wall, legacy_wall = _min_of([run_current, run_legacy], shape.repeats)
+    return BenchResult(name="multicore_batched",
+                       events=int(current["events"]),
+                       lookups=shape.multicore_cores
+                       * shape.batched_lookups,
+                       cycles=current["now"], wall_s=wall,
+                       legacy_wall_s=legacy_wall, repeats=shape.repeats)
+
+
+def bench_vector_pricing(shape: _Shape) -> BenchResult:
+    """Raw ``execute_batch`` pricing throughput, numpy vs pure Python.
+
+    Captures one trace per lookup (untimed) and then times only the
+    batch pricing pass; the reference side forces the pure-Python
+    fallback via ``REPRO_NO_NUMPY``.  No engine runs here, so ``events``
+    counts priced traces.  On hosts without numpy both sides take the
+    fallback and the speedup hovers at 1.0 by construction.
+    """
+    import os
+
+    from ..hashtable.locking import READ_SIDE_CYCLES
+    from ..sim import kernels
+
+    current: Dict[str, float] = {}
+
+    def _run(disable_numpy: bool) -> Tuple[float, float]:
+        system, table, keys = _replay_setup(shape.pricing_lookups)
+        software = system.software_engine(0)
+        _values, traces = software.capture_lookups(table, keys)
+        previous = os.environ.get(kernels.NUMPY_DISABLE_ENV)
+        if disable_numpy:
+            os.environ[kernels.NUMPY_DISABLE_ENV] = "1"
+        try:
+            t0 = time.process_time()
+            results = software.core.execute_batch(
+                traces, lock_cycles_each=READ_SIDE_CYCLES)
+            elapsed = time.process_time() - t0
+        finally:
+            if disable_numpy:
+                if previous is None:
+                    del os.environ[kernels.NUMPY_DISABLE_ENV]
+                else:
+                    os.environ[kernels.NUMPY_DISABLE_ENV] = previous
+        total = 0.0
+        for result in results:
+            total += result.cycles
+        return elapsed, total
+
+    def run_current() -> float:
+        elapsed, cycles = _run(False)
+        current["cycles"] = cycles
+        return elapsed
+
+    def run_legacy() -> float:
+        elapsed, _cycles = _run(True)
+        return elapsed
+
+    wall, legacy_wall = _min_of([run_current, run_legacy], shape.repeats)
+    return BenchResult(name="vector_pricing", events=shape.pricing_lookups,
+                       lookups=shape.pricing_lookups,
+                       cycles=current["cycles"], wall_s=wall,
+                       legacy_wall_s=legacy_wall, repeats=shape.repeats)
+
+
 _BENCHES: Dict[str, Callable[[_Shape], BenchResult]] = {
     "engine_churn": bench_engine_churn,
     "cache_replay": bench_cache_replay,
     "fig09_single_lookup": bench_fig09_single_lookup,
     "multicore_step": bench_multicore_step,
+    "multicore_batched": bench_multicore_batched,
+    "vector_pricing": bench_vector_pricing,
 }
 assert tuple(_BENCHES) == BENCH_NAMES
 
@@ -458,7 +598,8 @@ def write_snapshot(snapshot: Dict[str, object], directory,
 def validate_snapshot(snapshot: Dict[str, object]) -> List[str]:
     """Schema check; returns a list of problems (empty = valid)."""
     problems: List[str] = []
-    if snapshot.get("schema_version") != PERF_SCHEMA_VERSION:
+    version = snapshot.get("schema_version")
+    if version not in NAMES_BY_SCHEMA:
         problems.append("schema_version mismatch")
     if not isinstance(snapshot.get("fingerprint"), str):
         problems.append("missing fingerprint")
@@ -469,7 +610,7 @@ def validate_snapshot(snapshot: Dict[str, object]) -> List[str]:
     if not isinstance(benches, dict):
         problems.append("missing benches")
         return problems
-    for name in BENCH_NAMES:
+    for name in NAMES_BY_SCHEMA.get(version, BENCH_NAMES):
         record = benches.get(name)
         if not isinstance(record, dict):
             problems.append(f"missing bench {name!r}")

@@ -18,6 +18,13 @@ exception type, message, and traceback.
 Children ignore ``SIGINT``: graceful shutdown is the *supervisor's* job
 (stop dispatching, drain in-flight runs), so a terminal Ctrl-C must not
 also rip the workers out from under it mid-drain.
+
+Public contract: :func:`run_supervised` (its signature and the
+timeout/retry semantics above), :class:`PoolOutcome`, and the exception
+types :class:`RunTimeoutError` / :class:`WorkerCrashedError` are stable
+API — the scheduler and external harnesses may rely on them.  The
+worker entrypoint, pipe protocol, and backoff internals are
+implementation detail and may change without notice.
 """
 
 from __future__ import annotations

@@ -30,10 +30,28 @@ loop is byte-for-byte the unguarded fast path.
 from __future__ import annotations
 
 import itertools
+import os
 from heapq import heappop, heappush
+from sys import getrefcount
 from typing import Any, Callable, Dict, Generator, List, Optional, Sequence
 
 from .calendar import BucketCalendar, DEFAULT_CALENDAR, make_calendar
+
+#: Environment toggle for the Timeout free-list (on by default; set to
+#: ``0`` to force a fresh allocation per timeout, e.g. for the
+#: free-list equivalence property suite).
+TIMEOUT_FREELIST_ENV = "REPRO_TIMEOUT_FREELIST"
+
+#: Upper bound on pooled Timeout records.  Steady state needs roughly one
+#: per concurrently pending recyclable timeout, which is tiny; the cap only
+#: guards against a pathological schedule parking the pool full of husks.
+_TIMEOUT_POOL_MAX = 512
+
+
+def timeout_freelist_default() -> bool:
+    """Whether recycled Timeout records are enabled for this process."""
+    return os.environ.get(TIMEOUT_FREELIST_ENV, "1").lower() not in (
+        "0", "false", "no", "off")
 
 
 class SimulationError(RuntimeError):
@@ -337,14 +355,24 @@ class Engine:
     """
 
     __slots__ = ("now", "_calendar", "_schedule", "timeout", "_sequence",
-                 "events_processed", "_fault_hooks", "_live", "_guard")
+                 "events_processed", "_fault_hooks", "_live", "_guard",
+                 "_timeout_pool", "_recycle")
 
-    def __init__(self, calendar: str = DEFAULT_CALENDAR) -> None:
+    def __init__(self, calendar: str = DEFAULT_CALENDAR,
+                 recycle_timeouts: Optional[bool] = None) -> None:
         self.now: float = 0
         self._calendar = make_calendar(calendar)
         self._sequence = itertools.count()
         self.events_processed = 0
         self._fault_hooks: dict = {}
+        #: Free-list of fired Timeout records awaiting reuse (see the
+        #: specialised drain loop in :meth:`run`): a fired timeout nothing
+        #: else references any more is reset and handed back out by the
+        #: ``timeout()`` closure instead of allocating a fresh one —
+        #: killing the last per-hop allocation on the hot path.
+        self._timeout_pool: List[Timeout] = []
+        self._recycle = (timeout_freelist_default()
+                         if recycle_timeouts is None else recycle_timeouts)
         #: Live (not-yet-done) processes in creation order; the guard's
         #: deadlock dump and :meth:`blocked_processes` read this.
         self._live: Dict[Process, None] = {}
@@ -395,18 +423,28 @@ class Engine:
             buckets = calendar._buckets
             cycles = calendar._cycles
             get_bucket = buckets.get
+            pool = self._timeout_pool
 
             def timeout(delay: float) -> Timeout:
                 if delay < 0:
                     raise SimulationError(f"negative timeout: {delay}")
-                event = new(Timeout)
-                event.engine = self
-                event.triggered = False
-                event.value = None
-                event._waiters = []
-                event.callbacks = ()
-                event.source = None
-                event.abandoned = False
+                if pool:
+                    # Recycled record (see the drain loop): ``_waiters`` is
+                    # already an empty list, ``callbacks``/``source`` were
+                    # never set on it — only the per-fire state resets.
+                    event = pool.pop()
+                    event.triggered = False
+                    event.value = None
+                    event.abandoned = False
+                else:
+                    event = new(Timeout)
+                    event.engine = self
+                    event.triggered = False
+                    event.value = None
+                    event._waiters = []
+                    event.callbacks = ()
+                    event.source = None
+                    event.abandoned = False
                 event.at = at = self.now + delay
                 bucket = get_bucket(cycle := int(at))
                 if bucket is None:
@@ -456,6 +494,31 @@ class Engine:
         (as opposed to being scheduled on the calendar)."""
         return [process for process in self._live
                 if process.waiting_on is not None]
+
+    def next_event_time(self) -> Optional[float]:
+        """Earliest pending calendar time, or ``None`` when nothing is queued.
+
+        Safe to call from *inside* a running process — the windowed
+        trace-replay fast path (:mod:`repro.sim.replay`) uses it as the
+        horizon up to which no other process can possibly run.  During the
+        specialised bucket drain loop the head bucket may be an
+        already-emptied husk whose deregistration is deferred to the end of
+        the drain, so an empty head falls through to the overflow heap's
+        children (only the head bucket can ever be empty).
+        """
+        calendar = self._calendar
+        if type(calendar) is not BucketCalendar:
+            return calendar.min_time()
+        cycles = calendar._cycles
+        if not cycles:
+            return None
+        bucket = calendar._buckets.get(cycles[0])
+        if bucket:
+            return bucket[0][0]
+        if len(cycles) == 1:
+            return None
+        head = cycles[1] if len(cycles) == 2 else min(cycles[1], cycles[2])
+        return calendar._buckets[head][0][0]
 
     # -- fault-injection hook bus -------------------------------------------
     def add_fault_hook(self, site: str, hook: Callable) -> None:
@@ -519,6 +582,9 @@ class Engine:
                     process_cls = Process
                     timeout_cls = Timeout
                     next_seq = self._sequence.__next__
+                    pool = self._timeout_pool
+                    recycle = self._recycle
+                    refcount = getrefcount
                     while cycles:
                         # Drain one bucket to exhaustion.  All entries pushed
                         # while draining land in this bucket or a later one
@@ -549,7 +615,13 @@ class Engine:
                                         # straight into the bucket we are
                                         # draining — skipping the int()/dict
                                         # probe of the generic schedule path.
+                                        # ``waiting_on`` goes back to None
+                                        # (its documented scheduled state),
+                                        # which also releases the waiter's
+                                        # reference so the timeout can be
+                                        # recycled below.
                                         for process in waiters:
+                                            process.waiting_on = None
                                             heappush(
                                                 bucket,
                                                 (when, next_seq(),
@@ -571,10 +643,23 @@ class Engine:
                                             waiter._step(None)
                                     else:
                                         for process in waiters:
+                                            process.waiting_on = None
                                             heappush(
                                                 bucket,
                                                 (when, next_seq(),
                                                  process, None))
+                                # Recycle the fired record when nothing else
+                                # references it any more (refcount 2 = the
+                                # ``task`` local + getrefcount's argument):
+                                # a process that kept the timeout — e.g.
+                                # ``t = engine.timeout(n); yield t`` — or a
+                                # still-set ``waiting_on`` pins it and the
+                                # record is simply left to the GC.
+                                if (recycle and not task.callbacks
+                                        and refcount(task) == 2
+                                        and len(pool) < _TIMEOUT_POOL_MAX):
+                                    waiters.clear()
+                                    pool.append(task)
                             elif (task.__class__ is process_cls
                                     or isinstance(task, process_cls)):
                                 if not task.done:  # killed procs: stale entries

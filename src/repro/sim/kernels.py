@@ -1,0 +1,123 @@
+"""Array kernels for batched trace pricing (numpy optional).
+
+The batched replay fast path (:meth:`repro.sim.core.CoreModel.execute_batch`)
+splits into a *sweep* — a serial walk over the captured ops that drives the
+stateful cache model access by access, in exactly the order the serial path
+would — and *pricing*: turning the collected per-op latencies into per-trace
+cycle costs.  The sweep is inherently sequential (every access mutates cache
+state); the pricing is pure arithmetic over flat arrays, which is what this
+module vectorises.
+
+Bit-exactness contract: every kernel reproduces the serial model's float
+operations value-for-value.  Latencies are integers, so wave maxima and
+per-trace sums are exact in float64 regardless of summation order; the
+compute/floor expressions are evaluated in the same association order as
+:meth:`~repro.sim.core.CoreModel.execute`.  The parity-pin suite holds the
+vectorised, pure-Python, and serial paths to rel=1e-12 on whole experiments,
+and ``tests/sim/test_batch_kernels.py`` pins result-for-result equality.
+
+numpy is an *optional* dependency (the ``fast`` extra): when it is missing —
+or disabled via ``REPRO_NO_NUMPY=1`` — :func:`numpy_active` reports False and
+``execute_batch`` takes the pure-Python fallback, which computes the same
+numbers one trace at a time.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Sequence, Tuple
+
+#: Set to a truthy value ("1"/"true"/"yes"/"on") to force the pure-Python
+#: pricing fallback even when numpy is importable.  Checked per call, so
+#: tests can toggle it with ``monkeypatch.setenv``.
+NUMPY_DISABLE_ENV = "REPRO_NO_NUMPY"
+
+try:
+    import numpy as np
+    HAS_NUMPY = True
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    np = None
+    HAS_NUMPY = False
+
+
+def numpy_active() -> bool:
+    """Whether the vectorised pricing kernels are usable right now."""
+    if not HAS_NUMPY:
+        return False
+    return os.environ.get(NUMPY_DISABLE_ENV, "").lower() not in (
+        "1", "true", "yes", "on")
+
+
+def price_batch(latencies: Sequence[int],
+                group_starts: Sequence[int],
+                group_traces: Sequence[int],
+                mix_totals: Sequence[int],
+                mlp: int,
+                l1_hit: int,
+                base_cpi: float,
+                compute_overlap: float,
+                issue_width: int,
+                lock_cycles_each: float,
+                ) -> Tuple[List[float], List[float], List[float],
+                           List[int], List[int]]:
+    """Price a swept batch; returns per-trace and histogram aggregates.
+
+    Inputs describe the flat access stream: ``latencies[i]`` is the i-th
+    access's latency, ``group_starts[g]`` the op index where dependency
+    group ``g`` begins, ``group_traces[g]`` the trace that group belongs
+    to, ``mix_totals[t]`` trace ``t``'s instruction count.
+
+    Returns ``(totals, compute_parts, memory_parts, hist_values,
+    hist_counts)``: per-trace total cycles, the breakdown's compute part
+    (floor-adjusted where the issue width binds) and memory part, plus the
+    ascending latency histogram (value/count pairs) for the deferred
+    metrics flush.
+
+    The wave model matches the serial fold: within each dependency group
+    latencies sort descending, every ``mlp``-th entry leads a wave, and a
+    wave costs ``max(0, leader - l1_hit)``.
+    """
+    num_traces = len(mix_totals)
+    mix = np.asarray(mix_totals, dtype=np.int64)
+    lat = np.asarray(latencies, dtype=np.int64)
+    ops = lat.shape[0]
+    if ops:
+        starts = np.asarray(group_starts, dtype=np.int64)
+        lengths = np.diff(np.append(starts, ops))
+        group_ids = np.repeat(np.arange(starts.shape[0]), lengths)
+        # Stable sort: primary key group, secondary descending latency.
+        order = np.lexsort((-lat, group_ids))
+        sorted_lat = lat[order]
+        rank_in_group = np.arange(ops, dtype=np.int64) - np.repeat(
+            starts, lengths)
+        leaders = (rank_in_group % mlp) == 0
+        exposed = sorted_lat[leaders] - l1_hit
+        np.maximum(exposed, 0, out=exposed)
+        # Sorted blocks stay in group order, so trace-of-op follows the
+        # group layout directly.
+        trace_of_op = np.repeat(
+            np.asarray(group_traces, dtype=np.int64), lengths)
+        memory = np.bincount(trace_of_op[leaders], weights=exposed,
+                             minlength=num_traces)
+        hist_values, hist_counts = np.unique(lat, return_counts=True)
+        hist_values = hist_values.tolist()
+        hist_counts = hist_counts.tolist()
+    else:
+        memory = np.zeros(num_traces)
+        hist_values = []
+        hist_counts = []
+
+    # Same association order as the serial path:
+    #   compute = (mix_total * base_cpi) * compute_overlap
+    #   total   = (compute + memory) [+ lock]
+    #   floor   = mix_total / issue_width  (binds -> gap goes to compute)
+    compute = mix * base_cpi * compute_overlap
+    total = compute + memory
+    if lock_cycles_each:
+        total = total + lock_cycles_each
+    floor = mix / issue_width
+    floor_bound = total < floor
+    compute_part = np.where(floor_bound, compute + (floor - total), compute)
+    total = np.where(floor_bound, floor, total)
+    return (total.tolist(), compute_part.tolist(), memory.tolist(),
+            hist_values, hist_counts)

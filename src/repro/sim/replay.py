@@ -1,36 +1,71 @@
 """Batched trace replay: the straight-line fast path through the cache model.
 
+Public contract
+===============
+
 The conventional way to charge a stream of traced operations is one DES hop
 per operation — price the trace on the :class:`~repro.sim.core.CoreModel`,
 ``yield engine.timeout(cycles)``, repeat.  Each hop costs a generator resume
-plus a calendar round-trip, which dominates wall time for the single-stream
-replay workloads (fig09-style sweeps) where nothing else shares the engine.
+plus a calendar round-trip, which dominates wall time for replay-heavy
+workloads.  :class:`TraceReplay` keeps the per-operation contract — cycle
+outcomes agree with the serial path to rel=1e-12 (the parity suite pins
+this, and the batch kernels are bit-exact on integer-latency traces) — but
+collapses the event traffic when nothing observable is lost.  Three
+execution modes exist, chosen per stream by :meth:`TraceReplay.decide`:
 
-:class:`TraceReplay` keeps the same contract but, when *batched* mode is on
-**and** nothing needs per-event interleaving, prices the whole sequence in
-one pass (:meth:`~repro.sim.core.CoreModel.execute_batch` — identical cycle
-arithmetic, deferred metric pushes) and spends the summed cost as a single
-timeout.  The eligibility check is dynamic, per call:
+``batch`` (:data:`REPLAY_BATCH`)
+    Nothing else shares the engine: the whole sequence is priced in one
+    pass (:meth:`~repro.sim.core.CoreModel.execute_batch` — vectorised
+    when numpy is active, see :mod:`repro.sim.kernels`) and the summed
+    cost is spent as a single timeout.
 
-* no fault hooks installed on the engine (:mod:`repro.faults` rewires
-  latencies per access, so every access must stay an observable event);
-* no guard attached (:mod:`repro.guard` budgets/invariants sample the event
-  stream — collapsing it would blind the watchdog);
-* at most one live process on the engine (with concurrent processes —
-  multicore runs, accelerator traffic — intermediate ``engine.now`` states
-  are observable and the per-operation hops must stay).
+``windowed`` (:data:`REPLAY_WINDOWED`)
+    Other processes are live, so intermediate ``engine.now`` states are
+    observable — but only *at their events*.  The replay asks the engine
+    for the next pending event time (:meth:`~repro.sim.engine.Engine.
+    next_event_time`), prices traces serially up to that horizon
+    (:meth:`~repro.sim.core.CoreModel.execute_window`), and spends each
+    window as one timeout.  No foreign process can run strictly inside a
+    window, and at the horizon the engine's FIFO tie-break picks the same
+    winner it would under per-trace hops, so the interleaving — which
+    process touches the shared hierarchy when — is identical to serial
+    replay.  Concurrent workers therefore batch *between interaction
+    points* instead of falling back to one event per lookup.
 
-When any of these holds the call silently falls back to the generator path,
-so ``TraceReplay(batched=True)`` is always safe to use; ``fallbacks`` counts
-how often that happened.  Cycle outcomes agree with the serial path to
-rel=1e-12 (the parity suite pins this): the only drift source is float
-summation order for ``engine.now``, a few ulps at worst.
+``serial`` (:data:`REPLAY_SERIAL`)
+    The classic one-timeout-per-trace loop.  Mandatory whenever per-access
+    observation matters:
+
+    * fault hooks installed (:mod:`repro.faults` rewires latencies per
+      access), or
+    * a guard attached (:mod:`repro.guard` samples the event stream), or
+    * concurrency with windowed mode switched off.
+
+Self-disabling is silent for callers but never invisible: every fallback
+increments ``replay.fallback.<reason>`` (``faults`` / ``guard`` /
+``concurrency``) on the system's metrics registry when one is wired in,
+and batched/windowed executions count ``replay.batches`` /
+``replay.windows``.  Counters are created lazily on first use, so runs
+that never batch leave the metric namespace untouched.
+
+Caveat (windowed capture): stream executors capture every trace up front
+(:meth:`repro.core.software.SoftwareLookupEngine.capture_lookups`) before
+replaying.  A concurrent process that *mutates* the table mid-stream would
+not be reflected in already-captured traces; the shipped multicore
+workloads are lookup-only, and mutating streams should stay on the serial
+path.
+
+Environment toggles: ``REPRO_BATCHED_REPLAY`` opts streams into batching
+(default off, see :func:`batched_replay_default`);
+``REPRO_WINDOWED_REPLAY`` controls whether concurrency degrades to
+windowed replay or all the way to serial (default on, see
+:func:`windowed_replay_default`; only consulted when batching is on).
 """
 
 from __future__ import annotations
 
 import os
-from typing import Generator, Iterable, List
+from typing import Generator, Iterable, List, Optional
 
 from .core import CoreModel, ExecutionResult
 from .engine import Engine
@@ -41,6 +76,25 @@ from .trace import MemTrace
 #: :meth:`repro.exec.backend.SoftwareBackend.lookup_stream`).
 BATCHED_REPLAY_ENV = "REPRO_BATCHED_REPLAY"
 
+#: Environment toggle for the windowed concurrent mode (effective only
+#: when batching is on; default enabled).
+WINDOWED_REPLAY_ENV = "REPRO_WINDOWED_REPLAY"
+
+#: Replay modes returned by :meth:`TraceReplay.decide`.
+REPLAY_BATCH = "batch"
+REPLAY_WINDOWED = "windowed"
+REPLAY_SERIAL = "serial"
+#: Batching was never requested (``batched=False``) — callers should use
+#: their own per-operation idiom (stream executors keep per-key lookups).
+REPLAY_OFF = "off"
+
+#: Metric names recorded on the registry handed to :class:`TraceReplay`.
+METRIC_BATCHES = "replay.batches"
+METRIC_WINDOWS = "replay.windows"
+METRIC_FALLBACK_FAULTS = "replay.fallback.faults"
+METRIC_FALLBACK_GUARD = "replay.fallback.guard"
+METRIC_FALLBACK_CONCURRENCY = "replay.fallback.concurrency"
+
 
 def batched_replay_default() -> bool:
     """Whether batched replay is switched on for this process (opt-in)."""
@@ -48,27 +102,55 @@ def batched_replay_default() -> bool:
         "1", "true", "yes", "on")
 
 
+def windowed_replay_default() -> bool:
+    """Whether concurrent batched streams use windowed replay (opt-out)."""
+    return os.environ.get(WINDOWED_REPLAY_ENV, "1").lower() not in (
+        "0", "false", "no", "off")
+
+
 class TraceReplay:
     """Replays :class:`~repro.sim.trace.MemTrace` sequences as DES programs.
 
     ``batched=False`` (default) reproduces the classic one-timeout-per-trace
-    idiom exactly.  ``batched=True`` opts into the fast path described in
-    the module docstring, subject to the per-call :meth:`eligible` check.
+    idiom exactly.  ``batched=True`` opts into the fast paths described in
+    the module docstring; ``windowed`` controls whether concurrency falls
+    back to windowed replay (default, per :func:`windowed_replay_default`)
+    or all the way to serial.  ``metrics`` is an optional
+    :class:`~repro.obs.metrics.MetricsRegistry` that receives the
+    batch/window/fallback counters.
     """
 
-    __slots__ = ("core", "engine", "batched", "batches", "fallbacks")
+    __slots__ = ("core", "engine", "batched", "windowed", "batches",
+                 "windows", "fallbacks", "_metrics")
 
     def __init__(self, core: CoreModel, engine: Engine,
-                 batched: bool = False) -> None:
+                 batched: bool = False,
+                 windowed: Optional[bool] = None,
+                 metrics=None) -> None:
         self.core = core
         self.engine = engine
         self.batched = batched
-        #: Fast-path batches executed / batched calls that fell back.
+        self.windowed = (windowed_replay_default() if windowed is None
+                         else windowed)
+        #: Fast-path batches / windows executed, and batched calls that
+        #: fell back to serial (the registry counters mirror these).
         self.batches = 0
+        self.windows = 0
         self.fallbacks = 0
+        self._metrics = metrics
+
+    def _count(self, name: str) -> None:
+        metrics = self._metrics
+        if metrics is not None:
+            metrics.counter(name).inc()
 
     def eligible(self) -> bool:
-        """May the *next* replay call collapse into a single event?"""
+        """May the *next* replay call collapse into a single event?
+
+        Counter-free compatibility probe; stream executors should prefer
+        :meth:`decide`, which also resolves the windowed mode and records
+        fallback reasons.
+        """
         if not self.batched:
             return False
         engine = self.engine
@@ -76,16 +158,51 @@ class TraceReplay:
                 and engine._guard is None
                 and len(engine._live) <= 1)
 
+    def decide(self) -> str:
+        """Resolve the replay mode for the next stream, recording counters.
+
+        Called once per stream: returns one of :data:`REPLAY_BATCH`,
+        :data:`REPLAY_WINDOWED`, :data:`REPLAY_SERIAL`, or
+        :data:`REPLAY_OFF`, and increments the matching
+        ``replay.fallback.*`` counter whenever a batched request degrades
+        to serial.  A windowed decision is not a fallback — it is the
+        batching strategy for concurrent engines.
+        """
+        if not self.batched:
+            return REPLAY_OFF
+        engine = self.engine
+        if engine._fault_hooks:
+            self.fallbacks += 1
+            self._count(METRIC_FALLBACK_FAULTS)
+            return REPLAY_SERIAL
+        if engine._guard is not None:
+            self.fallbacks += 1
+            self._count(METRIC_FALLBACK_GUARD)
+            return REPLAY_SERIAL
+        if len(engine._live) > 1:
+            if self.windowed:
+                return REPLAY_WINDOWED
+            self.fallbacks += 1
+            self._count(METRIC_FALLBACK_CONCURRENCY)
+            return REPLAY_SERIAL
+        return REPLAY_BATCH
+
     def replay(self, traces: Iterable[MemTrace],
-               lock_cycles_each: float = 0.0) -> Generator:
+               lock_cycles_each: float = 0.0,
+               mode: Optional[str] = None) -> Generator:
         """DES program replaying ``traces``; returns ``List[ExecutionResult]``.
 
         Drive with ``engine.run_process`` (or ``yield from`` it inside a
-        larger program).
+        larger program).  ``mode`` pins the execution mode (a
+        :meth:`decide` result); when omitted it is decided here, so direct
+        callers keep the one-call contract.
         """
         traces = list(traces)
-        if self.eligible():
+        if mode is None:
+            mode = self.decide()
+        if mode == REPLAY_BATCH:
             self.batches += 1
+            self._count(METRIC_BATCHES)
             results = self.core.execute_batch(
                 traces, lock_cycles_each=lock_cycles_each)
             total = 0.0
@@ -94,12 +211,53 @@ class TraceReplay:
             if total:
                 yield self.engine.timeout(total)
             return results
-        if self.batched:
-            self.fallbacks += 1
+        if mode == REPLAY_WINDOWED:
+            results = yield from self._replay_windowed(traces,
+                                                       lock_cycles_each)
+            return results
         results: List[ExecutionResult] = []
         for trace in traces:
             result = self.core.execute(trace, lock_cycles=lock_cycles_each)
             if result.cycles:
                 yield self.engine.timeout(result.cycles)
             results.append(result)
+        return results
+
+    def _replay_windowed(self, traces: List[MemTrace],
+                         lock_cycles_each: float) -> Generator:
+        """Price between interaction points; one timeout per window.
+
+        Each window prices serially up to the engine's next pending event
+        (no other process can run before it); a window whose cumulative
+        cost crosses the horizon ends there, exactly where serial replay
+        would first yield to the foreign event.  When the calendar holds
+        nothing else — every peer finished or is blocked waiting on us —
+        the remainder collapses into one vectorised batch.
+        """
+        core = self.core
+        engine = self.engine
+        count = len(traces)
+        index = 0
+        results: List[ExecutionResult] = []
+        while index < count:
+            horizon = engine.next_event_time()
+            if horizon is None:
+                self.windows += 1
+                self._count(METRIC_WINDOWS)
+                rest = core.execute_batch(
+                    traces[index:], lock_cycles_each=lock_cycles_each)
+                total = 0.0
+                for result in rest:
+                    total += result.cycles
+                results.extend(rest)
+                if total:
+                    yield engine.timeout(total)
+                return results
+            window, total, index = core.execute_window(
+                traces, index, horizon - engine.now, lock_cycles_each)
+            self.windows += 1
+            self._count(METRIC_WINDOWS)
+            results.extend(window)
+            if total:
+                yield engine.timeout(total)
         return results

@@ -23,6 +23,12 @@ class MemOpKind(Enum):
     STORE = "store"
 
 
+#: Enum members bound at module level: the recording hot path avoids the
+#: per-call descriptor lookup on ``MemOpKind``.
+_LOAD = MemOpKind.LOAD
+_STORE = MemOpKind.STORE
+
+
 class MemOp(NamedTuple):
     """One memory operation performed by functional code.
 
@@ -163,16 +169,22 @@ class Tracer:
     functionally with zero overhead (``NULL_TRACER`` pattern).
     """
 
-    __slots__ = ("trace", "_dep", "enabled")
+    __slots__ = ("trace", "_dep", "enabled", "_ops")
 
     def __init__(self) -> None:
         self.trace = MemTrace()
+        self._ops = self.trace.ops
         self._dep = 0
         self.enabled = True
 
     def begin(self) -> None:
         """Start a fresh trace for the next operation."""
-        self.trace = MemTrace()
+        trace = MemTrace()
+        self.trace = trace
+        # ``_ops`` aliases the live trace's op list so the per-access
+        # recording path skips the trace indirection; ``trace`` is only
+        # ever replaced here and in ``__init__``, keeping them in sync.
+        self._ops = trace.ops
         self._dep = 0
 
     def barrier(self) -> None:
@@ -182,10 +194,10 @@ class Tracer:
     def load(self, addr: int, size: int = 8) -> None:
         # Appends inline (not via MemTrace.load): one call level less on
         # the per-access recording path.
-        self.trace.ops.append(MemOp(addr, size, MemOpKind.LOAD, self._dep))
+        self._ops.append(MemOp(addr, size, _LOAD, self._dep))
 
     def store(self, addr: int, size: int = 8) -> None:
-        self.trace.ops.append(MemOp(addr, size, MemOpKind.STORE, self._dep))
+        self._ops.append(MemOp(addr, size, _STORE, self._dep))
 
     def count(self, loads: int = 0, stores: int = 0, arithmetic: int = 0,
               others: int = 0) -> None:
@@ -194,6 +206,30 @@ class Tracer:
         mix.stores += stores
         mix.arithmetic += arithmetic
         mix.others += others
+
+    def emit_trace(self, ops: Tuple["MemOp", ...], dep_advance: int,
+                   mix: "InstructionMix") -> None:
+        """Replay a pre-recorded op sequence into the current trace.
+
+        ``ops`` carry dependency groups *relative to the sequence start*;
+        they are rebased onto the current group and the recorder advances
+        by ``dep_advance`` (the number of barriers the serial emission
+        would have issued).  Recording through this hook is equivalent,
+        op for op, to the load/store/barrier/count calls it replaces —
+        data structures use it to re-emit memoised probe traces.
+        """
+        base = self._dep
+        if base:
+            self._ops.extend(
+                MemOp(op[0], op[1], op[2], op[3] + base) for op in ops)
+        else:
+            self._ops.extend(ops)
+        self._dep = base + dep_advance
+        trace_mix = self.trace.mix
+        trace_mix.loads += mix.loads
+        trace_mix.stores += mix.stores
+        trace_mix.arithmetic += mix.arithmetic
+        trace_mix.others += mix.others
 
     def take(self) -> MemTrace:
         """Return the current trace and reset."""
@@ -249,6 +285,9 @@ class NullTracer(Tracer):
         pass
 
     def barrier(self) -> None:  # noqa: D102
+        pass
+
+    def emit_trace(self, ops, dep_advance, mix) -> None:  # noqa: D102
         pass
 
 
@@ -311,6 +350,9 @@ class CoreTracerRouter(Tracer):
     def count(self, loads: int = 0, stores: int = 0, arithmetic: int = 0,
               others: int = 0) -> None:
         self._active.count(loads, stores, arithmetic, others)
+
+    def emit_trace(self, ops, dep_advance, mix) -> None:
+        self._active.emit_trace(ops, dep_advance, mix)
 
     def take(self) -> MemTrace:
         return self._active.take()

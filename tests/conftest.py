@@ -1,7 +1,19 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
 
-import numpy as np
+numpy is the optional ``fast`` extra: the no-numpy CI leg runs the
+engine/replay/kernel subsets without it, so this module must import —
+and ``make_keys`` must still produce deterministic distinct keys — when
+numpy is absent.  Fixtures that genuinely need numpy (``rng``) skip.
+"""
+
+import random
+
 import pytest
+
+try:
+    import numpy as np
+except ImportError:
+    np = None
 
 from repro.core import HaloSystem
 from repro.sim import Engine, MemoryHierarchy, SKYLAKE_SP_16C, TINY_MACHINE, Tracer
@@ -36,17 +48,32 @@ def system():
 
 @pytest.fixture
 def rng():
+    if np is None:
+        pytest.skip("numpy unavailable")
     return np.random.default_rng(1234)
 
 
 def make_keys(count, seed=0, key_bytes=16):
-    """Distinct deterministic byte keys."""
-    generator = np.random.default_rng(seed)
+    """Distinct deterministic byte keys.
+
+    The numpy stream is the canonical one (key values are baked into
+    some recorded expectations); the stdlib fallback only runs on the
+    no-numpy CI leg, whose tests assert properties, not key values.
+    """
     keys = set()
     out = []
+    if np is not None:
+        generator = np.random.default_rng(seed)
+        while len(out) < count:
+            key = bytes(generator.integers(0, 256, size=key_bytes,
+                                           dtype=np.uint8))
+            if key not in keys:
+                keys.add(key)
+                out.append(key)
+        return out
+    generator = random.Random(seed)
     while len(out) < count:
-        key = bytes(generator.integers(0, 256, size=key_bytes,
-                                       dtype=np.uint8))
+        key = generator.randbytes(key_bytes)
         if key not in keys:
             keys.add(key)
             out.append(key)

@@ -1,0 +1,115 @@
+"""Lookup-trace memoisation: cached emission is indistinguishable from
+fresh recording.
+
+A lookup's memory trace is a pure function of the key and the table's
+contents, so :class:`~repro.hashtable.cuckoo.CuckooHashTable` caches the
+emitted op tuple per key and replays it through
+:meth:`~repro.sim.trace.Tracer.emit_trace`.  These tests pin the three
+properties that make the cache safe: emitted traces match a fresh
+recording op for op (including the instruction mix), any mutation
+invalidates, and mid-trace emission rebases dependency groups exactly as
+live recording would.
+"""
+
+from __future__ import annotations
+
+from repro.hashtable import CuckooHashTable
+from repro.sim import Tracer
+
+from ..conftest import make_keys
+
+
+def _warm_table(tracer, keys):
+    table = CuckooHashTable(256, tracer=tracer)
+    for index, key in enumerate(keys):
+        table.insert(key, index)
+    return table
+
+
+def _capture(tracer, table, key, key_addr=None):
+    tracer.begin()
+    value = table.lookup(key, key_addr=key_addr)
+    return value, tracer.take()
+
+
+def _view(trace):
+    return (tuple(trace.ops), trace.mix)
+
+
+def test_memoised_trace_matches_fresh_recording():
+    tracer = Tracer()
+    keys = make_keys(32, seed=5)
+    table = _warm_table(tracer, keys)
+    for key in keys:
+        _value, fresh = _capture(tracer, table, key)     # records + caches
+        _value, cached = _capture(tracer, table, key)    # memo hit
+        assert _view(cached) == _view(fresh)
+    # Missing keys memoise their (shorter) probe traces too.
+    miss = make_keys(40, seed=6)[-1]
+    _value, fresh = _capture(tracer, table, miss)
+    _value, cached = _capture(tracer, table, miss)
+    assert _view(cached) == _view(fresh)
+
+
+def test_mutation_invalidates_the_memo():
+    tracer = Tracer()
+    keys = make_keys(48, seed=7)
+    table = _warm_table(tracer, keys[:32])
+    target = keys[0]
+    _capture(tracer, table, target)               # populate the memo
+    stamp = table._mutations
+    table.insert(keys[40], "new")                 # any insert invalidates
+    assert table._mutations > stamp
+    _value, after = _capture(tracer, table, target)
+    # The re-recorded trace must equal what an identical fresh table emits.
+    reference_tracer = Tracer()
+    reference = _warm_table(reference_tracer, keys[:32])
+    reference.insert(keys[40], "new")
+    _value, expected = _capture(reference_tracer, reference, target)
+    assert _view(after) == _view(expected)
+    table.delete(keys[40])
+    assert table._mutations > stamp + 1
+
+
+def test_caller_key_addr_bypasses_the_memo():
+    tracer = Tracer()
+    keys = make_keys(8, seed=8)
+    table = _warm_table(tracer, keys)
+    _value, scratch = _capture(tracer, table, keys[0])
+    _value, custom = _capture(tracer, table, keys[0], key_addr=0xdead000)
+    assert custom.ops[0].addr == 0xdead000
+    assert scratch.ops[0].addr != 0xdead000
+    # The custom-address form was not cached over the scratch form.
+    _value, again = _capture(tracer, table, keys[0])
+    assert _view(again) == _view(scratch)
+
+
+def test_mid_trace_emission_rebases_dependencies():
+    """Two lookups composed in one trace: the memoised second lookup's
+    dependency groups continue from the live trace's barrier counter,
+    exactly as live recording would."""
+    tracer = Tracer()
+    keys = make_keys(8, seed=9)
+    table = _warm_table(tracer, keys)
+    # Fresh composed recording on an identical reference table.
+    reference_tracer = Tracer()
+    reference = _warm_table(reference_tracer, keys)
+    reference_tracer.begin()
+    reference.lookup(keys[0])
+    reference.lookup(keys[1])
+    expected = reference_tracer.take()
+
+    for key in (keys[0], keys[1]):
+        _capture(tracer, table, key)              # populate both memos
+    tracer.begin()
+    table.lookup(keys[0])
+    table.lookup(keys[1])
+    composed = tracer.take()
+    assert _view(composed) == _view(expected)
+    deps = [op.dep for op in composed.ops]
+    assert deps == sorted(deps)
+    # The second lookup's groups sit strictly after the first's.
+    first_len = len(expected.ops) - len(
+        [op for op in expected.ops if op.dep >= 2])
+    assert max(op.dep for op in composed.ops[:first_len]) < min(
+        op.dep for op in composed.ops[first_len:])

@@ -22,7 +22,8 @@ from repro.runner.perf import (
 #: Tiny workload for tests — structure-identical to the real shapes.
 MICRO_SHAPE = perf._Shape(churn_workers=2, churn_hops=20, churn_parked=50,
                           replay_lookups=40, fig09_lookups=20,
-                          multicore_cores=2, multicore_lookups=5, repeats=1)
+                          multicore_cores=2, multicore_lookups=5, repeats=1,
+                          batched_lookups=5, pricing_lookups=40)
 
 
 @pytest.fixture()
@@ -44,8 +45,10 @@ def test_quick_suite_is_schema_valid(micro_suite):
         assert record["wall_s"] > 0, name
         assert record["events_per_sec"] > 0, name
         assert record["events_per_cal_op"] > 0, name
-    # The two engine-vs-engine benches must carry the legacy comparison.
-    for name in ("engine_churn", "cache_replay"):
+    # Benches with a reference side must carry the comparison: two run
+    # the frozen engine, two time their own slow mode.
+    for name in ("engine_churn", "cache_replay", "multicore_batched",
+                 "vector_pricing"):
         assert snapshot["benches"][name]["speedup_vs_legacy"] is not None
     # Lookup benches report a lookup rate; pure-DES churn does not.
     assert snapshot["benches"]["engine_churn"]["lookups_per_sec"] is None
@@ -144,8 +147,9 @@ def test_validate_flags_broken_snapshots():
 
 def test_committed_snapshots_are_valid_and_fast():
     """The checked-in snapshots must parse and validate: the quick
-    baseline CI gates against, and the full trajectory snapshot that
-    records the campaign's >=2x wins over the pre-campaign engine."""
+    baseline CI gates against, and the full trajectory snapshots that
+    record the campaign's wins.  Old trajectory entries validate against
+    the schema they were written with."""
     import pathlib
 
     perf_dir = (pathlib.Path(__file__).resolve().parents[2]
@@ -153,9 +157,23 @@ def test_committed_snapshots_are_valid_and_fast():
     baseline = json.loads((perf_dir / "BENCH_baseline.json").read_text())
     assert validate_snapshot(baseline) == []
     assert baseline["quick"] is True
+    assert baseline["schema_version"] == PERF_SCHEMA_VERSION
 
     trajectory = json.loads((perf_dir / "BENCH_0.json").read_text())
     assert validate_snapshot(trajectory) == []
     assert trajectory["quick"] is False
     for name in ("engine_churn", "cache_replay"):
         assert trajectory["benches"][name]["speedup_vs_legacy"] >= 2.0, name
+
+    latest = json.loads((perf_dir / "BENCH_1.json").read_text())
+    assert validate_snapshot(latest) == []
+    assert latest["quick"] is False
+    assert latest["schema_version"] == PERF_SCHEMA_VERSION
+    # The vectorised+windowed round: cache_replay events/sec moved >=1.5x
+    # over the previous trajectory point (same container), and the
+    # batched multicore composition beats its per-key reference.
+    previous_rate = trajectory["benches"]["cache_replay"]["events_per_sec"]
+    latest_rate = latest["benches"]["cache_replay"]["events_per_sec"]
+    assert latest_rate >= 1.5 * previous_rate
+    assert latest["benches"]["multicore_batched"]["speedup_vs_legacy"] > 1.0
+    assert latest["benches"]["vector_pricing"]["speedup_vs_legacy"] > 1.0

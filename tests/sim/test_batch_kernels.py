@@ -1,0 +1,125 @@
+"""Batched trace pricing: result-for-result parity with the serial path.
+
+``CoreModel.execute_batch`` must produce *exactly* the numbers the serial
+``execute`` loop produces — same cycles, same breakdown parts, same level
+counts, same core counters — on both its implementations: the numpy array
+kernels (:mod:`repro.sim.kernels`) and the pure-Python fallback forced by
+``REPRO_NO_NUMPY=1``.  These tests pin that equality on hand-built traces
+covering the interesting geometries (chains, MLP-bounded waves, stores,
+compute-only traces, L1-resident reruns).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import (CoreModel, InstructionMix, MemOp, MemOpKind,
+                       MemoryHierarchy, MemTrace, SKYLAKE_SP_16C)
+from repro.sim import kernels
+
+#: Both execute_batch implementations, selected via the env toggle.
+PRICING_PATHS = ("vector", "python")
+
+
+def _force_path(monkeypatch, path):
+    if path == "vector":
+        monkeypatch.delenv(kernels.NUMPY_DISABLE_ENV, raising=False)
+        if not kernels.HAS_NUMPY:
+            pytest.skip("numpy unavailable")
+    else:
+        monkeypatch.setenv(kernels.NUMPY_DISABLE_ENV, "1")
+
+
+def _mixed_traces():
+    """A batch exercising every pricing shape the model distinguishes."""
+    mix = InstructionMix(loads=4, arithmetic=30, others=6)
+    traces = [
+        # Pointer chase: three dependent cold accesses.
+        MemTrace([MemOp(0x10000 + i * 4096, dep=i) for i in range(3)], mix),
+        # Independent accesses overlapping up to the MLP.
+        MemTrace([MemOp(0x80000 + i * 4096, dep=0) for i in range(8)], mix),
+        # Store-heavy trace.
+        MemTrace([MemOp(0x120000, kind=MemOpKind.STORE, dep=0),
+                  MemOp(0x121000, kind=MemOpKind.STORE, dep=1)], mix),
+        # Compute-only trace (front-end floor binds).
+        MemTrace([], InstructionMix(arithmetic=100, others=100)),
+        # Rerun of the first chase: now warm, L1 hits hidden.
+        MemTrace([MemOp(0x10000 + i * 4096, dep=i) for i in range(3)], mix),
+        # Mixed chain with a wide middle group.
+        MemTrace([MemOp(0x200000, dep=0)]
+                 + [MemOp(0x210000 + i * 4096, dep=1) for i in range(5)]
+                 + [MemOp(0x220000, dep=2)], mix),
+    ]
+    return traces
+
+
+def _assert_results_equal(serial, batched):
+    assert len(serial) == len(batched)
+    for index, (a, b) in enumerate(zip(serial, batched)):
+        assert a.cycles == b.cycles, index
+        assert dict(a.breakdown.parts) == dict(b.breakdown.parts), index
+        assert a.level_counts == b.level_counts, index
+        assert a.loads == b.loads, index
+        assert a.stores == b.stores, index
+        assert a.instructions == b.instructions, index
+
+
+@pytest.mark.parametrize("path", PRICING_PATHS)
+@pytest.mark.parametrize("lock_cycles", [0.0, 23.0])
+def test_batch_matches_serial_exactly(monkeypatch, path, lock_cycles):
+    _force_path(monkeypatch, path)
+    traces = _mixed_traces()
+    serial_core = CoreModel(0, MemoryHierarchy(SKYLAKE_SP_16C))
+    serial = [serial_core.execute(trace, lock_cycles=lock_cycles)
+              for trace in traces]
+    batch_core = CoreModel(0, MemoryHierarchy(SKYLAKE_SP_16C))
+    batched = batch_core.execute_batch(traces, lock_cycles_each=lock_cycles)
+    _assert_results_equal(serial, batched)
+    # Core-level accumulators agree bit for bit too.
+    assert batch_core.total_cycles == serial_core.total_cycles
+    assert batch_core.retired_instructions == serial_core.retired_instructions
+    assert batch_core.retired_loads == serial_core.retired_loads
+
+
+@pytest.mark.parametrize("path", PRICING_PATHS)
+def test_batch_evolves_cache_state_like_serial(monkeypatch, path):
+    """Accesses sweep the hierarchy in serial order, so a second batch
+    over the same addresses sees the warm state the serial path would."""
+    _force_path(monkeypatch, path)
+    traces = _mixed_traces()
+    core = CoreModel(0, MemoryHierarchy(SKYLAKE_SP_16C))
+    first = core.execute_batch(traces)
+    second = core.execute_batch(traces)
+    assert sum(r.cycles for r in second) < sum(r.cycles for r in first)
+    serial_core = CoreModel(0, MemoryHierarchy(SKYLAKE_SP_16C))
+    for trace in traces:
+        serial_core.execute(trace)
+    serial_second = [serial_core.execute(trace) for trace in traces]
+    _assert_results_equal(serial_second, second)
+
+
+def test_vector_and_python_paths_agree(monkeypatch):
+    if not kernels.HAS_NUMPY:
+        pytest.skip("numpy unavailable")
+    traces = _mixed_traces()
+    monkeypatch.delenv(kernels.NUMPY_DISABLE_ENV, raising=False)
+    vector_core = CoreModel(0, MemoryHierarchy(SKYLAKE_SP_16C))
+    vector = vector_core.execute_batch(traces, lock_cycles_each=7.5)
+    monkeypatch.setenv(kernels.NUMPY_DISABLE_ENV, "1")
+    python_core = CoreModel(0, MemoryHierarchy(SKYLAKE_SP_16C))
+    python = python_core.execute_batch(traces, lock_cycles_each=7.5)
+    _assert_results_equal(vector, python)
+
+
+def test_numpy_active_respects_env(monkeypatch):
+    monkeypatch.setenv(kernels.NUMPY_DISABLE_ENV, "1")
+    assert kernels.numpy_active() is False
+    monkeypatch.delenv(kernels.NUMPY_DISABLE_ENV, raising=False)
+    assert kernels.numpy_active() is kernels.HAS_NUMPY
+
+
+@pytest.mark.parametrize("path", PRICING_PATHS)
+def test_empty_batch(monkeypatch, path):
+    _force_path(monkeypatch, path)
+    core = CoreModel(0, MemoryHierarchy(SKYLAKE_SP_16C))
+    assert core.execute_batch([]) == []

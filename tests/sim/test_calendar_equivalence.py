@@ -107,9 +107,9 @@ _PROGRAMS = st.lists(st.lists(_ACTIONS, min_size=1, max_size=8),
                      min_size=1, max_size=5)
 
 
-def _run_schedule(calendar: str, programs):
+def _run_schedule(calendar: str, programs, **engine_kwargs):
     """Interpret the randomized programs; return (trace, now, events)."""
-    engine = Engine(calendar=calendar)
+    engine = Engine(calendar=calendar, **engine_kwargs)
     trace = []
     registry = []  # every process ever spawned, kill targets by index
     own = {}       # wid -> the worker's own Process (self-kill excluded)
@@ -158,6 +158,23 @@ def test_engines_execute_identically(programs):
     assert heap_run[0] == bucket_run[0]          # execution trace
     assert heap_run[1] == bucket_run[1]          # final clock
     assert heap_run[2] == bucket_run[2]          # events processed
+
+
+@settings(max_examples=120, deadline=None)
+@given(_PROGRAMS)
+def test_timeout_freelist_is_invisible(programs):
+    """Recycling fired Timeout records must be pure allocation reuse.
+
+    The same randomized programs (kills included — a killed waiter's
+    orphaned timeout must never be recycled early) run with the free-list
+    on and off and must produce identical execution traces, final clocks,
+    and event counts.
+    """
+    recycled = _run_schedule("bucket", programs, recycle_timeouts=True)
+    fresh = _run_schedule("bucket", programs, recycle_timeouts=False)
+    assert recycled[0] == fresh[0]               # execution trace
+    assert recycled[1] == fresh[1]               # final clock
+    assert recycled[2] == fresh[2]               # events processed
 
 
 def test_default_engine_is_bucketed():

@@ -1,0 +1,66 @@
+"""The public-contract docstring lint: the pinned modules carry their
+contracts, and the checker catches missing files, stubs, and contracts
+that were silently dropped."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+SCRIPT = REPO_ROOT / "scripts" / "check_docstrings.py"
+
+spec = importlib.util.spec_from_file_location("check_docstrings", SCRIPT)
+check_docstrings = importlib.util.module_from_spec(spec)
+sys.modules.setdefault("check_docstrings", check_docstrings)
+spec.loader.exec_module(check_docstrings)
+
+
+def test_repo_is_clean():
+    violations = check_docstrings.check_tree(REPO_ROOT / "src")
+    assert violations == [], violations
+
+
+def test_missing_module_is_flagged(tmp_path):
+    problems = check_docstrings.check_module(tmp_path / "absent.py")
+    assert problems and "missing" in problems[0]
+
+
+def test_missing_docstring_is_flagged(tmp_path):
+    module = tmp_path / "bare.py"
+    module.write_text("x = 1\n")
+    problems = check_docstrings.check_module(module)
+    assert problems == [f"{module}: no module docstring"]
+
+
+def test_stub_docstring_is_flagged(tmp_path):
+    module = tmp_path / "stub.py"
+    module.write_text('"""Public contract: everything."""\n')
+    problems = check_docstrings.check_module(module)
+    assert len(problems) == 1 and "stub" in problems[0]
+
+
+def test_contract_phrase_required(tmp_path):
+    module = tmp_path / "wordy.py"
+    module.write_text('"""%s"""\n' % ("A long docstring without the magic "
+                                      "words, padded well past the stub "
+                                      "threshold so only the marker check "
+                                      "fires. " * 4))
+    problems = check_docstrings.check_module(module)
+    assert len(problems) == 1
+    assert "public contract" in problems[0]
+
+
+def test_unparseable_module_is_flagged(tmp_path):
+    module = tmp_path / "broken.py"
+    module.write_text("def (:\n")
+    problems = check_docstrings.check_module(module)
+    assert problems and "cannot parse" in problems[0]
+
+
+def test_cli_exit_codes(tmp_path, capsys):
+    assert check_docstrings.main(["--src", str(REPO_ROOT / "src")]) == 0
+    assert check_docstrings.main(["--src", str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "missing" in out
