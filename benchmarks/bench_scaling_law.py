@@ -1,0 +1,27 @@
+"""Scale-out law: per-socket HALO vs sharded vswitch cluster (§6 ext.).
+
+When does sharding the flow table across independent single-socket
+vswitch instances beat one monolithic vswitch on a multi-socket NUCA
+machine?  The sweep measures the crossover and the effect of
+skew-triggered RSS rebalancing.
+
+Thin wrapper over the ``repro.runner`` registry (experiment
+``scaling_law``); ``python -m repro bench --only scaling_law`` runs the
+same grid.
+"""
+
+from repro.runner import run_for_bench
+
+from _common import record_report, run_once
+
+
+def test_scaling_law(benchmark):
+    payloads, report = run_once(benchmark, run_for_bench, "scaling_law")
+    record_report("scaling_law", report)
+    points = {point.label: point for point in payloads.values()}
+    assert (points["shard_2"].throughput_per_kcycle
+            > points["mono_2s"].throughput_per_kcycle)
+    assert points["mono_2s"].link_crossings > 0
+    assert points["skew_4_rebal"].rebalance_moves > 0
+    assert (points["skew_4_rebal"].max_shard_fraction
+            < points["skew_4"].max_shard_fraction)

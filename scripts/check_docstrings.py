@@ -32,6 +32,9 @@ CONTRACT_MODULES = (
     "repro/runner/pool.py",
     "repro/runner/journal.py",
     "repro/sim/replay.py",
+    "repro/cluster/__init__.py",
+    "repro/cluster/cluster.py",
+    "repro/cluster/shards.py",
 )
 
 #: The marker phrase the docstring must contain (case-sensitive).

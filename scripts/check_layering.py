@@ -4,7 +4,7 @@
 The repo's layers, bottom to top (rank 0 upward)::
 
     obs < guard < sim < hashtable < classifier < traffic < core < tcam
-        < exec < faults < vswitch < nf < analysis < runner
+        < exec < faults < vswitch < nf < analysis < runner < cluster
 
 A module in layer L may import (at module level) only from layers with a
 rank <= L.  Upward imports — e.g. ``repro.obs`` importing from
@@ -13,6 +13,13 @@ flagged.  Only *module-level* (top-level AST) imports count: a
 function-local import is the sanctioned escape hatch for facades such as
 ``HaloSystem.backend()``, which constructs objects from the layer above
 without creating a static upward edge.
+
+``repro.cluster`` is the top layer: it composes whole systems (core),
+workloads (exec/traffic), and the supervised pool (runner) into sharded
+cluster runs, so everything sits below it.  The single sanctioned upward
+edge is ``analysis -> cluster`` (:data:`ALLOWED_UPWARD`): experiments
+sweep cluster configurations, but no model layer — sim, core, exec,
+vswitch, nf — may ever know the cluster exists.
 
 Some layers additionally restrict who above them may import them at all:
 ``repro.faults`` is a leaf capability — it may import sim/core/exec, but
@@ -56,8 +63,17 @@ LAYERS = (
     "nf",
     "analysis",
     "runner",
+    "cluster",
 )
 RANK = {name: index for index, name in enumerate(LAYERS)}
+
+#: Sanctioned upward edges: ``(importing layer, imported layer)`` pairs
+#: exempt from the rank rule.  Kept deliberately tiny — every entry is a
+#: hole in the one-directional story and needs a written justification
+#: (see the module docstring).
+ALLOWED_UPWARD = {
+    ("analysis", "cluster"),
+}
 
 #: Layers only *some* higher layers may import: ``{layer: allowed}``.
 #: A module above ``layer`` whose own layer is not in ``allowed`` must not
@@ -137,6 +153,8 @@ def check_file(path: Path, src: Path) -> List[Tuple[str, int, str, str]]:
             if target_layer is None:
                 continue
             if RANK[target_layer] > rank:
+                if (layer, target_layer) in ALLOWED_UPWARD:
+                    continue
                 violations.append((
                     module, node.lineno, target,
                     f"layer '{layer}' (rank {rank}) must not import "

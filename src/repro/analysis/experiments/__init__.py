@@ -22,6 +22,7 @@ from . import (
     fig13_nf_speedup,
     keysize_sweep,
     multicore_scaling,
+    scaling_law,
     sec34_concurrency,
     tab01_instructions,
     tab04_power,
@@ -43,6 +44,7 @@ __all__ = [
     "fig13_nf_speedup",
     "keysize_sweep",
     "multicore_scaling",
+    "scaling_law",
     "sec34_concurrency",
     "tab01_instructions",
     "tab04_power",

@@ -1,0 +1,41 @@
+"""Sharded vswitch serving: N simulated switch instances behind RSS.
+
+The paper stops at one socket; the scale-out question — when does adding
+HALO-equipped sockets stop paying and sharding the flow table across
+*separate* vswitch instances take over (§6's evaluation frame, extended)
+— needs a cluster model.  This package provides it:
+
+* :class:`~repro.cluster.balancer.RssBalancer` — a deterministic
+  RSS-style flow-hash balancer (SplitMix64 over the packed 5-tuple into
+  an indirection table) with greedy skew-triggered rebalancing.
+* :func:`~repro.cluster.shards.run_shard` — one shard's simulation: a
+  full :class:`~repro.core.halo_system.HaloSystem` on its own topology,
+  serving exactly the keys the balancer routed to it.
+* :func:`~repro.cluster.cluster.run_cluster` — the orchestrator: routes
+  a key stream, optionally rebalances, runs every shard (genuinely in
+  parallel through the supervised pool when the process is allowed to
+  fork; inline otherwise — identical results either way), and merges
+  the shards' latency histograms and ``repro.obs`` counters.
+
+Public contract: :class:`ClusterConfig` / :class:`ClusterResult` /
+:func:`run_cluster`, :class:`RssBalancer` (hash determinism: same seed +
+same key bytes → same shard, forever), and :func:`run_shard`'s
+``(label, params, seed)`` signature — it is dispatched by dotted path
+into supervised-pool workers, so its location and signature are API.
+Layering: *nothing* below ``repro.analysis`` may import this package;
+experiments reach it, model code never does.
+"""
+
+from .balancer import RebalanceResult, RssBalancer
+from .cluster import ClusterConfig, ClusterResult, run_cluster
+from .shards import ShardResult, run_shard
+
+__all__ = [
+    "ClusterConfig",
+    "ClusterResult",
+    "RebalanceResult",
+    "RssBalancer",
+    "ShardResult",
+    "run_cluster",
+    "run_shard",
+]

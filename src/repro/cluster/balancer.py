@@ -1,0 +1,170 @@
+"""Deterministic RSS flow-hash balancer with skew-triggered rebalancing.
+
+Models the NIC receive-side-scaling stage in front of a sharded vswitch
+cluster: a stateless hash of the packed 5-tuple indexes a small
+*indirection table* whose entries name shards.  Uniform traffic spreads
+evenly by construction; skewed (Zipf) traffic piles hot flows onto a few
+entries, and :meth:`RssBalancer.rebalance` migrates the hottest entries
+off the most-loaded shard exactly the way an RSS indirection-table
+rewrite does in hardware — flows move in entry-sized groups, never
+individually, and the hash itself never changes.
+
+Determinism is the point: the same ``(seed, key bytes)`` pair maps to
+the same entry on every run, every process, every platform (SplitMix64
+is exact 64-bit arithmetic), so shard workers can re-derive their own
+key subsets from the stream definition instead of shipping key lists
+across process boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence
+
+from ..sim.interconnect import _mix64
+
+
+@dataclass
+class RebalanceResult:
+    """What one rebalancing pass did."""
+
+    moves: List[tuple] = field(default_factory=list)  # (entry, from, to)
+    max_load_before: int = 0
+    max_load_after: int = 0
+    loads_before: List[int] = field(default_factory=list)
+    loads_after: List[int] = field(default_factory=list)
+
+    @property
+    def improved(self) -> bool:
+        return self.max_load_after < self.max_load_before
+
+
+class RssBalancer:
+    """RSS-style flow→shard mapping through an indirection table.
+
+    ``table_size`` entries (hardware uses 128 or 512) are initialised
+    round-robin over ``shards``; :meth:`entry_of` hashes a packed key to
+    an entry, :meth:`shard_of` follows the table.  Rebalancing rewrites
+    table entries only — the deterministic hash is immutable.
+    """
+
+    def __init__(self, shards: int, table_size: int = 128,
+                 seed: int = 0) -> None:
+        if shards < 1:
+            raise ValueError(f"RssBalancer needs >= 1 shard (got {shards})")
+        if table_size < shards:
+            raise ValueError(
+                f"indirection table of {table_size} entries cannot cover "
+                f"{shards} shards; use table_size >= shards")
+        self.shards = shards
+        self.table_size = table_size
+        self.seed = seed
+        self.table: List[int] = [i % shards for i in range(table_size)]
+        self._salt = _mix64(seed ^ 0x9E3779B97F4A7C15)
+
+    # -- hashing ---------------------------------------------------------------
+    def entry_of(self, key: bytes) -> int:
+        """Indirection-table entry for a packed key (pure, stateless)."""
+        value = self._salt
+        for offset in range(0, len(key), 8):
+            word = int.from_bytes(key[offset:offset + 8], "little")
+            value = _mix64(value ^ word)
+        return value % self.table_size
+
+    def shard_of(self, key: bytes) -> int:
+        """The shard currently serving a key."""
+        return self.table[self.entry_of(key)]
+
+    def install(self, table: Sequence[int]) -> None:
+        """Adopt a previously computed indirection table (shard workers
+        re-create the balancer and install the orchestrator's table)."""
+        if len(table) != self.table_size:
+            raise ValueError(
+                f"indirection table length {len(table)} != configured "
+                f"table_size {self.table_size}")
+        for entry, shard in enumerate(table):
+            if not 0 <= shard < self.shards:
+                raise ValueError(
+                    f"entry {entry} routes to shard {shard}, outside "
+                    f"0..{self.shards - 1}")
+        self.table = list(table)
+
+    # -- load accounting -------------------------------------------------------
+    def entry_loads(self, keys: Iterable[bytes]) -> List[int]:
+        """Per-indirection-entry key counts for a stream."""
+        loads = [0] * self.table_size
+        entry_of = self.entry_of
+        # Identical byte strings hash identically: memoise per distinct key.
+        memo: Dict[bytes, int] = {}
+        for key in keys:
+            entry = memo.get(key)
+            if entry is None:
+                entry = memo[key] = entry_of(key)
+            loads[entry] += 1
+        return loads
+
+    def shard_loads(self, keys: Iterable[bytes]) -> List[int]:
+        """Per-shard key counts for a stream under the current table."""
+        entry_loads = self.entry_loads(keys)
+        loads = [0] * self.shards
+        for entry, load in enumerate(entry_loads):
+            loads[self.table[entry]] += load
+        return loads
+
+    def imbalance(self, keys: Iterable[bytes]) -> float:
+        """``max/mean - 1`` of shard loads (0 = perfectly even)."""
+        loads = self.shard_loads(keys)
+        total = sum(loads)
+        if not total:
+            return 0.0
+        mean = total / self.shards
+        return max(loads) / mean - 1.0
+
+    # -- rebalancing -----------------------------------------------------------
+    def rebalance(self, keys: Iterable[bytes],
+                  max_moves: int = 1024) -> RebalanceResult:
+        """Greedy indirection-table rewrite to shrink the hottest shard.
+
+        Repeatedly moves the heaviest movable entry from the currently
+        most-loaded shard to the least-loaded one, accepting only moves
+        that keep the receiver strictly below the donor's pre-move load
+        (so the global maximum never increases, and strictly decreases
+        whenever any move is possible).  Deterministic: ties break on the
+        lowest entry/shard index.
+        """
+        entry_loads = self.entry_loads(keys)
+        loads = [0] * self.shards
+        for entry, load in enumerate(entry_loads):
+            loads[self.table[entry]] += load
+        result = RebalanceResult(max_load_before=max(loads),
+                                 loads_before=list(loads))
+        by_shard: List[List[int]] = [[] for _ in range(self.shards)]
+        for entry in range(self.table_size):
+            by_shard[self.table[entry]].append(entry)
+
+        for _ in range(max_moves):
+            donor = max(range(self.shards), key=lambda s: (loads[s], -s))
+            receiver = min(range(self.shards), key=lambda s: (loads[s], s))
+            if donor == receiver:
+                break
+            # Heaviest entry the receiver can absorb while staying
+            # strictly under the donor's current load.
+            candidates = [entry for entry in by_shard[donor]
+                          if entry_loads[entry] > 0
+                          and loads[receiver] + entry_loads[entry]
+                          < loads[donor]]
+            if not candidates:
+                break
+            entry = max(candidates,
+                        key=lambda e: (entry_loads[e], -e))
+            weight = entry_loads[entry]
+            self.table[entry] = receiver
+            by_shard[donor].remove(entry)
+            by_shard[receiver].append(entry)
+            loads[donor] -= weight
+            loads[receiver] += weight
+            result.moves.append((entry, donor, receiver))
+
+        result.max_load_after = max(loads)
+        result.loads_after = list(loads)
+        return result

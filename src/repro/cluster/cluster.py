@@ -1,0 +1,231 @@
+"""Cluster orchestration: route, rebalance, run shards, merge results.
+
+:func:`run_cluster` is the scale-out counterpart of a single
+:class:`~repro.core.halo_system.HaloSystem` run.  It derives the
+cluster-wide key stream from a :class:`ClusterConfig`, routes it through
+an :class:`~repro.cluster.balancer.RssBalancer`, optionally performs one
+skew-triggered indirection-table rebalance, then runs every shard as an
+independent simulation — genuinely in parallel through the supervised
+pool (each shard is its own killable process) whenever the current
+process may fork, inline otherwise.  The two dispatch modes produce
+*identical* shard results: shards are pure functions of their params
+dict, and the orchestrator aggregates the same picklable
+:class:`~repro.cluster.shards.ShardResult` payloads either way.
+
+Aggregation merges the shards' fixed-bucket latency histograms (exact —
+all shards share :data:`~repro.obs.metrics.DEFAULT_LATENCY_BUCKETS`),
+sums lookup/hit counters, and models cluster throughput as total
+lookups over the *slowest* shard's simulated cycles (shards run
+concurrently on separate machines, so the straggler sets the pace).
+
+Public contract: :class:`ClusterConfig`, :class:`ClusterResult`, and
+:func:`run_cluster` are stable API — ``repro.analysis`` experiments and
+external harnesses build on them.  Dispatch internals (pool vs inline
+selection, spec construction) may change without notice.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..obs.metrics import Histogram
+from .balancer import RebalanceResult, RssBalancer
+from .shards import ShardResult, run_shard
+
+#: Dotted path the supervised pool's children resolve to run one shard.
+SHARD_ENTRYPOINT = "repro.cluster.shards:run_shard"
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Everything that defines one cluster run (frozen, hashable-ish).
+
+    ``parallel=None`` (default) auto-selects: supervised-pool dispatch
+    when there is more than one shard and the current process is allowed
+    to fork children (daemonic pool workers are not — they fall back
+    inline, so a cluster run can itself be a pool work unit).
+    """
+
+    shards: int = 2
+    sockets: int = 1
+    flows: int = 256
+    lookups: int = 2048
+    zipf_s: float = 0.0
+    backend: str = "software"
+    #: Rewrite the indirection table before running when shard-load
+    #: imbalance (``max/mean - 1``) exceeds ``rebalance_threshold``.
+    rebalance: bool = False
+    rebalance_threshold: float = 0.10
+    table_capacity: int = 1 << 10
+    table_size: int = 128
+    seed: int = 1234
+    parallel: Optional[bool] = None
+    timeout_s: Optional[float] = None
+    retries: int = 0
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError(
+                f"ClusterConfig.shards must be >= 1 (got {self.shards})")
+        if self.sockets < 1:
+            raise ValueError(
+                f"ClusterConfig.sockets must be >= 1 (got {self.sockets})")
+        if self.lookups < 1:
+            raise ValueError(
+                f"ClusterConfig.lookups must be >= 1 (got {self.lookups})")
+
+
+@dataclass
+class ClusterResult:
+    """Merged view of one cluster run."""
+
+    config: ClusterConfig
+    shard_results: List[ShardResult]
+    #: ``"pool"`` or ``"inline"`` — which dispatch path actually ran.
+    mode: str
+    loads_before: List[int] = field(default_factory=list)
+    loads_after: List[int] = field(default_factory=list)
+    imbalance_before: float = 0.0
+    imbalance_after: float = 0.0
+    rebalance_moves: int = 0
+    rebalanced: bool = False
+    total_lookups: int = 0
+    total_found: int = 0
+    p50_cycles: float = 0.0
+    p99_cycles: float = 0.0
+    mean_cycles: float = 0.0
+    #: Total lookups / slowest shard's simulated cycles, × 1000.
+    throughput_per_kcycle: float = 0.0
+    #: Slowest shard's simulated cycles (the cluster's makespan).
+    makespan_cycles: float = 0.0
+    #: Largest shard's share of the stream (1/shards = perfectly even).
+    max_shard_fraction: float = 0.0
+    link_crossings: int = 0
+
+    def merged_latency(self) -> Histogram:
+        """Exact cross-shard latency distribution (fixed-bucket merge)."""
+        merged = Histogram("cluster.latency")
+        for shard_result in self.shard_results:
+            merged = merged.merge(shard_result.latency_histogram())
+        return merged
+
+
+def _shard_params(config: ClusterConfig, shard: int,
+                  assignments: List[int]) -> Dict[str, Any]:
+    return {
+        "shard": shard,
+        "shards": config.shards,
+        "sockets": config.sockets,
+        "backend": config.backend,
+        "flows": config.flows,
+        "lookups": config.lookups,
+        "zipf_s": config.zipf_s,
+        "flow_seed": config.seed,
+        "stream_seed": config.seed + 1,
+        "table_size": config.table_size,
+        "balancer_seed": config.seed,
+        "assignments": assignments,
+        "table_capacity": config.table_capacity,
+    }
+
+
+def _dispatch_pool(config: ClusterConfig,
+                   param_sets: List[Dict[str, Any]]) -> List[ShardResult]:
+    from ..runner.pool import run_supervised
+    from ..runner.schema import RunSpec
+
+    specs = [RunSpec(experiment="cluster", label=f"shard{params['shard']:02d}",
+                     params=params, seed=config.seed + params["shard"])
+             for params in param_sets]
+    outcomes, skipped = run_supervised(
+        specs, jobs=min(len(specs), max(1, multiprocessing.cpu_count())),
+        timeout_s=config.timeout_s, retries=config.retries,
+        entrypoint=SHARD_ENTRYPOINT)
+    if skipped:
+        raise RuntimeError(
+            f"cluster dispatch skipped {len(skipped)} shard(s) "
+            "(supervisor stop requested)")
+    failures = [outcome for outcome in outcomes if not outcome.ok]
+    if failures:
+        worst = failures[0]
+        raise RuntimeError(
+            f"{len(failures)} shard(s) failed; first: {worst.spec.run_id} "
+            f"[{worst.error_type}] {worst.message}")
+    by_label = {outcome.spec.label: outcome.payload for outcome in outcomes}
+    return [by_label[f"shard{params['shard']:02d}"] for params in param_sets]
+
+
+def run_cluster(config: ClusterConfig) -> ClusterResult:
+    """Run the whole cluster and merge its shards' results.
+
+    Deterministic end to end: the stream, the routing, the (optional)
+    rebalance, and every shard simulation derive from ``config`` alone,
+    so repeated calls — in either dispatch mode — agree exactly.
+    """
+    from ..traffic.generator import FlowSet, key_stream
+
+    flow_set = FlowSet.generate(config.flows, seed=config.seed)
+    keys = key_stream(flow_set, config.lookups, zipf_s=config.zipf_s,
+                      seed=config.seed + 1)
+
+    balancer = RssBalancer(config.shards, table_size=config.table_size,
+                           seed=config.seed)
+    loads_before = balancer.shard_loads(keys)
+    total = sum(loads_before)
+    mean = total / config.shards if config.shards else 0.0
+    imbalance_before = (max(loads_before) / mean - 1.0) if mean else 0.0
+
+    rebalance_result: Optional[RebalanceResult] = None
+    if (config.rebalance and config.shards > 1
+            and imbalance_before > config.rebalance_threshold):
+        rebalance_result = balancer.rebalance(keys)
+
+    loads_after = balancer.shard_loads(keys)
+    imbalance_after = (max(loads_after) / mean - 1.0) if mean else 0.0
+
+    param_sets = [_shard_params(config, shard, list(balancer.table))
+                  for shard in range(config.shards)]
+
+    use_pool = (config.parallel is not False and config.shards > 1
+                and not multiprocessing.current_process().daemon)
+    if config.parallel is True and multiprocessing.current_process().daemon:
+        raise RuntimeError(
+            "parallel cluster dispatch requested from a daemonic process, "
+            "which cannot fork children; use parallel=None (auto) or False")
+    if use_pool:
+        mode = "pool"
+        shard_results = _dispatch_pool(config, param_sets)
+    else:
+        mode = "inline"
+        shard_results = [run_shard(f"shard{params['shard']:02d}", params,
+                                   config.seed + params["shard"])
+                         for params in param_sets]
+
+    result = ClusterResult(
+        config=config, shard_results=shard_results, mode=mode,
+        loads_before=loads_before, loads_after=loads_after,
+        imbalance_before=imbalance_before, imbalance_after=imbalance_after,
+        rebalance_moves=len(rebalance_result.moves) if rebalance_result
+        else 0,
+        rebalanced=rebalance_result is not None)
+
+    merged = result.merged_latency()
+    result.total_lookups = sum(r.lookups for r in shard_results)
+    result.total_found = sum(r.found for r in shard_results)
+    result.makespan_cycles = max(
+        (r.elapsed_cycles for r in shard_results), default=0.0)
+    if result.makespan_cycles:
+        result.throughput_per_kcycle = (
+            result.total_lookups / result.makespan_cycles * 1000.0)
+    if merged.count:
+        result.p50_cycles = merged.p50
+        result.p99_cycles = merged.p99
+        result.mean_cycles = merged.mean
+    if result.total_lookups:
+        result.max_shard_fraction = (
+            max(r.lookups for r in shard_results) / result.total_lookups)
+    result.link_crossings = int(sum(r.mem.get("link_crossings", 0)
+                                    for r in shard_results))
+    return result

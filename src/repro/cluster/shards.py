@@ -1,0 +1,172 @@
+"""One vswitch shard's simulation, shaped for supervised-pool dispatch.
+
+A shard is a complete :class:`~repro.core.halo_system.HaloSystem` — its
+own engine, memory hierarchy, accelerators — serving exactly the subset
+of a cluster-wide key stream that the RSS balancer routed to it.  The
+whole workload definition travels as a small picklable ``params`` dict
+(stream seeds + the balancer's indirection table), and the shard
+re-derives its key subset deterministically; key lists never cross the
+process boundary, mirroring how a NIC filters by hash in hardware.
+
+On a multi-socket shard machine the stream splits round-robin over one
+pinned core per socket (:class:`~repro.exec.cores.CoreWorkload` with
+``socket=``), so per-socket-HALO scaling is exercised inside a shard.
+
+Public contract: :func:`run_shard`'s ``(label, params, seed)`` signature
+and :class:`ShardResult`'s fields are stable — the cluster orchestrator
+dispatches ``repro.cluster.shards:run_shard`` by dotted path into
+supervised-pool worker processes, so both ends of that pipe (and any
+external harness replaying a journal) depend on them not drifting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from ..obs.metrics import DEFAULT_LATENCY_BUCKETS, Histogram
+
+
+@dataclass
+class ShardResult:
+    """What one shard did (picklable; travels back over the pool pipe)."""
+
+    shard: int
+    lookups: int
+    found: int
+    distinct_flows: int
+    elapsed_cycles: float
+    #: Exported latency histogram state (fixed bounds — merges exactly).
+    latency: Dict[str, Any] = field(default_factory=dict)
+    #: Selected memory-system counters pulled from ``repro.obs``.
+    mem: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def throughput_per_kcycle(self) -> float:
+        if not self.elapsed_cycles:
+            return 0.0
+        return self.lookups / self.elapsed_cycles * 1000.0
+
+    def latency_histogram(self) -> Histogram:
+        """Rehydrate the exported histogram (for merging/percentiles)."""
+        hist = Histogram("cluster.shard.latency",
+                         bounds=self.latency.get("bounds",
+                                                 DEFAULT_LATENCY_BUCKETS))
+        hist.bucket_counts = list(self.latency.get("bucket_counts",
+                                                   hist.bucket_counts))
+        hist.overflow = self.latency.get("overflow", 0)
+        hist.count = self.latency.get("count", 0)
+        hist.sum = self.latency.get("sum", 0.0)
+        if hist.count:
+            hist.min = self.latency.get("min", 0.0)
+            hist.max = self.latency.get("max", 0.0)
+        return hist
+
+
+def _export_histogram(hist: Histogram) -> Dict[str, Any]:
+    out: Dict[str, Any] = {
+        "bounds": list(hist.bounds),
+        "bucket_counts": list(hist.bucket_counts),
+        "overflow": hist.overflow,
+        "count": hist.count,
+        "sum": hist.sum,
+    }
+    if hist.count:
+        out["min"] = hist.min
+        out["max"] = hist.max
+    return out
+
+
+def shard_machine(sockets: int):
+    """The shard's simulated machine: the paper's socket, scaled out."""
+    from ..sim.params import SKYLAKE_SP_16C
+
+    if sockets == 1:
+        return SKYLAKE_SP_16C
+    return SKYLAKE_SP_16C.scale_out(sockets)
+
+
+def run_shard(label: str, params: Dict[str, Any], seed: int) -> ShardResult:
+    """Run one shard end to end; the supervised pool's dotted entrypoint.
+
+    ``params`` carries the full cluster workload definition — flow
+    count, lookup count, Zipf skew, stream seeds, shard geometry, and
+    the balancer's (possibly rebalanced) indirection table — so this
+    function is a pure function of ``params``; ``label`` and ``seed``
+    are accepted for pool-protocol compatibility and ignored.
+    """
+    del label, seed
+    from ..core.halo_system import HaloSystem
+    from ..exec.cores import CoreWorkload
+    from .balancer import RssBalancer
+    from ..traffic.generator import FlowSet, key_stream
+
+    shard = params["shard"]
+    shards = params["shards"]
+    sockets = params.get("sockets", 1)
+    backend = params.get("backend", "software")
+    flow_seed = params["flow_seed"]
+    stream_seed = params["stream_seed"]
+
+    flow_set = FlowSet.generate(params["flows"], seed=flow_seed)
+    keys = key_stream(flow_set, params["lookups"],
+                      zipf_s=params.get("zipf_s", 0.0), seed=stream_seed)
+    balancer = RssBalancer(shards,
+                           table_size=params.get("table_size", 128),
+                           seed=params.get("balancer_seed", 0))
+    if params.get("assignments") is not None:
+        balancer.install(params["assignments"])
+    mine = [key for key in keys if balancer.shard_of(key) == shard]
+    distinct = sorted(set(mine))
+
+    machine = shard_machine(sockets)
+    system = HaloSystem(machine=machine, observability=True)
+    table = system.create_table(params.get("table_capacity", 1 << 10),
+                                name=f"shard{shard}")
+    for index, key in enumerate(distinct):
+        table.insert(key, index)
+    system.warm_table(table)
+
+    hist = Histogram("cluster.shard.latency")
+    if not mine:
+        return ShardResult(shard=shard, lookups=0, found=0,
+                           distinct_flows=0, elapsed_cycles=0.0,
+                           latency=_export_histogram(hist))
+
+    # One PMD core per socket, pinned socket-locally; the stream splits
+    # round-robin so every socket serves an equal slice.
+    lanes: List[List[bytes]] = [[] for _ in range(sockets)]
+    for index, key in enumerate(mine):
+        lanes[index % sockets].append(key)
+    workloads = [
+        CoreWorkload(backend=backend, core_id=0, socket=lane,
+                     table=table, keys=lane_keys,
+                     name=f"shard{shard}.s{lane}")
+        for lane, lane_keys in enumerate(lanes) if lane_keys
+    ]
+    for workload in workloads:
+        system.hierarchy.flush_private(
+            machine.topo.core_on(workload.socket, 0))
+    run = system.run_cores(workloads)
+
+    found = 0
+    for result in run.results:
+        for outcome in result.result:
+            hist.observe(outcome.cycles)
+            if outcome.found:
+                found += 1
+
+    snapshot = system.obs.metrics.snapshot()  # flat dotted-key scalars
+    mem = {
+        "l1_accesses": snapshot.get("mem.l1d.accesses", 0),
+        "l1_misses": snapshot.get("mem.l1d.misses", 0),
+        "llc_accesses": snapshot.get("mem.llc.accesses", 0),
+        "llc_misses": snapshot.get("mem.llc.misses", 0),
+        "dram_accesses": (snapshot.get("mem.dram.reads", 0)
+                          + snapshot.get("mem.dram.writes", 0)),
+        "link_crossings": snapshot.get("mem.interconnect.link_crossings", 0),
+    }
+    return ShardResult(shard=shard, lookups=len(mine), found=found,
+                       distinct_flows=len(distinct),
+                       elapsed_cycles=run.elapsed,
+                       latency=_export_histogram(hist), mem=mem)

@@ -1,9 +1,10 @@
 """Pin backends to cores and run them concurrently on one engine.
 
 :func:`run_cores` is the multi-core entry point the paper's collocation
-experiments need: each :class:`CoreWorkload` names a core, a backend kind
-(or instance), and either a ``(table, keys)`` stream or an arbitrary
-program factory.  All workloads are spawned as engine processes and run to
+experiments need: each :class:`CoreWorkload` names a core (either a
+global core id, or a socket-local one via ``socket=`` on a multi-socket
+:class:`~repro.sim.params.Topology`), a backend kind (or instance), and
+either a ``(table, keys)`` stream or an arbitrary program factory.  All workloads are spawned as engine processes and run to
 calendar exhaustion, so software PMD loops, HALO issue loops, and NF inner
 loops genuinely share the simulated timeline — L1/LLC/DRAM and interconnect
 contention emerge from the interleaving instead of being bolted on.
@@ -32,6 +33,12 @@ class CoreWorkload:
 
     backend: Union[str, BackendKind, LookupBackend]
     core_id: int = 0
+    #: Topology-aware placement: when set, ``core_id`` is interpreted as
+    #: a *socket-local* core index and resolved to a global core id
+    #: against the system machine's :class:`~repro.sim.params.Topology`
+    #: at :func:`run_cores` time.  ``None`` (default) keeps ``core_id``
+    #: global — the pre-topology behaviour.
+    socket: Optional[int] = None
     table: Any = None
     keys: Sequence[bytes] = ()
     program: Optional[Callable[[LookupBackend], Generator]] = None
@@ -118,6 +125,23 @@ class MultiCoreRun:
 _POLICY_KINDS = (BackendKind.HALO_NONBLOCKING, BackendKind.ADAPTIVE)
 
 
+def resolve_placement(system, workload: CoreWorkload) -> CoreWorkload:
+    """Resolve socket-relative placement to a global core id.
+
+    Returns ``workload`` untouched when no socket is requested;
+    otherwise a copy whose ``core_id`` is the global id of
+    ``(socket, local core)`` on the system machine's topology, with the
+    topology's own actionable errors for out-of-range placements.
+    """
+    if workload.socket is None:
+        return workload
+    from dataclasses import replace
+
+    topology = system.machine.topo
+    global_core = topology.core_on(workload.socket, workload.core_id)
+    return replace(workload, core_id=global_core, socket=None)
+
+
 def _resolve_backend(system, workload: CoreWorkload) -> LookupBackend:
     if isinstance(workload.backend, LookupBackend):
         return workload.backend
@@ -156,6 +180,8 @@ def run_cores(system, workloads: Sequence[CoreWorkload]) -> MultiCoreRun:
     engine = system.engine
     started = engine.now
     entries = []
+    workloads = [resolve_placement(system, workload)
+                 for workload in workloads]
     for index, workload in enumerate(workloads):
         backend = _resolve_backend(system, workload)
         marks: List[float] = []

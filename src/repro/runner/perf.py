@@ -1,6 +1,6 @@
 """``repro bench --perf`` — the pinned engine-performance microbench suite.
 
-Public contract: six microbenches track the simulator's own speed (not
+Public contract: seven microbenches track the simulator's own speed (not
 the paper's modelled results) so every PR leaves a ``BENCH_<n>.json``
 footprint in the perf trajectory:
 
@@ -22,6 +22,11 @@ footprint in the perf trajectory:
 * ``vector_pricing`` — raw :meth:`repro.sim.core.CoreModel.execute_batch`
   pricing throughput, numpy kernels against the pure-Python fallback
   (``events`` counts priced traces — no engine runs here).
+* ``shard_scaling`` — the sharded-cluster path
+  (:func:`repro.cluster.run_cluster`, inline dispatch): a 4-shard
+  cluster over a fixed stream, against the same stream through one
+  monolithic shard as the reference side.  Tracks the host cost of
+  standing up and running N independent shard simulations.
 
 ``engine_churn`` and ``cache_replay`` also run on the *frozen
 pre-campaign engine* vendored in :mod:`repro.runner._legacy_engine`;
@@ -49,14 +54,15 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
-PERF_SCHEMA_VERSION = 2
+PERF_SCHEMA_VERSION = 3
 
 #: Default location for committed snapshots (``BENCH_<n>.json``).
 DEFAULT_PERF_DIR = "benchmarks/perf"
 
 #: Names every snapshot must contain, in suite order.
 BENCH_NAMES = ("engine_churn", "cache_replay", "fig09_single_lookup",
-               "multicore_step", "multicore_batched", "vector_pricing")
+               "multicore_step", "multicore_batched", "vector_pricing",
+               "shard_scaling")
 
 #: Required bench names per schema version.  Snapshots validate against
 #: the schema they were written with, so the committed trajectory stays
@@ -64,7 +70,9 @@ BENCH_NAMES = ("engine_churn", "cache_replay", "fig09_single_lookup",
 NAMES_BY_SCHEMA = {
     1: ("engine_churn", "cache_replay", "fig09_single_lookup",
         "multicore_step"),
-    2: BENCH_NAMES,
+    2: ("engine_churn", "cache_replay", "fig09_single_lookup",
+        "multicore_step", "multicore_batched", "vector_pricing"),
+    3: BENCH_NAMES,
 }
 
 
@@ -195,19 +203,25 @@ class _Shape:
     batched_lookups: int = 400
     #: Captured-trace volume for ``vector_pricing``.
     pricing_lookups: int = 8000
+    #: Cluster geometry + stream volume for ``shard_scaling``.
+    shard_count: int = 4
+    shard_flows: int = 128
+    shard_lookups: int = 2000
 
 
 FULL_SHAPE = _Shape(churn_workers=16, churn_hops=2000, churn_parked=10_000,
                     replay_lookups=8000, fig09_lookups=2000,
                     multicore_cores=4, multicore_lookups=400, repeats=5,
-                    batched_lookups=800, pricing_lookups=8000)
+                    batched_lookups=800, pricing_lookups=8000,
+                    shard_count=4, shard_flows=128, shard_lookups=2000)
 # Quick walls must stay >= ~50ms per bench: the CI gate compares rates
 # from this flavour, and few-millisecond timings swing tens of percent.
 # "Quick" trims repeats and lookup volume, not workload character.
 QUICK_SHAPE = _Shape(churn_workers=16, churn_hops=2000, churn_parked=10_000,
                      replay_lookups=4000, fig09_lookups=800,
                      multicore_cores=2, multicore_lookups=200, repeats=3,
-                     batched_lookups=800, pricing_lookups=8000)
+                     batched_lookups=800, pricing_lookups=8000,
+                     shard_count=4, shard_flows=128, shard_lookups=1000)
 
 #: Latency mix the churn workers cycle through: L1 / L2 / LLC / DRAM-ish.
 _CHURN_LATENCIES = (4, 12, 40, 200)
@@ -527,6 +541,49 @@ def bench_vector_pricing(shape: _Shape) -> BenchResult:
                        legacy_wall_s=legacy_wall, repeats=shape.repeats)
 
 
+def bench_shard_scaling(shape: _Shape) -> BenchResult:
+    """Host cost of a sharded cluster vs one monolithic shard.
+
+    Both sides run the identical stream through
+    :func:`repro.cluster.run_cluster` with *inline* dispatch (no child
+    processes — this times the simulations, not ``fork``): the current
+    side splits it over ``shape.shard_count`` single-socket shards, the
+    reference side runs one monolithic shard.  Same host, same stream,
+    so ``speedup_vs_legacy`` tracks what per-shard setup and the split
+    streams cost (or save) the simulator itself.
+    """
+    # Function-local import: runner sits below cluster in the layering
+    # (cluster *uses* the pool), so the dependency stays call-time only.
+    from ..cluster import ClusterConfig, run_cluster
+
+    current: Dict[str, float] = {}
+
+    def _run(shards: int) -> Tuple[float, float, int]:
+        config = ClusterConfig(shards=shards, flows=shape.shard_flows,
+                               lookups=shape.shard_lookups,
+                               parallel=False, seed=53)
+        t0 = time.process_time()
+        result = run_cluster(config)
+        elapsed = time.process_time() - t0
+        return elapsed, result.makespan_cycles, result.total_lookups
+
+    def run_current() -> float:
+        elapsed, cycles, lookups = _run(shape.shard_count)
+        current["cycles"], current["lookups"] = cycles, lookups
+        return elapsed
+
+    def run_legacy() -> float:
+        elapsed, _cycles, _lookups = _run(1)
+        return elapsed
+
+    wall, legacy_wall = _min_of([run_current, run_legacy], shape.repeats)
+    return BenchResult(name="shard_scaling",
+                       events=int(current["lookups"]),
+                       lookups=int(current["lookups"]),
+                       cycles=current["cycles"], wall_s=wall,
+                       legacy_wall_s=legacy_wall, repeats=shape.repeats)
+
+
 _BENCHES: Dict[str, Callable[[_Shape], BenchResult]] = {
     "engine_churn": bench_engine_churn,
     "cache_replay": bench_cache_replay,
@@ -534,6 +591,7 @@ _BENCHES: Dict[str, Callable[[_Shape], BenchResult]] = {
     "multicore_step": bench_multicore_step,
     "multicore_batched": bench_multicore_batched,
     "vector_pricing": bench_vector_pricing,
+    "shard_scaling": bench_shard_scaling,
 }
 assert tuple(_BENCHES) == BENCH_NAMES
 

@@ -19,12 +19,15 @@ Children ignore ``SIGINT``: graceful shutdown is the *supervisor's* job
 (stop dispatching, drain in-flight runs), so a terminal Ctrl-C must not
 also rip the workers out from under it mid-drain.
 
-Public contract: :func:`run_supervised` (its signature and the
-timeout/retry semantics above), :class:`PoolOutcome`, and the exception
-types :class:`RunTimeoutError` / :class:`WorkerCrashedError` are stable
-API — the scheduler and external harnesses may rely on them.  The
-worker entrypoint, pipe protocol, and backoff internals are
-implementation detail and may change without notice.
+Public contract: :func:`run_supervised` (its signature — including the
+optional ``entrypoint="module:function"`` redirect that lets
+non-registry callers such as ``repro.cluster`` run arbitrary picklable
+work units under the same supervision — and the timeout/retry semantics
+above), :class:`PoolOutcome`, and the exception types
+:class:`RunTimeoutError` / :class:`WorkerCrashedError` are stable API —
+the scheduler and external harnesses may rely on them.  The worker
+internals, pipe protocol, and backoff arithmetic are implementation
+detail and may change without notice.
 """
 
 from __future__ import annotations
@@ -72,15 +75,35 @@ class PoolOutcome:
     traceback: str = ""
 
 
+def _resolve_entrypoint(entrypoint: str):
+    """Resolve a ``"module:function"`` dotted path (child-side)."""
+    import importlib
+
+    module_name, _, func_name = entrypoint.partition(":")
+    if not module_name or not func_name:
+        raise ValueError(
+            f"entrypoint {entrypoint!r} must be 'module:function'")
+    return getattr(importlib.import_module(module_name), func_name)
+
+
 def _child_main(conn, experiment: str, label: str,
-                params: Dict[str, Any], seed: int) -> None:
+                params: Dict[str, Any], seed: int,
+                entrypoint: Optional[str] = None) -> None:
     """Entry point of one worker process: run the grid point, report."""
     signal.signal(signal.SIGINT, signal.SIG_IGN)
     try:
-        # Local import keeps the child's startup path identical to the
-        # ProcessPoolExecutor workers': resolve the hook in-process.
-        from .scheduler import _execute_payload
-        payload, wall = _execute_payload(experiment, label, params, seed)
+        if entrypoint is not None:
+            func = _resolve_entrypoint(entrypoint)
+            start = time.perf_counter()
+            payload = func(label, params, seed)
+            wall = time.perf_counter() - start
+        else:
+            # Local import keeps the child's startup path identical to
+            # the ProcessPoolExecutor workers': resolve the hook
+            # in-process.
+            from .scheduler import _execute_payload
+            payload, wall = _execute_payload(experiment, label, params,
+                                             seed)
         conn.send(("ok", payload, wall))
     except BaseException as exc:  # noqa: BLE001 - report, never swallow
         conn.send(("error", type(exc).__name__, str(exc),
@@ -107,6 +130,7 @@ def run_supervised(pending: Sequence[RunSpec], *, jobs: int,
                    retries: int = 0,
                    backoff_s: float = 0.5,
                    should_stop: Callable[[], bool] = lambda: False,
+                   entrypoint: Optional[str] = None,
                    ) -> Tuple[List[PoolOutcome], List[RunSpec]]:
     """Run ``pending`` under supervision; returns ``(outcomes, skipped)``.
 
@@ -114,6 +138,14 @@ def run_supervised(pending: Sequence[RunSpec], *, jobs: int,
     ``should_stop`` flipped (SIGINT drain): in-flight runs are allowed to
     finish (their timeouts still enforced), queued ones are returned
     untouched so the journal/caller can account for them.
+
+    ``entrypoint`` (``"module:function"``) redirects the children away
+    from the experiment registry: each worker resolves the dotted path
+    in its own process and calls ``function(label, params, seed)`` with
+    the spec's fields.  ``None`` keeps the registry path (the scheduler's
+    contract).  This is how non-registry callers — e.g. the
+    ``repro.cluster`` shard runner — reuse the pool's kill/retry
+    machinery for genuinely parallel simulations.
     """
     queue: List[Tuple[RunSpec, int, float]] = [
         (spec, 1, 0.0) for spec in pending]  # (spec, attempt, not_before)
@@ -127,7 +159,7 @@ def run_supervised(pending: Sequence[RunSpec], *, jobs: int,
         process = multiprocessing.Process(
             target=_child_main,
             args=(child_conn, spec.experiment, spec.label, spec.params,
-                  spec.seed),
+                  spec.seed, entrypoint),
             daemon=True)
         process.start()
         child_conn.close()

@@ -33,7 +33,9 @@ from .params import (
     LatencyParams,
     MachineParams,
     SKYLAKE_SP_16C,
+    SocketParams,
     TINY_MACHINE,
+    Topology,
 )
 from .tlb import Tlb, TlbParams, TlbStats
 from .stats import Breakdown, RunningStats, geometric_mean, mpkl, throughput_mops
@@ -87,8 +89,10 @@ __all__ = [
     "RunningStats",
     "SKYLAKE_SP_16C",
     "SimulationError",
+    "SocketParams",
     "Store",
     "TINY_MACHINE",
+    "Topology",
     "Tlb",
     "TlbParams",
     "TlbStats",

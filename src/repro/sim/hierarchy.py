@@ -54,7 +54,16 @@ class AccessResult(NamedTuple):
 
 
 class MemoryHierarchy:
-    """The full cache/memory system for one simulated socket."""
+    """The full cache/memory system for one machine (1..N sockets).
+
+    Private caches, LLC slices, and the snoop filter are indexed by
+    *global* core/slice ids; the :class:`~repro.sim.params.Topology`
+    decides which socket each id lives on.  Cross-socket transfers pay
+    the inter-socket link penalty (see :meth:`_llc_latency_from` and the
+    interconnect); with the default single-socket topology no penalty
+    term is ever non-zero, so cycle counts are bit-identical to the
+    pre-topology model.
+    """
 
     def __init__(self, machine: MachineParams = None,
                  obs: Optional[Observability] = None) -> None:
@@ -62,6 +71,7 @@ class MemoryHierarchy:
         self.obs = obs if obs is not None else Observability()
         lat = self.machine.latency
         self.latency = lat
+        self.topology = self.machine.topo
         self.l1 = [Cache(f"L1D.{i}", self.machine.l1d)
                    for i in range(self.machine.cores)]
         self.l2 = [Cache(f"L2.{i}", self.machine.l2)
@@ -69,7 +79,8 @@ class MemoryHierarchy:
         self.llc = [Cache(f"LLC.{s}", self.machine.llc_slice)
                     for s in range(self.machine.llc_slices)]
         self.interconnect = build_interconnect(
-            self.machine.interconnect, self.machine.llc_slices, lat)
+            self.machine.interconnect, self.machine.llc_slices, lat,
+            self.topology)
         self.snoop_filter = SnoopFilter(self.machine.cores,
                                         self.machine.llc_slices)
         self.dram = Dram(lat.dram)
@@ -77,9 +88,19 @@ class MemoryHierarchy:
                      if self.machine.tlb is not None else None)
         self.allocator = AddressAllocator(self.machine.dram_bytes)
         self.line_bytes = self.machine.l1d.line_bytes
-        # Average ring distance used to centre the NUCA latency spread so the
-        # mean core->LLC latency equals ``latency.llc_hit``.
-        self._avg_hops = self.machine.llc_slices // 4
+        # Socket geometry (== machine totals for one socket).
+        self._sockets = self.topology.sockets
+        self._cores_per_socket = self.topology.socket.cores
+        self._slices_per_socket = self.topology.socket.llc_slices
+        # Round-trip cycles added per inter-socket crossing (request out,
+        # data back); zero with one socket so no access path changes.
+        self._link_round_trip = (2 * self.topology.link_latency
+                                 if self._sockets > 1 else 0)
+        # Average local-fabric distance used to centre the NUCA latency
+        # spread so the mean core->local-slice latency equals
+        # ``latency.llc_hit``.  Per socket: the spread is a property of
+        # one socket's ring, not of the whole machine.
+        self._avg_hops = self._slices_per_socket // 4
         self._register_metrics()
 
     def _register_metrics(self) -> None:
@@ -132,15 +153,43 @@ class MemoryHierarchy:
     def slice_of(self, addr: int) -> int:
         return self.interconnect.slice_of_line(self.line_of(addr))
 
+    def socket_of_core(self, core_id: int) -> int:
+        """Which socket a core lives on (always 0 on one socket)."""
+        return self.topology.socket_of_core(core_id)
+
+    def socket_of_slice(self, slice_id: int) -> int:
+        """Which socket an LLC slice lives on (always 0 on one socket)."""
+        return self.topology.socket_of_slice(slice_id)
+
     def core_stop(self, core_id: int) -> int:
-        """Ring stop of a core (core i shares a tile with slice i)."""
-        return core_id % self.machine.llc_slices
+        """Fabric stop of a core (core i shares a tile with slice i).
+
+        Multi-socket: a core's stop is on *its own* socket's fabric —
+        local core j sits at that socket's local slice ``j mod
+        slices_per_socket``.  With one socket this reduces exactly to
+        ``core_id % llc_slices``.
+        """
+        if self._sockets == 1:
+            return core_id % self.machine.llc_slices
+        socket = (core_id % self.machine.cores) // self._cores_per_socket
+        local = (core_id % self._cores_per_socket) % self._slices_per_socket
+        return socket * self._slices_per_socket + local
 
     def _llc_latency_from(self, stop: int, slice_id: int) -> int:
-        """NUCA: core->slice latency centred on ``llc_hit``."""
-        hops = self.interconnect.hops(stop, slice_id)
+        """NUCA: core->slice latency centred on ``llc_hit``.
+
+        A remote-socket home additionally pays the link round trip
+        (request over, data back) — the term is zero on one socket.
+        """
+        interconnect = self.interconnect
+        hops = interconnect.hops(stop, slice_id)
         latency = (self.latency.llc_hit
                    + 2 * self.latency.hop * (hops - self._avg_hops))
+        if self._link_round_trip:
+            crossings = interconnect.link_crossings(stop, slice_id)
+            if crossings:
+                latency += self._link_round_trip * crossings
+                interconnect.stats.link_crossings += crossings
         return max(latency, self.latency.l2_hit + 2)
 
     # -- conventional core path --------------------------------------------------
@@ -278,8 +327,15 @@ class MemoryHierarchy:
             self.snoop_filter.record_fill(line, core_id)
             return AccessResult(latency, "PRIV", slice_id, retries)
 
-        # DRAM.
+        # DRAM.  The memory controller sits behind the line's *home* slice,
+        # so a remote-socket home pays the link round trip on top of the
+        # DRAM latency (zero on one socket).
         latency = self.dram.access_latency(write=write) + extra
+        if self._link_round_trip:
+            crossings = self.interconnect.link_crossings(stop, slice_id)
+            if crossings:
+                latency += self._link_round_trip * crossings
+                self.interconnect.stats.link_crossings += crossings
         self._install_llc(slice_id, line)
         self._fill_private(l2, line, core_id, dirty=False)
         self._fill_private(l1, line, core_id, dirty=write)
@@ -355,9 +411,21 @@ class MemoryHierarchy:
             # agent between retries, so re-check once more then give up to
             # the caller, which models forward progress.
             break
+        remote_sharer = False
+        if self._sockets > 1:
+            # Snoops travel in parallel (one round trip), but if any
+            # sharer sits on another socket the round trip spans the
+            # link.  Checked before the invalidation consumes the set.
+            writer_socket = self.socket_of_core(core_id)
+            remote_sharer = any(
+                self.socket_of_core(sharer) != writer_socket
+                for sharer in self.snoop_filter.other_sharers(line, core_id))
         outcome = self.snoop_filter.invalidate_for_store(line, core_id)
         if outcome["sharers"]:
             extra += self.latency.snoop_invalidate
+            if remote_sharer:
+                extra += self._link_round_trip
+                self.interconnect.stats.link_crossings += 1
         return extra, retries
 
     def _private_holder(self, line: int,

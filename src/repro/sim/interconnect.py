@@ -1,20 +1,29 @@
-"""On-chip interconnect: slice hashing and hop latency.
+"""On-chip (and inter-socket) interconnect: slice hashing and hop latency.
 
 Models the ring/mesh that connects cores, LLC slices/CHAs, and the memory
 controller.  Two responsibilities:
 
 * **Slice hashing** — the address-to-slice hash that distributes lines (and
   HALO queries, which reuse the same logic per paper §4.3) evenly across
-  LLC slices.
-* **Hop latency** — distance-dependent latency between ring stops, the NUCA
-  in "Non-Uniform Cache Access".
+  LLC slices.  Hashing is *global* across every socket's slices: the
+  machine exposes one shared NUCA address space, and remote homes are what
+  make cross-socket traffic appear.
+* **Hop latency** — distance-dependent latency between stops, the NUCA in
+  "Non-Uniform Cache Access".  With a multi-socket
+  :class:`~repro.sim.params.Topology`, each socket keeps its own local
+  ring/mesh of ``slices_per_socket`` stops and sockets are bridged by a
+  fully-connected UPI-like link: a cross-socket message walks its local
+  fabric to the socket's link stop (stop 0), pays ``link_latency`` for the
+  crossing, then walks the destination socket's fabric.  With one socket
+  every formula reduces exactly to the original single-ring arithmetic.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
-from .params import LatencyParams
+from .params import LatencyParams, Topology
 
 
 def _mix64(value: int) -> int:
@@ -29,27 +38,45 @@ def _mix64(value: int) -> int:
 class InterconnectStats:
     messages: int = 0
     total_hops: int = 0
+    link_crossings: int = 0    # inter-socket link traversals (0 = 1 socket)
 
     def as_dict(self) -> dict:
         """Flat scalar view for the metrics registry (pull source)."""
         average = self.total_hops / self.messages if self.messages else 0.0
         return {"messages": self.messages, "total_hops": self.total_hops,
-                "average_hops": average}
+                "average_hops": average,
+                "link_crossings": self.link_crossings}
 
 
 class Interconnect:
     """A bidirectional ring with ``stops`` ring stops.
 
     Cores and LLC slices share ring-stop indices (core *i* sits next to
-    slice *i*), matching the tiled Skylake-SP floorplan.
+    slice *i*), matching the tiled Skylake-SP floorplan.  When ``topology``
+    describes more than one socket, the stops split into per-socket rings
+    of ``topology.socket.llc_slices`` stops each; see the module docstring
+    for the cross-socket path model.
     """
 
-    def __init__(self, stops: int, latency: LatencyParams) -> None:
+    def __init__(self, stops: int, latency: LatencyParams,
+                 topology: Optional[Topology] = None) -> None:
         if stops < 1:
             raise ValueError("interconnect needs at least one stop")
         self.stops = stops
         self.latency = latency
         self.stats = InterconnectStats()
+        self.topology = topology
+        self.sockets = topology.sockets if topology is not None else 1
+        if self.sockets > 1:
+            if stops % self.sockets != 0:
+                raise ValueError(
+                    f"{stops} stops do not tile {self.sockets} sockets "
+                    "evenly; slice counts must match the topology")
+            self.local_stops = stops // self.sockets
+            self.link_latency = topology.link_latency
+        else:
+            self.local_stops = stops
+            self.link_latency = 0
         #: Fault seam (``repro.faults``): called per message with
         #: ``(src, dst, hops)``, returns extra cycles (drop → retransmit)
         #: and may bump ``stats`` itself (duplication).  None = uninstalled.
@@ -76,17 +103,55 @@ class Interconnect:
         """
         return _mix64(table_base_addr >> 6) % self.stops
 
+    def socket_of_stop(self, stop: int) -> int:
+        """Which socket a stop (slice/core tile) belongs to."""
+        return (stop % self.stops) // self.local_stops
+
+    def _local_distance(self, src_local: int, dst_local: int) -> int:
+        """Hop count between two stops of one socket's local fabric."""
+        distance = abs(src_local - dst_local) % self.local_stops
+        return min(distance, self.local_stops - distance)
+
     def hops(self, src_stop: int, dst_stop: int) -> int:
-        """Shortest-path hop count on the bidirectional ring."""
-        distance = abs(src_stop - dst_stop) % self.stops
-        return min(distance, self.stops - distance)
+        """Shortest-path *fabric* hop count between two stops.
+
+        Same socket: the local ring/mesh distance.  Cross socket: local
+        hops to the source socket's link stop (local stop 0) plus local
+        hops from the destination socket's link stop — the link crossing
+        itself is charged separately (:meth:`link_crossings`).
+        """
+        src = src_stop % self.stops
+        dst = dst_stop % self.stops
+        if self.sockets == 1:
+            return self._local_distance(src, dst)
+        src_socket, src_local = divmod(src, self.local_stops)
+        dst_socket, dst_local = divmod(dst, self.local_stops)
+        if src_socket == dst_socket:
+            return self._local_distance(src_local, dst_local)
+        return (self._local_distance(src_local, 0)
+                + self._local_distance(dst_local, 0))
+
+    def link_crossings(self, src_stop: int, dst_stop: int) -> int:
+        """Inter-socket link traversals between two stops (0 or 1).
+
+        Sockets are fully connected (2- and 4-socket UPI meshes are), so
+        any cross-socket message crosses exactly one link.
+        """
+        if self.sockets == 1:
+            return 0
+        return (0 if self.socket_of_stop(src_stop)
+                == self.socket_of_stop(dst_stop) else 1)
 
     def transfer_latency(self, src_stop: int, dst_stop: int) -> int:
-        """Cycles to move one message between two ring stops."""
+        """Cycles to move one message between two stops."""
         hops = self.hops(src_stop, dst_stop)
+        crossings = self.link_crossings(src_stop, dst_stop)
         self.stats.messages += 1
         self.stats.total_hops += hops
         latency = hops * self.latency.hop
+        if crossings:
+            self.stats.link_crossings += crossings
+            latency += crossings * self.link_latency
         if self.fault_hook is not None:
             latency += self.fault_hook(src_stop, dst_stop, hops)
         return latency
@@ -100,33 +165,37 @@ class Interconnect:
 class MeshInterconnect(Interconnect):
     """A 2D mesh with XY routing (the Skylake-SP successor topology).
 
-    Stops are laid out row-major on the smallest near-square grid holding
-    ``stops`` tiles; hop distance is the Manhattan distance.  Compared with
-    the ring, worst-case distances shrink (O(√n) vs O(n/2)), which mostly
-    matters for the NUCA spread and HALO dispatch latency on large chips.
+    Each socket's ``local_stops`` tiles are laid out row-major on the
+    smallest near-square grid holding them; hop distance is the Manhattan
+    distance (cross-socket paths route via each socket's tile 0, as in the
+    ring).  Compared with the ring, worst-case distances shrink (O(√n) vs
+    O(n/2)), which mostly matters for the NUCA spread and HALO dispatch
+    latency on large chips.
     """
 
-    def __init__(self, stops: int, latency: LatencyParams) -> None:
-        super().__init__(stops, latency)
+    def __init__(self, stops: int, latency: LatencyParams,
+                 topology: Optional[Topology] = None) -> None:
+        super().__init__(stops, latency, topology)
         columns = 1
-        while columns * columns < stops:
+        while columns * columns < self.local_stops:
             columns += 1
         self.columns = columns
 
     def _coords(self, stop: int) -> tuple:
         return divmod(stop, self.columns)
 
-    def hops(self, src_stop: int, dst_stop: int) -> int:
-        src_row, src_col = self._coords(src_stop % self.stops)
-        dst_row, dst_col = self._coords(dst_stop % self.stops)
+    def _local_distance(self, src_local: int, dst_local: int) -> int:
+        src_row, src_col = self._coords(src_local)
+        dst_row, dst_col = self._coords(dst_local)
         return abs(src_row - dst_row) + abs(src_col - dst_col)
 
 
-def build_interconnect(topology: str, stops: int,
-                       latency: LatencyParams) -> Interconnect:
-    """Factory: ``"ring"`` (default) or ``"mesh"``."""
+def build_interconnect(topology: str, stops: int, latency: LatencyParams,
+                       socket_topology: Optional[Topology] = None
+                       ) -> Interconnect:
+    """Factory: ``"ring"`` (default) or ``"mesh"``, optionally multi-socket."""
     if topology == "ring":
-        return Interconnect(stops, latency)
+        return Interconnect(stops, latency, socket_topology)
     if topology == "mesh":
-        return MeshInterconnect(stops, latency)
+        return MeshInterconnect(stops, latency, socket_topology)
     raise ValueError(f"unknown interconnect topology {topology!r}")

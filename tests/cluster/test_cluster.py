@@ -1,0 +1,172 @@
+"""The cluster orchestrator: inline and supervised-pool dispatch agree
+exactly, shards partition the stream, rebalancing triggers on skew, and
+the daemonic-process fallback keeps clusters usable *inside* pool
+workers."""
+
+import multiprocessing
+
+import pytest
+
+from repro.cluster import ClusterConfig, run_cluster
+from repro.cluster.cluster import SHARD_ENTRYPOINT
+from repro.cluster.shards import run_shard
+
+QUICK = dict(flows=48, lookups=240)
+
+
+class TestConfigValidation:
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ValueError, match="shards must be >= 1"):
+            ClusterConfig(shards=0)
+
+    def test_rejects_zero_sockets(self):
+        with pytest.raises(ValueError, match="sockets must be >= 1"):
+            ClusterConfig(sockets=0)
+
+    def test_rejects_zero_lookups(self):
+        with pytest.raises(ValueError, match="lookups must be >= 1"):
+            ClusterConfig(lookups=0)
+
+
+class TestInlineDispatch:
+    def test_stream_partitions_exactly(self):
+        result = run_cluster(ClusterConfig(shards=3, parallel=False,
+                                           **QUICK))
+        assert result.mode == "inline"
+        assert result.total_lookups == QUICK["lookups"]
+        assert sum(r.lookups for r in result.shard_results) == \
+            QUICK["lookups"]
+        assert result.total_found == QUICK["lookups"]  # all keys inserted
+        assert sorted(r.shard for r in result.shard_results) == [0, 1, 2]
+
+    def test_latency_merge_matches_shard_counts(self):
+        result = run_cluster(ClusterConfig(shards=3, parallel=False,
+                                           **QUICK))
+        merged = result.merged_latency()
+        assert merged.count == result.total_lookups
+        assert result.p99_cycles >= result.p50_cycles > 0
+        assert result.throughput_per_kcycle > 0
+
+    def test_single_shard_cluster(self):
+        result = run_cluster(ClusterConfig(shards=1, parallel=False,
+                                           **QUICK))
+        assert result.mode == "inline"   # one shard never needs the pool
+        assert result.max_shard_fraction == 1.0
+
+    def test_deterministic_across_calls(self):
+        config = ClusterConfig(shards=2, parallel=False, **QUICK)
+        first = run_cluster(config)
+        second = run_cluster(config)
+        assert [r.elapsed_cycles for r in first.shard_results] == \
+            [r.elapsed_cycles for r in second.shard_results]
+        assert first.p99_cycles == second.p99_cycles
+
+
+class TestPoolDispatch:
+    def test_pool_and_inline_agree_exactly(self):
+        inline = run_cluster(ClusterConfig(shards=2, parallel=False,
+                                           **QUICK))
+        pooled = run_cluster(ClusterConfig(shards=2, parallel=True,
+                                           **QUICK))
+        assert pooled.mode == "pool"
+        assert [r.elapsed_cycles for r in pooled.shard_results] == \
+            [r.elapsed_cycles for r in inline.shard_results]
+        assert pooled.p99_cycles == inline.p99_cycles
+        assert pooled.throughput_per_kcycle == \
+            inline.throughput_per_kcycle
+        assert [r.mem for r in pooled.shard_results] == \
+            [r.mem for r in inline.shard_results]
+
+    def test_entrypoint_dispatch_through_supervised_pool(self):
+        """run_shard is reachable by dotted path — the contract the
+        orchestrator (and any external harness) depends on."""
+        from repro.runner.pool import run_supervised
+        from repro.runner.schema import RunSpec
+
+        config = ClusterConfig(shards=2, parallel=False, **QUICK)
+        inline = run_shard("shard00", _shard_params(config, 0), 0)
+        specs = [RunSpec(experiment="cluster", label="shard00",
+                         params=_shard_params(config, 0), seed=0)]
+        outcomes, skipped = run_supervised(specs, jobs=1,
+                                           entrypoint=SHARD_ENTRYPOINT)
+        assert not skipped
+        assert outcomes[0].ok, outcomes[0].message
+        assert outcomes[0].payload.elapsed_cycles == inline.elapsed_cycles
+
+    def test_daemonic_process_falls_back_inline(self, monkeypatch):
+        class _FakeDaemon:
+            daemon = True
+
+        monkeypatch.setattr(multiprocessing, "current_process",
+                            lambda: _FakeDaemon())
+        result = run_cluster(ClusterConfig(shards=2, **QUICK))
+        assert result.mode == "inline"
+
+    def test_daemonic_process_rejects_forced_parallel(self, monkeypatch):
+        class _FakeDaemon:
+            daemon = True
+
+        monkeypatch.setattr(multiprocessing, "current_process",
+                            lambda: _FakeDaemon())
+        with pytest.raises(RuntimeError, match="daemonic"):
+            run_cluster(ClusterConfig(shards=2, parallel=True, **QUICK))
+
+
+class TestRebalanceTrigger:
+    def test_below_threshold_does_not_trigger(self):
+        result = run_cluster(ClusterConfig(shards=2, rebalance=True,
+                                           rebalance_threshold=0.5,
+                                           parallel=False, flows=256,
+                                           lookups=2000))
+        assert result.imbalance_before < 0.5
+        assert not result.rebalanced
+        assert result.rebalance_moves == 0
+
+    def test_skew_triggers_and_improves(self):
+        skewed = ClusterConfig(shards=4, zipf_s=1.2, parallel=False,
+                               flows=128, lookups=1200)
+        without = run_cluster(skewed)
+        with_rebalance = run_cluster(
+            ClusterConfig(shards=4, zipf_s=1.2, rebalance=True,
+                          parallel=False, flows=128, lookups=1200))
+        assert with_rebalance.rebalanced
+        assert with_rebalance.rebalance_moves > 0
+        assert (with_rebalance.max_shard_fraction
+                < without.max_shard_fraction)
+        assert (with_rebalance.imbalance_after
+                < with_rebalance.imbalance_before)
+
+    def test_threshold_gates_the_rewrite(self):
+        permissive = run_cluster(
+            ClusterConfig(shards=4, zipf_s=1.2, rebalance=True,
+                          rebalance_threshold=10.0, parallel=False,
+                          flows=128, lookups=1200))
+        assert not permissive.rebalanced
+
+
+class TestShardEdgeCases:
+    def test_empty_shard_returns_zero_result(self):
+        config = ClusterConfig(shards=2, parallel=False, **QUICK)
+        params = _shard_params(config, 0)
+        params["assignments"] = [1] * config.table_size  # starve shard 0
+        result = run_shard("shard00", params, 0)
+        assert result.lookups == 0
+        assert result.elapsed_cycles == 0.0
+        assert result.latency_histogram().count == 0
+
+    def test_multi_socket_shard_reports_link_traffic(self):
+        result = run_cluster(ClusterConfig(shards=1, sockets=2,
+                                           parallel=False, **QUICK))
+        assert result.link_crossings > 0
+        single = run_cluster(ClusterConfig(shards=1, sockets=1,
+                                           parallel=False, **QUICK))
+        assert single.link_crossings == 0
+
+
+def _shard_params(config, shard):
+    from repro.cluster.balancer import RssBalancer
+    from repro.cluster.cluster import _shard_params as build
+
+    balancer = RssBalancer(config.shards, table_size=config.table_size,
+                           seed=config.seed)
+    return build(config, shard, list(balancer.table))

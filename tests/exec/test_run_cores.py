@@ -143,3 +143,44 @@ def test_streamed_workload_uses_batch_idiom():
     assert len(outcomes) == 24 and all(o.found for o in outcomes)
     # Batched streams have no per-key marks.
     assert run.by_core(0).marks == []
+
+
+# ---------------------------------------------------------------------------
+# topology-aware placement (PR 8)
+
+
+def test_socket_placement_resolves_to_global_core():
+    from repro.exec.cores import resolve_placement
+    from repro.sim.params import SKYLAKE_SP_16C
+
+    system = HaloSystem(machine=SKYLAKE_SP_16C.scale_out(2))
+    table = system.create_table(256, name="placed")
+    keys = make_keys(8, seed=3)
+    for index, key in enumerate(keys):
+        table.insert(key, index)
+    system.warm_table(table)
+
+    workload = CoreWorkload(backend="software", core_id=1, socket=1,
+                            table=table, keys=keys)
+    resolved = resolve_placement(system, workload)
+    assert resolved.core_id == 17      # socket 1, local core 1
+    assert resolved.socket is None
+
+    run = system.run_cores([workload])
+    assert run.results[0].core_id == 17
+    assert all(outcome.found for outcome in run.results[0].result)
+
+
+def test_global_core_ids_stay_untouched_without_socket():
+    from repro.exec.cores import resolve_placement
+
+    system = HaloSystem()
+    workload = CoreWorkload(backend="software", core_id=5)
+    assert resolve_placement(system, workload) is workload
+
+
+def test_bad_socket_placement_raises_actionably():
+    system = HaloSystem()   # single socket
+    workload = CoreWorkload(backend="software", core_id=0, socket=1)
+    with pytest.raises(ValueError, match="socket 1 out of range"):
+        run_cores(system, [workload])

@@ -23,7 +23,8 @@ from repro.runner.perf import (
 MICRO_SHAPE = perf._Shape(churn_workers=2, churn_hops=20, churn_parked=50,
                           replay_lookups=40, fig09_lookups=20,
                           multicore_cores=2, multicore_lookups=5, repeats=1,
-                          batched_lookups=5, pricing_lookups=40)
+                          batched_lookups=5, pricing_lookups=40,
+                          shard_count=2, shard_flows=16, shard_lookups=40)
 
 
 @pytest.fixture()
@@ -46,9 +47,9 @@ def test_quick_suite_is_schema_valid(micro_suite):
         assert record["events_per_sec"] > 0, name
         assert record["events_per_cal_op"] > 0, name
     # Benches with a reference side must carry the comparison: two run
-    # the frozen engine, two time their own slow mode.
+    # the frozen engine, the rest time their own slow/monolithic mode.
     for name in ("engine_churn", "cache_replay", "multicore_batched",
-                 "vector_pricing"):
+                 "vector_pricing", "shard_scaling"):
         assert snapshot["benches"][name]["speedup_vs_legacy"] is not None
     # Lookup benches report a lookup rate; pure-DES churn does not.
     assert snapshot["benches"]["engine_churn"]["lookups_per_sec"] is None
@@ -165,15 +166,25 @@ def test_committed_snapshots_are_valid_and_fast():
     for name in ("engine_churn", "cache_replay"):
         assert trajectory["benches"][name]["speedup_vs_legacy"] >= 2.0, name
 
-    latest = json.loads((perf_dir / "BENCH_1.json").read_text())
-    assert validate_snapshot(latest) == []
-    assert latest["quick"] is False
-    assert latest["schema_version"] == PERF_SCHEMA_VERSION
+    vector_round = json.loads((perf_dir / "BENCH_1.json").read_text())
+    assert validate_snapshot(vector_round) == []
+    assert vector_round["quick"] is False
+    assert vector_round["schema_version"] == 2
     # The vectorised+windowed round: cache_replay events/sec moved >=1.5x
     # over the previous trajectory point (same container), and the
     # batched multicore composition beats its per-key reference.
     previous_rate = trajectory["benches"]["cache_replay"]["events_per_sec"]
-    latest_rate = latest["benches"]["cache_replay"]["events_per_sec"]
-    assert latest_rate >= 1.5 * previous_rate
-    assert latest["benches"]["multicore_batched"]["speedup_vs_legacy"] > 1.0
-    assert latest["benches"]["vector_pricing"]["speedup_vs_legacy"] > 1.0
+    vector_rate = vector_round["benches"]["cache_replay"]["events_per_sec"]
+    assert vector_rate >= 1.5 * previous_rate
+    assert (vector_round["benches"]["multicore_batched"]
+            ["speedup_vs_legacy"] > 1.0)
+    assert (vector_round["benches"]["vector_pricing"]
+            ["speedup_vs_legacy"] > 1.0)
+
+    latest = json.loads((perf_dir / "BENCH_2.json").read_text())
+    assert validate_snapshot(latest) == []
+    assert latest["quick"] is False
+    assert latest["schema_version"] == PERF_SCHEMA_VERSION
+    # The scale-out round adds the sharded-cluster bench to the suite.
+    assert latest["benches"]["shard_scaling"]["speedup_vs_legacy"] is not None
+    assert latest["benches"]["shard_scaling"]["events"] > 0

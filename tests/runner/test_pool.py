@@ -150,3 +150,43 @@ def test_timeout_then_retry_gets_a_fresh_budget(monkeypatch, tmp_path):
                                  retries=1, backoff_s=0.01)
     assert outcomes[0].ok
     assert outcomes[0].attempts == 2
+
+
+# ---------------------------------------------------------------------------
+# entrypoint redirection (the repro.cluster seam)
+
+
+def _entry_ok(label, params, seed):
+    return {"label": label, "doubled": params["x"] * 2, "seed": seed}
+
+
+def _entry_raise(label, params, seed):
+    raise RuntimeError(f"entry boom for {label}")
+
+
+def test_entrypoint_redirects_children_away_from_registry():
+    specs = [RunSpec(experiment="not-registered", label="a",
+                     params={"x": 21}, seed=7)]
+    outcomes, skipped = run_supervised(
+        specs, jobs=1, entrypoint=f"{__name__}:_entry_ok")
+    assert not skipped
+    assert outcomes[0].ok
+    assert outcomes[0].payload == {"label": "a", "doubled": 42, "seed": 7}
+    assert outcomes[0].wall_s >= 0
+
+
+def test_entrypoint_child_exception_carries_identity():
+    specs = [RunSpec(experiment="x", label="b", params={}, seed=0)]
+    outcomes, _ = run_supervised(
+        specs, jobs=1, entrypoint=f"{__name__}:_entry_raise")
+    assert not outcomes[0].ok
+    assert outcomes[0].error_type == "RuntimeError"
+    assert "entry boom for b" in outcomes[0].message
+
+
+def test_malformed_entrypoint_fails_loudly():
+    specs = [RunSpec(experiment="x", label="c", params={}, seed=0)]
+    outcomes, _ = run_supervised(specs, jobs=1, entrypoint="no-colon-here")
+    assert not outcomes[0].ok
+    assert outcomes[0].error_type == "ValueError"
+    assert "module:function" in outcomes[0].message

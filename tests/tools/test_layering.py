@@ -160,6 +160,33 @@ def test_restricted_layer_still_flags_upward_imports(tree):
     assert "must not import" in violations[0][3]
 
 
+def test_cluster_is_top_layer_and_analysis_may_reach_it(tree):
+    # The sanctioned upward edge: experiments sweep cluster configs.
+    write(tree, "repro/cluster/__init__.py",
+          "from .balancer import RssBalancer\n")
+    write(tree, "repro/cluster/balancer.py",
+          "from ..sim.interconnect import _mix64\n"   # downward
+          "from ..obs.metrics import Histogram\n")    # downward
+    write(tree, "repro/analysis/experiments.py",
+          "from ..cluster import run_cluster\n")      # allowed upward
+    assert check_layering.check_tree(tree) == []
+
+
+def test_model_layers_must_not_import_cluster(tree):
+    # Only analysis holds the upward exemption; sim/core/exec/runner
+    # importing the cluster is still an upward violation.
+    write(tree, "repro/cluster/__init__.py")
+    write(tree, "repro/runner/scheduler.py",
+          "from ..cluster import run_cluster\n")
+    write(tree, "repro/exec/cores.py",
+          "from ..cluster.balancer import RssBalancer\n")
+    violations = check_layering.check_tree(tree)
+    assert len(violations) == 2
+    assert all("must not import" in v[3] for v in violations)
+    assert {v[0] for v in violations} == {"repro.runner.scheduler",
+                                          "repro.exec.cores"}
+
+
 def test_cli_exit_codes(tree, capsys):
     assert check_layering.main(["--src", str(tree)]) == 0
     write(tree, "repro/obs/report.py", "import repro.analysis\n")
