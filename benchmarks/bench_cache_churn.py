@@ -1,0 +1,41 @@
+"""Cache-management policies under million-flow churn (§3.2 extension).
+
+Sweeps the pluggable EMC policies (random / LRU / second-chance /
+correlator) over the three churn scenarios (steady, MMPP high-churn,
+duty-cycled SYN flood) and checks the Flow Correlator shape: admission
+policies beat plain LRU replacement under attack traffic, while the
+default random policy stays bit-identical with the seed EMC.
+
+Thin wrapper over the ``repro.runner`` registry (experiment
+``cache_churn``); ``python -m repro bench --only cache_churn`` runs the
+same grid.
+"""
+
+from repro.runner import run_for_bench
+
+from _common import record_report, run_once
+
+
+def test_cache_churn(benchmark):
+    payloads, report = run_once(benchmark, run_for_bench, "cache_churn")
+    record_report("cache_churn", report)
+    cells = {(cell.scenario, cell.policy): cell
+             for cell in payloads.values()}
+    assert len(cells) == 12
+    # Policies evict in place: occupancy never exceeds capacity.
+    assert all(cell.emc_occupancy <= cell.emc_entries
+               for cell in cells.values())
+    # The default policy must not move the baseline (rel=1e-12 pins).
+    assert all(cell.default_parity for (_, policy), cell in cells.items()
+               if policy == "random")
+    # Flood: one-hit wonders are an admission problem — at least one
+    # admission-gating policy beats plain LRU replacement.
+    flood_lru = cells[("flood", "lru")].emc_miss_rate
+    best_admission = min(cells[("flood", "second-chance")].emc_miss_rate,
+                         cells[("flood", "correlator")].emc_miss_rate)
+    assert best_admission < flood_lru
+    # Pure churn without attack traffic still favours recency.
+    assert (cells[("churn", "lru")].emc_miss_rate
+            < cells[("churn", "random")].emc_miss_rate)
+    # The SYN scenario actually floods.
+    assert cells[("flood", "lru")].syn_fraction > 0.3

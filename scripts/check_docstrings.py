@@ -2,14 +2,16 @@
 """Enforce public-contract module docstrings on the perf-critical modules.
 
 The engine-speed campaign's surface area — the perf suite, the
-supervised pool, the campaign journal, and the trace-replay fast path —
-is API other sessions and external harnesses build against.  Each of
+supervised pool, the campaign journal, the trace-replay fast path, the
+cluster layer, the churn workload engine, the cache-policy seam, and
+the trace persistence formats — is API other sessions and external
+harnesses build against.  Each of
 those modules must open with a module docstring that (a) exists, (b) is
 substantial (not a one-line stub), and (c) explicitly states its public
 contract: a line containing the phrase ``Public contract`` separating
 the stable API from internals.
 
-This is deliberately a *lint*, not a style checker: it pins the four
+This is deliberately a *lint*, not a style checker: it pins only the
 modules named in ``CONTRACT_MODULES`` and nothing else, so adding a
 module here is an explicit decision to promise a stable surface.
 
@@ -35,6 +37,10 @@ CONTRACT_MODULES = (
     "repro/cluster/__init__.py",
     "repro/cluster/cluster.py",
     "repro/cluster/shards.py",
+    "repro/workloads/__init__.py",
+    "repro/workloads/churn.py",
+    "repro/classifier/cache_policy.py",
+    "repro/traffic/persistence.py",
 )
 
 #: The marker phrase the docstring must contain (case-sensitive).

@@ -4,7 +4,8 @@
 The repo's layers, bottom to top (rank 0 upward)::
 
     obs < guard < sim < hashtable < classifier < traffic < core < tcam
-        < exec < faults < vswitch < nf < analysis < runner < cluster
+        < exec < faults < vswitch < nf < workloads < analysis < runner
+        < cluster
 
 A module in layer L may import (at module level) only from layers with a
 rank <= L.  Upward imports — e.g. ``repro.obs`` importing from
@@ -31,6 +32,10 @@ safety net attaches from the harness (``sim`` owns the attachment seam,
 ``runner``/``analysis`` opt campaigns in), never from inside the
 modelled hardware or workloads — a cache or NF that imported its own
 invariant checker would entangle the model with its auditor.
+``repro.workloads`` (churn/attack traffic scenarios) is restricted the
+same way: only ``analysis`` and ``runner`` may import it — the modelled
+dataplane must never know which scenario is driving it, exactly as a
+real switch never imports its traffic generator.
 
 Root modules (``repro/__init__.py``, ``repro/__main__.py``) are exempt:
 they are the user-facing aggregation points and may import from any layer.
@@ -61,6 +66,7 @@ LAYERS = (
     "faults",
     "vswitch",
     "nf",
+    "workloads",
     "analysis",
     "runner",
     "cluster",
@@ -81,6 +87,7 @@ ALLOWED_UPWARD = {
 RESTRICTED_IMPORTERS = {
     "faults": ("analysis", "runner"),
     "guard": ("sim", "runner", "analysis"),
+    "workloads": ("analysis", "runner"),
 }
 
 

@@ -11,6 +11,7 @@ from . import (
     abl_design,
     abl_prefetch,
     abl_tlb,
+    cache_churn,
     degradation_sweep,
     fig03_breakdown,
     fig04_hash,
@@ -33,6 +34,7 @@ __all__ = [
     "abl_design",
     "abl_prefetch",
     "abl_tlb",
+    "cache_churn",
     "degradation_sweep",
     "fig03_breakdown",
     "fig04_hash",

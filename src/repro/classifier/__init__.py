@@ -1,6 +1,15 @@
 """Flow classification: 5-tuples, masks, rules, EMC, tuple space search,
 the OpenFlow layer, and the three-layer OVS datapath."""
 
+from .cache_policy import (
+    CachePolicy,
+    CorrelatorPolicy,
+    LruPolicy,
+    POLICY_NAMES,
+    RandomEvictionPolicy,
+    SecondChancePolicy,
+    make_policy,
+)
 from .datapath import Classification, DatapathStats, HitLayer, OvsDatapath
 from .dtree import DecisionTreeClassifier, TreeNode
 from .emc import DEFAULT_EMC_ENTRIES, ExactMatchCache
@@ -25,7 +34,13 @@ from .tuple_space import (
 __all__ = [
     "Action",
     "ActionKind",
+    "CachePolicy",
     "Classification",
+    "CorrelatorPolicy",
+    "LruPolicy",
+    "POLICY_NAMES",
+    "RandomEvictionPolicy",
+    "SecondChancePolicy",
     "DEFAULT_EMC_ENTRIES",
     "DEFAULT_TUPLE_CAPACITY",
     "DatapathStats",
@@ -47,5 +62,6 @@ __all__ = [
     "TupleSpaceSearch",
     "TupleSpaceStats",
     "make_flow",
+    "make_policy",
     "rule_for_flow",
 ]

@@ -16,10 +16,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Optional
+from typing import Optional, Union
 
+from ..obs.metrics import MetricsRegistry
 from ..sim.memory import AddressAllocator
 from ..sim.trace import Tracer, NULL_TRACER
+from .cache_policy import CachePolicy
 from .emc import DEFAULT_EMC_ENTRIES, ExactMatchCache
 from .flow import FiveTuple
 from .openflow import OpenFlowLayer
@@ -74,12 +76,17 @@ class OvsDatapath:
                  tracer: Tracer = NULL_TRACER,
                  emc_entries: int = DEFAULT_EMC_ENTRIES,
                  megaflow_tuple_capacity: int = 1024,
-                 emc_enabled: bool = True) -> None:
+                 emc_enabled: bool = True,
+                 emc_policy: Union[str, CachePolicy, None] = None,
+                 megaflow_policy: Optional[CachePolicy] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self.emc = ExactMatchCache(emc_entries, allocator=allocator,
-                                   tracer=tracer)
+                                   tracer=tracer, policy=emc_policy,
+                                   metrics=metrics)
         self.megaflow = TupleSpaceSearch(
             allocator=allocator, tracer=tracer,
-            tuple_capacity=megaflow_tuple_capacity, name="megaflow")
+            tuple_capacity=megaflow_tuple_capacity, name="megaflow",
+            policy=megaflow_policy, metrics=metrics)
         self.openflow = OpenFlowLayer(allocator=allocator, tracer=tracer)
         self.emc_enabled = emc_enabled
         self.stats = DatapathStats()

@@ -6,6 +6,13 @@ keyed by the masked header fields.  Classification masks the packet's
 table.  The MegaFlow layer returns on the *first* match (tuples are
 unordered caches of disjoint megaflows); the OpenFlow layer — built on the
 same structure — must search all tuples and take the highest priority.
+
+When used as a megaflow *cache* an optional
+:class:`~repro.classifier.cache_policy.CachePolicy` governs admission and
+eviction per tuple: a failed insert (tuple at capacity) evicts a policy-
+chosen victim from the new key's candidate buckets and retries once.
+With ``policy=None`` (the default, and always for the OpenFlow rule set)
+installs behave exactly as before: best-effort, no eviction.
 """
 
 from __future__ import annotations
@@ -14,8 +21,10 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..hashtable.cuckoo import CuckooHashTable
+from ..obs.metrics import MetricsRegistry, NULL_COUNTER
 from ..sim.memory import AddressAllocator
 from ..sim.trace import Tracer, NULL_TRACER
+from .cache_policy import CachePolicy
 from .flow import FiveTuple, FlowMask
 from .rules import Rule
 
@@ -27,6 +36,8 @@ class TupleSpaceStats:
     classifications: int = 0
     hits: int = 0
     tuple_lookups: int = 0
+    evictions: int = 0
+    admission_rejects: int = 0
 
     @property
     def lookups_per_classification(self) -> float:
@@ -57,14 +68,23 @@ class TupleSpaceSearch:
     def __init__(self, allocator: Optional[AddressAllocator] = None,
                  tracer: Tracer = NULL_TRACER,
                  tuple_capacity: int = DEFAULT_TUPLE_CAPACITY,
-                 name: str = "tss") -> None:
+                 name: str = "tss",
+                 policy: Optional[CachePolicy] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self.allocator = allocator
         self.tracer = tracer
         self.tuple_capacity = tuple_capacity
         self.name = name
+        self.policy = policy
         self._tuples: Dict[FlowMask, TupleEntry] = {}
         self._order: List[FlowMask] = []   # insertion order = search order
         self.stats = TupleSpaceStats()
+        if metrics is None:
+            self._m_evictions = NULL_COUNTER
+            self._m_rejects = NULL_COUNTER
+        else:
+            self._m_evictions = metrics.counter(f"{name}.evictions")
+            self._m_rejects = metrics.counter(f"{name}.admission_rejects")
 
     # -- structure ---------------------------------------------------------------
     @property
@@ -89,15 +109,49 @@ class TupleSpaceSearch:
 
     # -- rule management --------------------------------------------------------
     def install(self, rule: Rule) -> bool:
-        """Add a rule; creates the tuple for its mask on first use."""
+        """Add a rule; creates the tuple for its mask on first use.
+
+        With a cache policy attached, admission is consulted for new
+        keys, and a full tuple evicts one policy-chosen victim from the
+        key's candidate buckets before retrying the insert once.
+        """
         entry = self.tuple_for(rule.mask)
-        return entry.table.insert(rule.key, rule)
+        if self.policy is None:
+            return entry.table.insert(rule.key, rule)
+        key = rule.key
+        plan = entry.table.probe(key)
+        if plan.found:
+            entry.table.insert(key, rule)   # refresh the cached megaflow
+            self.policy.on_hit(key)
+            return True
+        if not self.policy.admit(key):
+            self.stats.admission_rejects += 1
+            self._m_rejects.inc()
+            return False
+        if entry.table.insert(key, rule):
+            self.policy.on_install(key)
+            return True
+        victim = self.policy.victim(
+            entry.table, (plan.primary_index, plan.secondary_index))
+        if victim is None:
+            return False
+        entry.table.delete(victim)
+        self.policy.on_evict(victim)
+        self.stats.evictions += 1
+        self._m_evictions.inc()
+        if entry.table.insert(key, rule):
+            self.policy.on_install(key)
+            return True
+        return False
 
     def remove(self, rule: Rule) -> bool:
         entry = self._tuples.get(rule.mask)
         if entry is None:
             return False
-        return entry.table.delete(rule.key)
+        deleted = entry.table.delete(rule.key)
+        if deleted and self.policy is not None:
+            self.policy.on_evict(rule.key)
+        return deleted
 
     def __len__(self) -> int:
         return sum(len(entry) for entry in self._tuples.values())
@@ -116,6 +170,8 @@ class TupleSpaceSearch:
             rule = entry.lookup(flow)
             if rule is not None:
                 self.stats.hits += 1
+                if self.policy is not None:
+                    self.policy.on_hit(entry.mask.key_of(flow))
                 return rule, searched
         return None, searched
 

@@ -1,6 +1,6 @@
 """``repro bench --perf`` — the pinned engine-performance microbench suite.
 
-Public contract: seven microbenches track the simulator's own speed (not
+Public contract: eight microbenches track the simulator's own speed (not
 the paper's modelled results) so every PR leaves a ``BENCH_<n>.json``
 footprint in the perf trajectory:
 
@@ -27,6 +27,12 @@ footprint in the perf trajectory:
   cluster over a fixed stream, against the same stream through one
   monolithic shard as the reference side.  Tracks the host cost of
   standing up and running N independent shard simulations.
+* ``emc_churn`` — the cache-policy hot loop: the high-churn workload
+  scenario (:class:`repro.workloads.churn.ChurnEngine`) streamed through
+  a policy-driven :class:`repro.classifier.emc.ExactMatchCache`
+  lookup/install loop.  Times packet generation plus admission/eviction
+  book-keeping — the per-packet host cost the ``cache_churn`` experiment
+  pays per cell.
 
 ``engine_churn`` and ``cache_replay`` also run on the *frozen
 pre-campaign engine* vendored in :mod:`repro.runner._legacy_engine`;
@@ -54,7 +60,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
-PERF_SCHEMA_VERSION = 3
+PERF_SCHEMA_VERSION = 4
 
 #: Default location for committed snapshots (``BENCH_<n>.json``).
 DEFAULT_PERF_DIR = "benchmarks/perf"
@@ -62,7 +68,7 @@ DEFAULT_PERF_DIR = "benchmarks/perf"
 #: Names every snapshot must contain, in suite order.
 BENCH_NAMES = ("engine_churn", "cache_replay", "fig09_single_lookup",
                "multicore_step", "multicore_batched", "vector_pricing",
-               "shard_scaling")
+               "shard_scaling", "emc_churn")
 
 #: Required bench names per schema version.  Snapshots validate against
 #: the schema they were written with, so the committed trajectory stays
@@ -72,7 +78,10 @@ NAMES_BY_SCHEMA = {
         "multicore_step"),
     2: ("engine_churn", "cache_replay", "fig09_single_lookup",
         "multicore_step", "multicore_batched", "vector_pricing"),
-    3: BENCH_NAMES,
+    3: ("engine_churn", "cache_replay", "fig09_single_lookup",
+        "multicore_step", "multicore_batched", "vector_pricing",
+        "shard_scaling"),
+    4: BENCH_NAMES,
 }
 
 
@@ -207,13 +216,17 @@ class _Shape:
     shard_count: int = 4
     shard_flows: int = 128
     shard_lookups: int = 2000
+    #: Churn-stream volume + EMC capacity for ``emc_churn``.
+    emc_churn_packets: int = 20_000
+    emc_churn_entries: int = 512
 
 
 FULL_SHAPE = _Shape(churn_workers=16, churn_hops=2000, churn_parked=10_000,
                     replay_lookups=8000, fig09_lookups=2000,
                     multicore_cores=4, multicore_lookups=400, repeats=5,
                     batched_lookups=800, pricing_lookups=8000,
-                    shard_count=4, shard_flows=128, shard_lookups=2000)
+                    shard_count=4, shard_flows=128, shard_lookups=2000,
+                    emc_churn_packets=20_000, emc_churn_entries=512)
 # Quick walls must stay >= ~50ms per bench: the CI gate compares rates
 # from this flavour, and few-millisecond timings swing tens of percent.
 # "Quick" trims repeats and lookup volume, not workload character.
@@ -221,7 +234,8 @@ QUICK_SHAPE = _Shape(churn_workers=16, churn_hops=2000, churn_parked=10_000,
                      replay_lookups=4000, fig09_lookups=800,
                      multicore_cores=2, multicore_lookups=200, repeats=3,
                      batched_lookups=800, pricing_lookups=8000,
-                     shard_count=4, shard_flows=128, shard_lookups=1000)
+                     shard_count=4, shard_flows=128, shard_lookups=1000,
+                     emc_churn_packets=10_000, emc_churn_entries=256)
 
 #: Latency mix the churn workers cycle through: L1 / L2 / LLC / DRAM-ish.
 _CHURN_LATENCIES = (4, 12, 40, 200)
@@ -584,6 +598,40 @@ def bench_shard_scaling(shape: _Shape) -> BenchResult:
                        legacy_wall_s=legacy_wall, repeats=shape.repeats)
 
 
+def bench_emc_churn(shape: _Shape) -> BenchResult:
+    """The cache-policy hot loop under the high-churn workload.
+
+    Streams the ``high_churn`` scenario through a policy-driven EMC
+    (LRU — the policy with per-packet book-keeping on both hits and
+    installs, so the seam's overhead is fully exercised).  The timed
+    loop covers packet generation, lookup, and install — the same
+    per-packet host cost every ``cache_churn`` experiment cell pays.
+    No engine runs here, so ``events`` counts packets and ``cycles``
+    is zero.
+    """
+    from ..classifier.emc import ExactMatchCache
+    from ..classifier.flow import FlowMask, make_flow
+    from ..classifier.rules import Action, Rule
+    from ..workloads import ChurnEngine, ChurnSpec
+
+    rule = Rule(mask=FlowMask.exact(), match=make_flow(0),
+                action=Action.output(0))
+
+    def run_current() -> float:
+        emc = ExactMatchCache(shape.emc_churn_entries, policy="lru")
+        engine = ChurnEngine(ChurnSpec.high_churn(seed=41))
+        t0 = time.process_time()
+        for flow in engine.packets(shape.emc_churn_packets):
+            if emc.lookup(flow) is None:
+                emc.install(flow, rule)
+        return time.process_time() - t0
+
+    (wall,) = _min_of([run_current], shape.repeats)
+    return BenchResult(name="emc_churn", events=shape.emc_churn_packets,
+                       lookups=shape.emc_churn_packets, cycles=0.0,
+                       wall_s=wall, repeats=shape.repeats)
+
+
 _BENCHES: Dict[str, Callable[[_Shape], BenchResult]] = {
     "engine_churn": bench_engine_churn,
     "cache_replay": bench_cache_replay,
@@ -592,6 +640,7 @@ _BENCHES: Dict[str, Callable[[_Shape], BenchResult]] = {
     "multicore_batched": bench_multicore_batched,
     "vector_pricing": bench_vector_pricing,
     "shard_scaling": bench_shard_scaling,
+    "emc_churn": bench_emc_churn,
 }
 assert tuple(_BENCHES) == BENCH_NAMES
 

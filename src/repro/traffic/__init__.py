@@ -2,7 +2,9 @@
 traffic profiles (the IXIA-substitute)."""
 
 from .generator import FlowSet, PacketStream, key_stream, random_keys
-from .persistence import load_flow_set, replay, save_flow_set
+from .persistence import (iter_flow_set, load_flow_set, replay,
+                          save_flow_set, stream_flows,
+                          write_flow_stream)
 from .profiles import (
     FIGURE3_PROFILES,
     GROUP_MASKS,
@@ -19,9 +21,12 @@ __all__ = [
     "RULE_MASKS",
     "TrafficProfile",
     "key_stream",
+    "iter_flow_set",
     "load_flow_set",
     "replay",
     "save_flow_set",
+    "stream_flows",
+    "write_flow_stream",
     "profile_by_name",
     "random_keys",
 ]

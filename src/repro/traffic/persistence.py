@@ -1,16 +1,27 @@
 """Workload persistence: save and reload flow sets and packet traces.
 
 Reproducibility helper: a generated workload (flow population plus the
-exact packet order a run consumed) can be written to a compact JSON-lines
-file and replayed bit-identically later or on another machine — the
-equivalent of keeping the pcap an IXIA run was driven by.
+exact packet order a run consumed) can be written to a compact file and
+replayed bit-identically later or on another machine — the equivalent of
+keeping the pcap an IXIA run was driven by.
+
+Public contract: two formats.  ``repro-flows-v1``
+(:func:`save_flow_set` / :func:`load_flow_set`) stores a whole
+:class:`~repro.traffic.generator.FlowSet` plus an optional packet-index
+trace, materialized in memory — right for the Figure-3-scale
+populations.  ``repro-stream-v1`` (:func:`write_flow_stream` /
+:func:`stream_flows`) is the million-flow path: one packet per line,
+written from any iterable and read back as a *generator*, so a churn
+trace round-trips in constant memory.  :func:`iter_flow_set` reads the
+flow rows of a v1 file lazily for the same reason.  Both formats are
+plain ASCII lines and host-independent.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Iterable, List, Tuple, Union
+from typing import Iterable, Iterator, List, Tuple, Union
 
 from ..classifier.flow import FiveTuple
 from .generator import FlowSet
@@ -18,6 +29,7 @@ from .generator import FlowSet
 _PathLike = Union[str, Path]
 
 _FORMAT = "repro-flows-v1"
+_STREAM_FORMAT = "repro-stream-v1"
 
 
 def _flow_to_list(flow: FiveTuple) -> list:
@@ -79,3 +91,60 @@ def replay(flow_set: FlowSet, trace: List[int]):
     """Yield the traced packet flows in order."""
     for index in trace:
         yield flow_set[index]
+
+
+def iter_flow_set(path: _PathLike) -> Iterator[FiveTuple]:
+    """Stream the flow rows of a ``repro-flows-v1`` file lazily.
+
+    Yields each flow as it is parsed — the memory-bounded counterpart of
+    :func:`load_flow_set` (the trailing packet trace, if any, is
+    skipped).
+    """
+    path = Path(path)
+    with path.open("r", encoding="ascii") as handle:
+        header = json.loads(handle.readline())
+        if header.get("format") != _FORMAT:
+            raise ValueError(f"{path}: not a {_FORMAT} file")
+        for _ in range(int(header["flows"])):
+            yield _flow_from_list(json.loads(handle.readline()))
+
+
+def write_flow_stream(path: _PathLike, flows: Iterable[FiveTuple]) -> int:
+    """Write packets to a ``repro-stream-v1`` file, one flow per line.
+
+    Consumes any iterable — including a live
+    :meth:`~repro.workloads.churn.ChurnEngine.packets` generator — and
+    never buffers it, so million-flow traces stream straight to disk.
+    Returns the number of records written.
+    """
+    path = Path(path)
+    records = 0
+    with path.open("w", encoding="ascii") as handle:
+        handle.write(json.dumps({"format": _STREAM_FORMAT}) + "\n")
+        for flow in flows:
+            handle.write(f"{flow.src_ip},{flow.dst_ip},{flow.src_port},"
+                         f"{flow.dst_port},{flow.proto}\n")
+            records += 1
+    return records
+
+
+def stream_flows(path: _PathLike) -> Iterator[FiveTuple]:
+    """Read a ``repro-stream-v1`` file back as a lazy flow iterator.
+
+    The inverse of :func:`write_flow_stream`: a generator, so arbitrarily
+    large traces replay in constant memory.
+    """
+    path = Path(path)
+    with path.open("r", encoding="ascii") as handle:
+        header = json.loads(handle.readline())
+        if header.get("format") != _STREAM_FORMAT:
+            raise ValueError(f"{path}: not a {_STREAM_FORMAT} file")
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            values = line.split(",")
+            if len(values) != 5:
+                raise ValueError(f"{path}: malformed record {line!r}")
+            yield FiveTuple(int(values[0]), int(values[1]), int(values[2]),
+                            int(values[3]), int(values[4]))

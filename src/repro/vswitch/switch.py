@@ -26,8 +26,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Generator, Iterable, List
+from typing import Generator, Iterable, List, Optional, Union
 
+from ..classifier.cache_policy import CachePolicy
 from ..classifier.datapath import Classification, HitLayer
 from ..classifier.emc import DEFAULT_EMC_ENTRIES, ExactMatchCache
 from ..classifier.flow import FiveTuple
@@ -88,7 +89,9 @@ class VirtualSwitch:
                  core_id: int = 0,
                  emc_entries: int = DEFAULT_EMC_ENTRIES,
                  megaflow_tuple_capacity: int = 4096,
-                 emc_enabled: bool = True) -> None:
+                 emc_enabled: bool = True,
+                 emc_policy: Union[str, CachePolicy, None] = None,
+                 megaflow_policy: Optional[CachePolicy] = None) -> None:
         self.system = system
         self.mode = mode
         self.core_id = core_id
@@ -96,11 +99,14 @@ class VirtualSwitch:
         self._rules: List[Rule] = []
         allocator = system.hierarchy.allocator
         tracer = system.tracer
+        metrics = system.obs.metrics  # null objects when obs is disabled
         self.emc = ExactMatchCache(emc_entries, allocator=allocator,
-                                   tracer=tracer)
+                                   tracer=tracer, policy=emc_policy,
+                                   metrics=metrics)
         self.megaflow = TupleSpaceSearch(
             allocator=allocator, tracer=tracer,
-            tuple_capacity=megaflow_tuple_capacity, name="megaflow")
+            tuple_capacity=megaflow_tuple_capacity, name="megaflow",
+            policy=megaflow_policy, metrics=metrics)
         self.openflow = OpenFlowLayer(allocator=allocator, tracer=tracer)
         self.pktio = PacketIo(system.hierarchy, core_id)
         # A burst-sized mbuf ring: headers recycle through a bounded set of
@@ -199,6 +205,8 @@ class VirtualSwitch:
                                               entry.lookup, flow)
             if rule is not None:
                 self.megaflow.stats.hits += 1
+                if self.megaflow.policy is not None:
+                    self.megaflow.policy.on_hit(entry.mask.key_of(flow))
                 yield from self._fill_caches(flow, rule, breakdown)
                 return Classification(flow, rule, HitLayer.MEGAFLOW,
                                       tuples_searched=searched)

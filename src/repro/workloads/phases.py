@@ -1,0 +1,71 @@
+"""Phase scripting for workload scenarios: duty-cycle windows and diurnal
+load curves.
+
+Mirrors the :mod:`repro.faults` duty-cycle idiom (a window is active for
+``duty`` of every ``period`` ticks between ``start`` and ``end``) without
+importing the faults layer — workloads drive the dataplane, faults break
+the hardware, and the two stay independent.  A
+:class:`DiurnalCurve` modulates the arrival rate smoothly, so a day's
+load swing compresses into however many ticks a run can afford.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PhaseWindow:
+    """A duty-cycled activity window over workload time (ticks).
+
+    Active from ``start`` to ``end``; with a ``period``, only for the
+    first ``duty`` fraction of each period (an on/off burst train —
+    exactly the shape SYN-flood waves arrive in).
+    """
+
+    start: float = 0.0
+    end: float = math.inf
+    period: float = 0.0
+    duty: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError("window must not end before it starts")
+        if self.period < 0:
+            raise ValueError("period must be >= 0")
+        if not 0.0 <= self.duty <= 1.0:
+            raise ValueError("duty must be within [0, 1]")
+
+    def active(self, now: float) -> bool:
+        if not self.start <= now < self.end:
+            return False
+        if self.period <= 0 or self.duty >= 1.0:
+            return True
+        return (now - self.start) % self.period < self.duty * self.period
+
+
+@dataclass(frozen=True)
+class DiurnalCurve:
+    """A raised-cosine load multiplier: ``low`` at the trough, ``high``
+    at the peak, one full swing per ``period`` ticks.
+
+    ``multiplier(0) == low`` (runs start at the quiet point); ``phase``
+    shifts the trough as a fraction of the period.
+    """
+
+    period: float
+    low: float = 0.5
+    high: float = 1.5
+    phase: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError("period must be positive")
+        if self.low < 0 or self.high < self.low:
+            raise ValueError("need 0 <= low <= high")
+
+    def multiplier(self, now: float) -> float:
+        swing = (1.0 - math.cos(
+            2.0 * math.pi * (now / self.period + self.phase))) / 2.0
+        return self.low + (self.high - self.low) * swing

@@ -17,8 +17,12 @@ from pathlib import Path
 
 import pytest
 
+from repro.classifier import ExactMatchCache
+from repro.classifier.flow import FlowMask, make_flow
+from repro.classifier.rules import Action, Rule
 from repro.core import HaloSystem
 from repro.obs import validate_nesting
+from repro.workloads import ChurnEngine, ChurnSpec
 
 from ..conftest import make_keys
 
@@ -26,6 +30,12 @@ GOLDEN_PATH = Path(__file__).resolve().parent.parent / "data" / "golden_obs.json
 
 BLOCKING = 24
 NONBLOCKING = 32
+
+#: EMC side-workload sizing: small capacity + a long-enough stream so
+#: evictions, admission rejects, and several miss-rate windows all land.
+EMC_LOOKUPS = 1024
+EMC_MISS_WINDOW = 64
+EMC_ENTRIES = 16
 
 
 def run_workload() -> HaloSystem:
@@ -38,6 +48,18 @@ def run_workload() -> HaloSystem:
     system.hierarchy.flush_private(0)
     system.run_blocking_lookups(table, keys[:BLOCKING])
     system.run_nonblocking_lookups(table, keys[BLOCKING:BLOCKING + NONBLOCKING])
+    # A metrics-wired EMC driven directly (no engine, no tracer): adds
+    # the emc.* counter and windowed miss-rate families to the export
+    # without touching the span trees.
+    emc = ExactMatchCache(EMC_ENTRIES, policy="second-chance",
+                          metrics=system.obs.metrics,
+                          miss_window=EMC_MISS_WINDOW)
+    rule = Rule(mask=FlowMask.exact(), match=make_flow(0),
+                action=Action.output(0))
+    churn = ChurnEngine(ChurnSpec.high_churn(seed=33))
+    for flow in churn.packets(EMC_LOOKUPS):
+        if emc.lookup(flow) is None:
+            emc.install(flow, rule)
     return system
 
 
@@ -88,6 +110,16 @@ def test_metric_counting_invariants(workload):
     # every metadata lookup either hit or missed
     assert (snapshot["halo.accelerator.metadata_hits"]
             + snapshot["halo.accelerator.metadata_misses"]) == queries
+
+
+def test_emc_policy_metrics_exported(workload):
+    """The cache-policy seam publishes its counters into the same
+    registry the golden snapshot pins."""
+    snapshot = workload.obs.metrics.snapshot()
+    assert snapshot["emc.evictions"] > 0
+    assert snapshot["emc.admission_rejects"] > 0
+    window = snapshot["emc.second-chance.window_miss_rate"]
+    assert window["count"] == EMC_LOOKUPS // EMC_MISS_WINDOW
 
 
 def test_one_span_tree_per_query_and_nesting_holds(workload):

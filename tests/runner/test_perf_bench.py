@@ -24,7 +24,8 @@ MICRO_SHAPE = perf._Shape(churn_workers=2, churn_hops=20, churn_parked=50,
                           replay_lookups=40, fig09_lookups=20,
                           multicore_cores=2, multicore_lookups=5, repeats=1,
                           batched_lookups=5, pricing_lookups=40,
-                          shard_count=2, shard_flows=16, shard_lookups=40)
+                          shard_count=2, shard_flows=16, shard_lookups=40,
+                          emc_churn_packets=200, emc_churn_entries=32)
 
 
 @pytest.fixture()
@@ -54,6 +55,9 @@ def test_quick_suite_is_schema_valid(micro_suite):
     # Lookup benches report a lookup rate; pure-DES churn does not.
     assert snapshot["benches"]["engine_churn"]["lookups_per_sec"] is None
     assert snapshot["benches"]["cache_replay"]["lookups_per_sec"] > 0
+    # emc_churn runs no engine: pure host-rate bench, packets as events.
+    assert snapshot["benches"]["emc_churn"]["lookups_per_sec"] > 0
+    assert snapshot["benches"]["emc_churn"]["speedup_vs_legacy"] is None
 
 
 def test_structure_is_deterministic_across_runs(micro_suite):
@@ -181,10 +185,19 @@ def test_committed_snapshots_are_valid_and_fast():
     assert (vector_round["benches"]["vector_pricing"]
             ["speedup_vs_legacy"] > 1.0)
 
-    latest = json.loads((perf_dir / "BENCH_2.json").read_text())
+    cluster_round = json.loads((perf_dir / "BENCH_2.json").read_text())
+    assert validate_snapshot(cluster_round) == []
+    assert cluster_round["quick"] is False
+    assert cluster_round["schema_version"] == 3
+    # The scale-out round adds the sharded-cluster bench to the suite.
+    assert (cluster_round["benches"]["shard_scaling"]["speedup_vs_legacy"]
+            is not None)
+    assert cluster_round["benches"]["shard_scaling"]["events"] > 0
+
+    latest = json.loads((perf_dir / "BENCH_3.json").read_text())
     assert validate_snapshot(latest) == []
     assert latest["quick"] is False
     assert latest["schema_version"] == PERF_SCHEMA_VERSION
-    # The scale-out round adds the sharded-cluster bench to the suite.
-    assert latest["benches"]["shard_scaling"]["speedup_vs_legacy"] is not None
-    assert latest["benches"]["shard_scaling"]["events"] > 0
+    # The workloads round adds the cache-policy churn bench to the suite.
+    assert latest["benches"]["emc_churn"]["events"] > 0
+    assert latest["benches"]["emc_churn"]["lookups_per_sec"] > 0

@@ -27,7 +27,7 @@ def write(root: Path, relative: str, content: str = "") -> None:
 def tree(tmp_path):
     src = tmp_path / "src"
     for package in ("", "obs", "guard", "sim", "core", "exec", "faults",
-                    "vswitch", "analysis", "runner"):
+                    "vswitch", "nf", "workloads", "analysis", "runner"):
         write(src, f"repro/{package}/__init__.py" if package
               else "repro/__init__.py")
     return src
@@ -147,6 +147,39 @@ def test_guard_layer_allows_harness_importers(tree):
           "from ..obs.metrics import Counter\n")  # downward
     write(tree, "repro/guard/errors.py")
     write(tree, "repro/guard/presets.py")
+    assert check_layering.check_tree(tree) == []
+
+
+def test_workloads_layer_restricted_to_harness_importers(tree):
+    # The dataplane must never know which traffic scenario drives it:
+    # vswitch/nf sit below workloads, sim even lower — none may import it.
+    write(tree, "repro/vswitch/switch.py",
+          "from ..workloads.churn import ChurnEngine\n")
+    write(tree, "repro/nf/firewall.py",
+          "from ..workloads import ChurnSpec\n")
+    write(tree, "repro/sim/engine.py",
+          "from ..workloads.phases import PhaseWindow\n")
+    violations = check_layering.check_tree(tree)
+    assert len(violations) == 3
+    assert {v[0] for v in violations} == {"repro.vswitch.switch",
+                                          "repro.nf.firewall",
+                                          "repro.sim.engine"}
+    # vswitch/nf are below workloads in rank: upward violations; and the
+    # restriction never grants an exemption to anyone below.
+    assert all("must not import" in v[3] for v in violations)
+
+
+def test_workloads_layer_allows_sanctioned_importers(tree):
+    write(tree, "repro/analysis/experiments.py",
+          "from ..workloads import ChurnEngine, ChurnSpec\n")
+    write(tree, "repro/runner/perf.py",
+          "from ..workloads.churn import ChurnEngine\n")
+    write(tree, "repro/workloads/churn.py",
+          "from .lifecycle import PoissonArrivals\n"      # same layer
+          "from ..classifier.flow import make_flow\n")    # downward
+    write(tree, "repro/workloads/lifecycle.py")
+    write(tree, "repro/classifier/__init__.py")
+    write(tree, "repro/classifier/flow.py")
     assert check_layering.check_tree(tree) == []
 
 

@@ -1,13 +1,18 @@
-"""Workload save/load round trips."""
+"""Workload save/load round trips, materialized and streaming."""
+
+import itertools
 
 import pytest
 
 from repro.traffic import (
     FlowSet,
     PacketStream,
+    iter_flow_set,
     load_flow_set,
     replay,
     save_flow_set,
+    stream_flows,
+    write_flow_stream,
 )
 
 
@@ -48,6 +53,77 @@ def test_reject_out_of_range_trace(tmp_path):
     path.write_text(text)
     with pytest.raises(ValueError):
         load_flow_set(path)
+
+
+def test_iter_flow_set_streams_v1_files(tmp_path):
+    flow_set = FlowSet.generate(100, seed=4, groups=2)
+    path = tmp_path / "flows.jsonl"
+    save_flow_set(flow_set, path, packet_indices=[0, 1, 0])
+    flows = iter_flow_set(path)
+    assert iter(flows) is flows                     # a lazy generator
+    assert list(flows) == list(flow_set.flows)      # trace line skipped
+
+
+def test_iter_flow_set_rejects_foreign_file(tmp_path):
+    path = tmp_path / "bogus.jsonl"
+    path.write_text('{"format": "something-else"}\n')
+    with pytest.raises(ValueError):
+        list(iter_flow_set(path))
+
+
+def test_stream_roundtrip(tmp_path):
+    flow_set = FlowSet.generate(500, seed=11)
+    path = tmp_path / "trace.stream"
+    written = write_flow_stream(path, flow_set.flows)
+    assert written == 500
+    assert list(stream_flows(path)) == list(flow_set.flows)
+
+
+def test_stream_reader_is_lazy_and_validating(tmp_path):
+    path = tmp_path / "trace.stream"
+    write_flow_stream(path, FlowSet.generate(10, seed=1).flows)
+    reader = stream_flows(path)
+    assert iter(reader) is reader                   # generator protocol
+    with open(path, "a", encoding="ascii") as handle:
+        handle.write("1,2,3\n")                     # truncated record
+    with pytest.raises(ValueError):
+        list(stream_flows(path))
+    bogus = tmp_path / "bogus.stream"
+    bogus.write_text('{"format": "repro-flows-v1"}\n')
+    with pytest.raises(ValueError):
+        list(stream_flows(bogus))
+
+
+def test_million_flow_stream_roundtrip(tmp_path):
+    """Satellite regression: a million-flow trace round-trips through
+    the stream format without ever being materialized in memory."""
+    from repro.classifier.flow import make_flow
+
+    count = 1_000_000
+    path = tmp_path / "million.stream"
+    written = write_flow_stream(
+        path, (make_flow(i, group=i % 16)
+               for i in range(count)))             # generator in, no list
+    assert written == count
+
+    replayed = stream_flows(path)
+    regenerated = (make_flow(i, group=i % 16) for i in range(count))
+    mismatches = sum(1 for a, b in itertools.zip_longest(replayed,
+                                                         regenerated)
+                     if a != b)
+    assert mismatches == 0
+
+
+def test_churn_trace_stream_roundtrip(tmp_path):
+    """A churn-engine trace replays bit-identically from disk."""
+    from repro.workloads import ChurnEngine, ChurnSpec
+
+    spec = ChurnSpec.high_churn(seed=23)
+    path = tmp_path / "churn.stream"
+    written = write_flow_stream(path, ChurnEngine(spec).packets(20_000))
+    assert written == 20_000
+    assert (list(stream_flows(path))
+            == list(ChurnEngine(spec).packets(20_000)))
 
 
 def test_replayed_workload_classifies_identically(tmp_path):

@@ -1,0 +1,125 @@
+"""Lifecycle samplers: determinism, distribution shape, and the cached
+Zipf CDF staying correct as the population drifts."""
+
+import random
+
+import pytest
+
+from repro.workloads import (MmppArrivals, ParetoSizes, PoissonArrivals,
+                             ZipfSelector, fork_rng, harmonic_weights)
+
+
+class TestForkRng:
+    def test_deterministic(self):
+        assert (fork_rng(7, "sizes").random()
+                == fork_rng(7, "sizes").random())
+
+    def test_tags_give_independent_streams(self):
+        assert (fork_rng(7, "sizes").random()
+                != fork_rng(7, "arrivals").random())
+
+    def test_seeds_give_independent_streams(self):
+        assert fork_rng(7, "x").random() != fork_rng(8, "x").random()
+
+
+class TestPoissonArrivals:
+    def test_mean_tracks_rate(self):
+        arrivals = PoissonArrivals(2.0, random.Random(1))
+        counts = [arrivals.count() for _ in range(5000)]
+        assert sum(counts) / len(counts) == pytest.approx(2.0, rel=0.1)
+
+    def test_multiplier_scales_mean(self):
+        arrivals = PoissonArrivals(2.0, random.Random(1))
+        scaled = [arrivals.count(2.0) for _ in range(5000)]
+        assert sum(scaled) / len(scaled) == pytest.approx(4.0, rel=0.1)
+
+    def test_zero_rate_never_arrives(self):
+        arrivals = PoissonArrivals(0.0, random.Random(1))
+        assert all(arrivals.count() == 0 for _ in range(100))
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(-1.0, random.Random(1))
+
+
+class TestMmppArrivals:
+    def test_states_alternate_and_rates_differ(self):
+        mmpp = MmppArrivals(0.5, 8.0, 50.0, 50.0, random.Random(3))
+        by_state = {0: [], 1: []}
+        for _ in range(20_000):
+            count = mmpp.count()
+            by_state[mmpp.state].append(count)
+        assert by_state[0] and by_state[1]     # both states visited
+        quiet = sum(by_state[0]) / len(by_state[0])
+        burst = sum(by_state[1]) / len(by_state[1])
+        assert burst > quiet * 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MmppArrivals(-1.0, 1.0, 10.0, 10.0, random.Random(1))
+        with pytest.raises(ValueError):
+            MmppArrivals(1.0, 2.0, 0.0, 10.0, random.Random(1))
+
+
+class TestParetoSizes:
+    def test_bounds_respected(self):
+        sizes = ParetoSizes(1.2, 4, 1000, random.Random(5))
+        samples = [sizes.sample() for _ in range(10_000)]
+        assert min(samples) >= 4
+        assert max(samples) <= 1000
+
+    def test_heavy_tail(self):
+        # Most flows are mice, but the tail reaches far beyond the median.
+        sizes = ParetoSizes(1.1, 1, 100_000, random.Random(5))
+        samples = sorted(sizes.sample() for _ in range(10_000))
+        median = samples[len(samples) // 2]
+        assert median <= 4
+        assert samples[-1] > 100 * median
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParetoSizes(0.0, 1, 10, random.Random(1))
+        with pytest.raises(ValueError):
+            ParetoSizes(1.0, 10, 5, random.Random(1))
+
+
+class TestZipfSelector:
+    def test_ranks_in_range(self):
+        select = ZipfSelector(1.2, random.Random(9))
+        assert all(0 <= select.pick(50) < 50 for _ in range(2000))
+
+    def test_low_ranks_dominate(self):
+        select = ZipfSelector(1.2, random.Random(9))
+        picks = [select.pick(100) for _ in range(10_000)]
+        head = sum(1 for rank in picks if rank < 10)
+        assert head / len(picks) > 0.5
+
+    def test_zero_skew_is_uniform(self):
+        select = ZipfSelector(0.0, random.Random(9))
+        picks = [select.pick(10) for _ in range(20_000)]
+        for rank in range(10):
+            share = picks.count(rank) / len(picks)
+            assert share == pytest.approx(0.1, abs=0.02)
+
+    def test_population_drift_stays_in_range(self):
+        # Shrinking the population below the cached CDF size must clamp,
+        # growing it must still cover every rank.
+        select = ZipfSelector(1.0, random.Random(9))
+        for n in (100, 90, 110, 10, 200, 1):
+            for _ in range(200):
+                assert 0 <= select.pick(n) < max(n, 1)
+
+    def test_single_element_population(self):
+        select = ZipfSelector(1.5, random.Random(9))
+        assert select.pick(1) == 0
+        assert select.pick(0) == 0
+
+    def test_negative_skew_rejected(self):
+        with pytest.raises(ValueError):
+            ZipfSelector(-0.5, random.Random(1))
+
+
+def test_harmonic_weights_normalised_and_decreasing():
+    weights = harmonic_weights(20, 1.2)
+    assert sum(weights) == pytest.approx(1.0)
+    assert all(a > b for a, b in zip(weights, weights[1:]))

@@ -1,0 +1,95 @@
+"""Phase scripting: duty-cycle windows gate activity, diurnal curves
+stay within their [low, high] band."""
+
+import math
+
+import pytest
+
+from repro.workloads import DiurnalCurve, PhaseWindow
+
+
+class TestPhaseWindow:
+    def test_always_active_by_default(self):
+        window = PhaseWindow()
+        assert window.active(0.0)
+        assert window.active(1e9)
+
+    def test_bounded_window(self):
+        window = PhaseWindow(start=10.0, end=20.0)
+        assert not window.active(9.9)
+        assert window.active(10.0)
+        assert window.active(19.9)
+        assert not window.active(20.0)
+
+    def test_duty_cycle_bursts(self):
+        # Active for the first quarter of each 100-tick period.
+        window = PhaseWindow(start=0.0, period=100.0, duty=0.25)
+        assert window.active(0.0)
+        assert window.active(24.9)
+        assert not window.active(25.0)
+        assert not window.active(99.0)
+        assert window.active(100.0)     # next period's burst
+        assert window.active(124.0)
+        assert not window.active(125.0)
+
+    def test_duty_cycle_anchored_at_start(self):
+        window = PhaseWindow(start=200.0, period=400.0, duty=0.25)
+        assert not window.active(199.0)     # before the window opens
+        assert window.active(200.0)
+        assert window.active(299.0)
+        assert not window.active(300.0)     # past 25% of the period
+        assert window.active(600.0)         # next wave
+
+    def test_full_duty_ignores_period(self):
+        window = PhaseWindow(period=100.0, duty=1.0)
+        assert all(window.active(t) for t in range(0, 300, 7))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PhaseWindow(start=10.0, end=5.0)
+        with pytest.raises(ValueError):
+            PhaseWindow(period=-1.0)
+        with pytest.raises(ValueError):
+            PhaseWindow(duty=1.5)
+        with pytest.raises(ValueError):
+            PhaseWindow(duty=-0.1)
+
+
+class TestDiurnalCurve:
+    def test_starts_at_trough(self):
+        curve = DiurnalCurve(period=1000.0, low=0.5, high=1.5)
+        assert curve.multiplier(0.0) == pytest.approx(0.5)
+
+    def test_peak_at_half_period(self):
+        curve = DiurnalCurve(period=1000.0, low=0.5, high=1.5)
+        assert curve.multiplier(500.0) == pytest.approx(1.5)
+
+    def test_bounded_everywhere(self):
+        curve = DiurnalCurve(period=777.0, low=0.25, high=2.0)
+        values = [curve.multiplier(t * 13.7) for t in range(500)]
+        assert min(values) >= 0.25 - 1e-12
+        assert max(values) <= 2.0 + 1e-12
+
+    def test_periodic(self):
+        curve = DiurnalCurve(period=500.0)
+        for t in (0.0, 123.0, 250.0, 499.0):
+            assert curve.multiplier(t) == pytest.approx(
+                curve.multiplier(t + 500.0))
+
+    def test_phase_shift_moves_trough(self):
+        shifted = DiurnalCurve(period=1000.0, low=0.5, high=1.5, phase=0.5)
+        assert shifted.multiplier(0.0) == pytest.approx(1.5)
+        assert shifted.multiplier(500.0) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalCurve(period=0.0)
+        with pytest.raises(ValueError):
+            DiurnalCurve(period=100.0, low=-0.1)
+        with pytest.raises(ValueError):
+            DiurnalCurve(period=100.0, low=1.0, high=0.5)
+
+    def test_flat_curve_allowed(self):
+        flat = DiurnalCurve(period=100.0, low=1.0, high=1.0)
+        assert flat.multiplier(37.0) == pytest.approx(1.0)
+        assert not math.isnan(flat.multiplier(0.0))
