@@ -1,0 +1,52 @@
+"""Chaos-tested cluster failover: shard kills, RSS re-steering, zero
+lost flows (§4.4 extension, scale-out degradation).
+
+Kills 1..3 of 4 shards through a seeded ``ShardFaultPlan`` while
+``run_cluster(failover=True)`` detects each death through the
+supervised pool's failure-classification seam, re-steers the victims'
+RSS indirection-table entries, and replays their flow substreams
+through the survivors.  Checks the self-healing shape: failover is free
+when nothing fails, no flow is ever lost, recovered-flow p99 degrades
+monotonically (bounded by dead-shards × detection epochs + one
+makespan), correlator admission beats LRU on the survivors' cold-cache
+refill, and the whole chaos schedule replays bit-identically from its
+seed.
+
+Thin wrapper over the ``repro.runner`` registry (experiment
+``cluster_chaos``); ``python -m repro bench --only cluster_chaos`` runs
+the same grid.
+"""
+
+from repro.runner import run_for_bench
+
+from _common import record_report, run_once
+
+
+def test_cluster_chaos(benchmark):
+    payloads, report = run_once(benchmark, run_for_bench, "cluster_chaos")
+    record_report("cluster_chaos", report)
+    points = {point.label: point for point in payloads.values()}
+
+    # Failover mode is free when nothing fails: the kill_00 point runs
+    # a same-seed plain baseline internally and records the worst
+    # relative diff (exact parity in practice).
+    assert points["kill_00"].parity_rel <= 1e-12
+
+    kills = [points[name] for name in ("kill_00", "kill_02", "kill_04",
+                                       "kill_07")]
+    # The kill sets nest and actually grow with the rate.
+    assert [p.failed_shards for p in kills] == [0, 1, 2, 3]
+    # Zero lost flows at every kill rate — the tentpole claim.
+    assert all(p.lost_flows == 0 for p in kills)
+    assert all(p.recovery_lookups > 0 for p in kills if p.failed_shards)
+    # p99 degradation is monotone in the kill rate and bounded by one
+    # detection epoch per dead shard plus a makespan.
+    p99s = [p.p99_cycles for p in kills]
+    assert p99s == sorted(p99s)
+    assert all(p.p99_cycles <= p.failed_shards * p.detection_cycles
+               + p.makespan_cycles for p in kills)
+    # Admission filtering protects the survivors' cold caches.
+    assert (points["cold_corr"].cold_miss_rate
+            < points["cold_lru"].cold_miss_rate)
+    # Same seed, same chaos, bit-identical results.
+    assert points["determinism"].bit_identical

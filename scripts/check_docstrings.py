@@ -35,8 +35,10 @@ CONTRACT_MODULES = (
     "repro/runner/journal.py",
     "repro/sim/replay.py",
     "repro/cluster/__init__.py",
+    "repro/cluster/balancer.py",
     "repro/cluster/cluster.py",
     "repro/cluster/shards.py",
+    "repro/faults/shard_plan.py",
     "repro/workloads/__init__.py",
     "repro/workloads/churn.py",
     "repro/classifier/cache_policy.py",

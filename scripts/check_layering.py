@@ -85,7 +85,7 @@ ALLOWED_UPWARD = {
 #: A module above ``layer`` whose own layer is not in ``allowed`` must not
 #: import it, even though the rank rule alone would permit the edge.
 RESTRICTED_IMPORTERS = {
-    "faults": ("analysis", "runner"),
+    "faults": ("analysis", "runner", "cluster"),
     "guard": ("sim", "runner", "analysis"),
     "workloads": ("analysis", "runner"),
 }

@@ -82,11 +82,14 @@ def run_report_demo(quick: bool = False):
     and non-blocking lookups against a shared table, an adaptive (hybrid)
     episode, a degraded non-blocking episode under an injected accelerator
     outage (populating the ``faults.*`` and ``exec.resilience.*``
-    counters), and a virtual-switch packet stream.  The standard safety
+    counters), an RSS fail/restore cycle (populating the
+    ``cluster.failover.*`` counters), and a virtual-switch packet
+    stream.  The standard safety
     net (:mod:`repro.guard`) rides along, so the ``guard.*`` counters
     show what the watchdog and invariant checker observed.  Returns the
     :class:`~repro.core.halo_system.HaloSystem` with its registry loaded.
     """
+    from .cluster import RssBalancer
     from .core.halo_system import HaloSystem
     from .exec import ResiliencePolicy
     from .faults import FaultInjector, FaultPlan
@@ -127,6 +130,16 @@ def run_report_demo(quick: bool = False):
                        name="degraded_stream")
     injector.uninstall()
 
+    # Failover vignette: an RSS balancer loses a shard and re-steers its
+    # indirection-table entries across the survivors, then takes it back —
+    # populating the ``cluster.failover.*`` counters and the
+    # ``failover.resteer`` span trees CI greps for in this report.
+    balancer = RssBalancer(shards=4, table_size=32, seed=3,
+                           metrics=system.obs.metrics,
+                           trace=system.obs.trace)
+    balancer.fail_shard(2)
+    balancer.restore_shard(2)
+
     profile = FIGURE3_PROFILES[0]
     flow_set = FlowSet.generate(min(profile.num_flows, 2000),
                                 seed=profile.seed, groups=profile.num_rules)
@@ -147,7 +160,7 @@ def _report(quick: bool, json_path=None) -> str:
     sections = [
         system.report(),
         render_component_totals(system.obs.metrics.snapshot()),
-        f"trace: {len(system.obs.trace)} query span trees recorded "
+        f"trace: {len(system.obs.trace)} span trees recorded "
         f"(export with --json)",
     ]
     if json_path:

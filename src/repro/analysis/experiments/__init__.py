@@ -12,6 +12,7 @@ from . import (
     abl_prefetch,
     abl_tlb,
     cache_churn,
+    cluster_chaos,
     degradation_sweep,
     fig03_breakdown,
     fig04_hash,
@@ -35,6 +36,7 @@ __all__ = [
     "abl_prefetch",
     "abl_tlb",
     "cache_churn",
+    "cluster_chaos",
     "degradation_sweep",
     "fig03_breakdown",
     "fig04_hash",

@@ -92,8 +92,17 @@ class ExactMatchCache:
 
     def lookup(self, flow: FiveTuple) -> Optional[Rule]:
         """One exact lookup; returns the cached rule or None."""
+        return self.lookup_key(flow.pack())
+
+    def lookup_key(self, key: bytes) -> Optional[Rule]:
+        """:meth:`lookup`, but keyed on the packed 16-byte 5-tuple.
+
+        The cluster layer's key streams are already packed (see
+        ``repro.traffic.generator.key_stream``); this entry point lets
+        them drive the EMC without a round-trip through
+        :class:`~repro.classifier.flow.FiveTuple`.  Bit-identical to
+        ``lookup(FiveTuple.unpack(key))``."""
         self.stats.lookups += 1
-        key = flow.pack()
         rule = self.table.lookup(key)
         self._window_lookups += 1
         if rule is not None:
@@ -118,7 +127,11 @@ class ExactMatchCache:
         the install outright (admission control); either way insertion is
         best-effort, exactly as in OVS.
         """
-        key = flow.pack()
+        self.install_key(flow.pack(), rule)
+
+    def install_key(self, key: bytes, rule: Rule) -> None:
+        """:meth:`install`, but keyed on the packed 16-byte 5-tuple (the
+        cluster layer's native key representation)."""
         plan = self.table.probe(key)
         if plan.found:
             self.table.insert(key, rule)   # refresh the cached rule

@@ -7,7 +7,9 @@ HALO-equipped sockets stop paying and sharding the flow table across
 
 * :class:`~repro.cluster.balancer.RssBalancer` — a deterministic
   RSS-style flow-hash balancer (SplitMix64 over the packed 5-tuple into
-  an indirection table) with greedy skew-triggered rebalancing.
+  an indirection table) with greedy skew-triggered rebalancing, plus
+  failover: ``fail_shard``/``restore_shard`` re-steer a dead shard's
+  entries across survivors (minimal-move, epoch-logged).
 * :func:`~repro.cluster.shards.run_shard` — one shard's simulation: a
   full :class:`~repro.core.halo_system.HaloSystem` on its own topology,
   serving exactly the keys the balancer routed to it.
@@ -15,7 +17,10 @@ HALO-equipped sockets stop paying and sharding the flow table across
   a key stream, optionally rebalances, runs every shard (genuinely in
   parallel through the supervised pool when the process is allowed to
   fork; inline otherwise — identical results either way), and merges
-  the shards' latency histograms and ``repro.obs`` counters.
+  the shards' latency histograms and ``repro.obs`` counters.  With
+  ``failover=True`` it detects shard failures through the pool's
+  classification seam and replays the victims' flows through the
+  survivors — zero lost flows by construction.
 
 Public contract: :class:`ClusterConfig` / :class:`ClusterResult` /
 :func:`run_cluster`, :class:`RssBalancer` (hash determinism: same seed +
@@ -26,7 +31,7 @@ Layering: *nothing* below ``repro.analysis`` may import this package;
 experiments reach it, model code never does.
 """
 
-from .balancer import RebalanceResult, RssBalancer
+from .balancer import RebalanceResult, RssBalancer, SteeringChange
 from .cluster import ClusterConfig, ClusterResult, run_cluster
 from .shards import ShardResult, run_shard
 
@@ -36,6 +41,7 @@ __all__ = [
     "RebalanceResult",
     "RssBalancer",
     "ShardResult",
+    "SteeringChange",
     "run_cluster",
     "run_shard",
 ]

@@ -18,6 +18,19 @@ sums lookup/hit counters, and models cluster throughput as total
 lookups over the *slowest* shard's simulated cycles (shards run
 concurrently on separate machines, so the straggler sets the pace).
 
+Failover (``ClusterConfig.failover=True``): a shard whose worker
+crashes, times out, or livelocks past its retry budget is *detected*
+through the pool's failure-classification seam, marked dead in the
+balancer (``fail_shard`` re-steers its indirection-table entries across
+survivors), and its flow substream — re-derived from the seed, never
+shipped — is replayed through the survivors in a *recovery round* whose
+latencies carry the primary round's makespan as a detection/re-steer
+offset.  Merged results mark the degraded epochs; zero flows are lost
+by construction.  Scheduled chaos (``ClusterConfig.shard_faults``, a
+serialised :class:`~repro.faults.shard_plan.ShardFaultPlan`) is realised
+inside pool workers as real process deaths and synthesised decision-
+for-decision by inline dispatch, so both modes agree bit-identically.
+
 Public contract: :class:`ClusterConfig`, :class:`ClusterResult`, and
 :func:`run_cluster` are stable API — ``repro.analysis`` experiments and
 external harnesses build on them.  Dispatch internals (pool vs inline
@@ -30,7 +43,8 @@ import multiprocessing
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
-from ..obs.metrics import Histogram
+from ..obs.metrics import Histogram, MetricsRegistry
+from ..obs.tracing import TraceRecorder
 from .balancer import RebalanceResult, RssBalancer
 from .shards import ShardResult, run_shard
 
@@ -64,6 +78,23 @@ class ClusterConfig:
     parallel: Optional[bool] = None
     timeout_s: Optional[float] = None
     retries: int = 0
+    #: Detect shard failures and re-steer + replay their flows through
+    #: the survivors instead of aborting the run.
+    failover: bool = False
+    #: Simulated cycles one detection + re-steer epoch costs.  Victims
+    #: are re-steered one epoch per failed shard (shard-id order); a
+    #: victim's recovered flows pay every epoch up to and including
+    #: their own.  ``None`` models reactive detection at the end of the
+    #: primary round: one epoch = the surviving shards' makespan.
+    detection_cycles: Optional[float] = None
+    #: Serialised :class:`~repro.faults.shard_plan.ShardFaultPlan`
+    #: (``ShardFaultPlan.to_params()``) scheduling shard kills/flaps/
+    #: stragglers; ``None`` = healthy cluster.
+    shard_faults: Optional[Dict[str, Any]] = None
+    #: Stream each shard's served keys through an EMC under this policy
+    #: and report refill miss rates (``None`` = skip the measurement).
+    cache_policy: Optional[str] = None
+    cache_entries: int = 1024
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -75,6 +106,10 @@ class ClusterConfig:
         if self.lookups < 1:
             raise ValueError(
                 f"ClusterConfig.lookups must be >= 1 (got {self.lookups})")
+        if self.cache_entries < 1:
+            raise ValueError(
+                f"ClusterConfig.cache_entries must be >= 1 "
+                f"(got {self.cache_entries})")
 
 
 @dataclass
@@ -103,6 +138,21 @@ class ClusterResult:
     #: Largest shard's share of the stream (1/shards = perfectly even).
     max_shard_fraction: float = 0.0
     link_crossings: int = 0
+    #: Shards whose workers failed past their retry budget.
+    failed_shards: List[int] = field(default_factory=list)
+    #: Failed shard -> balancer epoch at which its entries were re-steered.
+    degraded_epochs: Dict[int, int] = field(default_factory=dict)
+    #: Shard -> per-attempt failure history ({"attempt", "kind"} dicts);
+    #: includes flaps that later recovered, not just terminal failures.
+    shard_attempt_failures: Dict[int, List[Dict[str, Any]]] = field(
+        default_factory=dict)
+    #: Configured lookups minus lookups actually served (0 under
+    #: failover by construction; the `cluster_chaos` PaperCheck pins it).
+    lost_flows: int = 0
+    #: Indirection-table entries moved off dead shards.
+    resteered_entries: int = 0
+    #: Lookups replayed through survivors in recovery rounds.
+    recovery_lookups: int = 0
 
     def merged_latency(self) -> Histogram:
         """Exact cross-shard latency distribution (fixed-bucket merge)."""
@@ -114,7 +164,7 @@ class ClusterResult:
 
 def _shard_params(config: ClusterConfig, shard: int,
                   assignments: List[int]) -> Dict[str, Any]:
-    return {
+    params = {
         "shard": shard,
         "shards": config.shards,
         "sockets": config.sockets,
@@ -129,24 +179,54 @@ def _shard_params(config: ClusterConfig, shard: int,
         "assignments": assignments,
         "table_capacity": config.table_capacity,
     }
+    # Only added when configured, so healthy-path params (and anything
+    # keyed on them, like result caches) are byte-identical to pre-
+    # failover builds.
+    if config.shard_faults:
+        params["shard_faults"] = config.shard_faults
+    if config.cache_policy:
+        params["cache_policy"] = config.cache_policy
+        params["cache_entries"] = config.cache_entries
+    return params
 
 
-def _dispatch_pool(config: ClusterConfig,
-                   param_sets: List[Dict[str, Any]]) -> List[ShardResult]:
+def _spec_label(prefix: str, params: Dict[str, Any]) -> str:
+    victim = params.get("serve_for")
+    if victim is not None:
+        # Recovery runs are keyed (victim, survivor): one survivor may
+        # replay slices of several dead shards in the same round.
+        return f"{prefix}{victim:02d}x{params['shard']:02d}"
+    return f"{prefix}{params['shard']:02d}"
+
+
+def _dispatch_pool_outcomes(config: ClusterConfig,
+                            param_sets: List[Dict[str, Any]],
+                            label_prefix: str = "shard") -> List[Any]:
+    """Dispatch shard params through the supervised pool; returns the
+    raw :class:`~repro.runner.pool.PoolOutcome` list (failures included —
+    the caller decides whether a dead shard aborts or fails over)."""
     from ..runner.pool import run_supervised
     from ..runner.schema import RunSpec
 
-    specs = [RunSpec(experiment="cluster", label=f"shard{params['shard']:02d}",
+    specs = [RunSpec(experiment="cluster",
+                     label=_spec_label(label_prefix, params),
                      params=params, seed=config.seed + params["shard"])
              for params in param_sets]
     outcomes, skipped = run_supervised(
         specs, jobs=min(len(specs), max(1, multiprocessing.cpu_count())),
         timeout_s=config.timeout_s, retries=config.retries,
-        entrypoint=SHARD_ENTRYPOINT)
+        backoff_s=0.05, entrypoint=SHARD_ENTRYPOINT)
     if skipped:
         raise RuntimeError(
             f"cluster dispatch skipped {len(skipped)} shard(s) "
             "(supervisor stop requested)")
+    return outcomes
+
+
+def _dispatch_pool(config: ClusterConfig,
+                   param_sets: List[Dict[str, Any]],
+                   label_prefix: str = "shard") -> List[ShardResult]:
+    outcomes = _dispatch_pool_outcomes(config, param_sets, label_prefix)
     failures = [outcome for outcome in outcomes if not outcome.ok]
     if failures:
         worst = failures[0]
@@ -154,15 +234,21 @@ def _dispatch_pool(config: ClusterConfig,
             f"{len(failures)} shard(s) failed; first: {worst.spec.run_id} "
             f"[{worst.error_type}] {worst.message}")
     by_label = {outcome.spec.label: outcome.payload for outcome in outcomes}
-    return [by_label[f"shard{params['shard']:02d}"] for params in param_sets]
+    return [by_label[_spec_label(label_prefix, params)]
+            for params in param_sets]
 
 
-def run_cluster(config: ClusterConfig) -> ClusterResult:
+def run_cluster(config: ClusterConfig,
+                metrics: Optional[MetricsRegistry] = None,
+                trace: Optional[TraceRecorder] = None) -> ClusterResult:
     """Run the whole cluster and merge its shards' results.
 
     Deterministic end to end: the stream, the routing, the (optional)
-    rebalance, and every shard simulation derive from ``config`` alone,
-    so repeated calls — in either dispatch mode — agree exactly.
+    rebalance, any scheduled faults, and every shard simulation derive
+    from ``config`` alone, so repeated calls — in either dispatch mode —
+    agree exactly.  ``metrics``/``trace`` opt into ``cluster.failover.*``
+    counters and ``failover.resteer`` spans; observation never feeds back
+    into the model, so results are identical with or without them.
     """
     from ..traffic.generator import FlowSet, key_stream
 
@@ -171,7 +257,7 @@ def run_cluster(config: ClusterConfig) -> ClusterResult:
                       seed=config.seed + 1)
 
     balancer = RssBalancer(config.shards, table_size=config.table_size,
-                           seed=config.seed)
+                           seed=config.seed, metrics=metrics, trace=trace)
     loads_before = balancer.shard_loads(keys)
     total = sum(loads_before)
     mean = total / config.shards if config.shards else 0.0
@@ -194,14 +280,118 @@ def run_cluster(config: ClusterConfig) -> ClusterResult:
         raise RuntimeError(
             "parallel cluster dispatch requested from a daemonic process, "
             "which cannot fork children; use parallel=None (auto) or False")
+
+    plan = None
+    if config.shard_faults:
+        from ..faults.shard_plan import ShardFaultPlan
+        plan = ShardFaultPlan.from_params(config.shard_faults)
+
+    shard_results: List[ShardResult] = []
+    failed: List[int] = []
+    attempt_failures: Dict[int, List[Dict[str, Any]]] = {}
     if use_pool:
         mode = "pool"
-        shard_results = _dispatch_pool(config, param_sets)
+        if not config.failover and plan is None:
+            shard_results = _dispatch_pool(config, param_sets)
+        else:
+            outcomes = _dispatch_pool_outcomes(config, param_sets)
+            for outcome in outcomes:
+                shard = outcome.spec.params["shard"]
+                history = [{"attempt": f.attempt, "kind": f.kind}
+                           for f in outcome.attempt_failures]
+                if history:
+                    attempt_failures[shard] = history
+                if outcome.ok:
+                    shard_results.append(outcome.payload)
+                else:
+                    failed.append(shard)
+                    if not config.failover:
+                        raise RuntimeError(
+                            f"shard {shard} failed "
+                            f"({outcome.failure_kind}: {outcome.error_type}"
+                            f") and failover is disabled: {outcome.message}")
     else:
         mode = "inline"
-        shard_results = [run_shard(f"shard{params['shard']:02d}", params,
-                                   config.seed + params["shard"])
-                         for params in param_sets]
+        # Inline dispatch synthesises the pool's attempt loop so fault
+        # decisions (and therefore results) match pool mode exactly.
+        attempts = config.retries + 1
+        for params in param_sets:
+            shard = params["shard"]
+            history: List[Dict[str, Any]] = []
+            result_payload: Optional[ShardResult] = None
+            for attempt in range(1, attempts + 1):
+                if plan is not None and plan.decide(shard, attempt).kill:
+                    history.append({"attempt": attempt, "kind": "crash"})
+                    continue
+                run_params = params
+                if plan is not None:
+                    run_params = dict(params)
+                    run_params["synthetic_attempt"] = attempt
+                result_payload = run_shard(f"shard{shard:02d}", run_params,
+                                           config.seed + shard)
+                break
+            if history:
+                attempt_failures[shard] = history
+            if result_payload is not None:
+                shard_results.append(result_payload)
+            else:
+                failed.append(shard)
+                if not config.failover:
+                    raise RuntimeError(
+                        f"shard {shard} failed (crash: scheduled kill on "
+                        f"all {attempts} attempt(s)) and failover is "
+                        f"disabled")
+
+    # -- failover: re-steer dead shards' entries, replay their flows ------
+    degraded_epochs: Dict[int, int] = {}
+    resteered = 0
+    recovery_lookups = 0
+    if failed:
+        pre_table = list(balancer.table)
+        victim_rank: Dict[int, int] = {}
+        for rank, shard in enumerate(sorted(failed), start=1):
+            change = balancer.fail_shard(shard)
+            degraded_epochs[shard] = change.epoch
+            victim_rank[shard] = rank
+            resteered += len(change.moves)
+        failed_set = set(failed)
+        # Detection + re-steer happens one epoch per victim, in shard-id
+        # order; a victim's flows wait out every epoch up to and
+        # including its own.  One interval is the configured constant (a
+        # supervision timeout in simulated cycles) or, reactively, the
+        # primary round's surviving makespan.
+        if config.detection_cycles is not None:
+            detection = config.detection_cycles
+        else:
+            detection = max(
+                (r.elapsed_cycles for r in shard_results), default=0.0)
+        groups: Dict[Any, List[int]] = {}
+        for entry, owner in enumerate(pre_table):
+            if owner in failed_set:
+                groups.setdefault((owner, balancer.table[entry]),
+                                  []).append(entry)
+        recovery_param_sets = []
+        for victim, survivor in sorted(groups):
+            params = _shard_params(config, survivor, list(balancer.table))
+            params.pop("shard_faults", None)  # recovery runs un-faulted
+            params["serve_for"] = victim
+            params["serve_entries"] = sorted(groups[(victim, survivor)])
+            params["latency_offset"] = victim_rank[victim] * detection
+            recovery_param_sets.append(params)
+        if use_pool:
+            recovery_results = _dispatch_pool(config, recovery_param_sets,
+                                              label_prefix="recover")
+        else:
+            recovery_results = [
+                run_shard(_spec_label("recover", params), params,
+                          config.seed + params["shard"])
+                for params in recovery_param_sets]
+        recovery_lookups = sum(r.lookups for r in recovery_results)
+        shard_results.extend(recovery_results)
+        if metrics is not None:
+            metrics.counter("cluster.failover.recovery_rounds").inc()
+            metrics.counter(
+                "cluster.failover.recovered_flows").inc(recovery_lookups)
 
     result = ClusterResult(
         config=config, shard_results=shard_results, mode=mode,
@@ -209,7 +399,10 @@ def run_cluster(config: ClusterConfig) -> ClusterResult:
         imbalance_before=imbalance_before, imbalance_after=imbalance_after,
         rebalance_moves=len(rebalance_result.moves) if rebalance_result
         else 0,
-        rebalanced=rebalance_result is not None)
+        rebalanced=rebalance_result is not None,
+        failed_shards=sorted(failed), degraded_epochs=degraded_epochs,
+        shard_attempt_failures=attempt_failures,
+        resteered_entries=resteered, recovery_lookups=recovery_lookups)
 
     merged = result.merged_latency()
     result.total_lookups = sum(r.lookups for r in shard_results)
@@ -228,4 +421,5 @@ def run_cluster(config: ClusterConfig) -> ClusterResult:
             max(r.lookups for r in shard_results) / result.total_lookups)
     result.link_crossings = int(sum(r.mem.get("link_crossings", 0)
                                     for r in shard_results))
+    result.lost_flows = config.lookups - result.total_lookups
     return result

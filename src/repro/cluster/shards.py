@@ -12,6 +12,26 @@ On a multi-socket shard machine the stream splits round-robin over one
 pinned core per socket (:class:`~repro.exec.cores.CoreWorkload` with
 ``socket=``), so per-socket-HALO scaling is exercised inside a shard.
 
+Failover hooks (all optional ``params`` keys, absent in the healthy
+path so pre-failover results are bit-identical):
+
+* ``serve_entries`` — serve only keys hashing to these indirection-table
+  entries instead of ``shard_of(key) == shard``; how a survivor replays
+  exactly the re-steered slice of a dead shard's traffic in a recovery
+  round;
+* ``latency_offset`` — extra cycles added to every observed latency,
+  modelling the detection + re-steer delay a recovered flow experienced;
+* ``shard_faults`` — a serialised
+  :class:`~repro.faults.shard_plan.ShardFaultPlan`; inside a pool worker
+  a kill decision exits the process (the pool sees a crash), while
+  straggler decisions slow every lookup.  Inline dispatch resolves kill
+  decisions itself and passes the surviving attempt as
+  ``synthetic_attempt`` so both paths realise identical fault histories;
+* ``cache_policy``/``cache_entries`` — stream the served keys through an
+  :class:`~repro.classifier.emc.ExactMatchCache` under the named policy
+  and report the cold-start miss rate (the post-failover refill signal
+  ``cluster_chaos`` compares across admission policies).
+
 Public contract: :func:`run_shard`'s ``(label, params, seed)`` signature
 and :class:`ShardResult`'s fields are stable — the cluster orchestrator
 dispatches ``repro.cluster.shards:run_shard`` by dotted path into
@@ -21,6 +41,7 @@ external harness replaying a journal) depend on them not drifting.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Any, Dict, List
 
@@ -40,6 +61,14 @@ class ShardResult:
     latency: Dict[str, Any] = field(default_factory=dict)
     #: Selected memory-system counters pulled from ``repro.obs``.
     mem: Dict[str, float] = field(default_factory=dict)
+    #: True when this result came from a recovery round (the keys were
+    #: re-steered here after their home shard failed).
+    degraded: bool = False
+    #: Extra per-lookup cycles a straggler fault imposed (0 = healthy).
+    straggle_cycles: float = 0.0
+    #: Cache-refill measurement (policy, lookups, misses, miss_rate) when
+    #: ``cache_policy`` was requested; empty otherwise.
+    cache: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def throughput_per_kcycle(self) -> float:
@@ -98,6 +127,8 @@ def run_shard(label: str, params: Dict[str, Any], seed: int) -> ShardResult:
     del label, seed
     from ..core.halo_system import HaloSystem
     from ..exec.cores import CoreWorkload
+    from ..faults.shard_plan import ShardFaultPlan
+    from ..runner.pool import current_attempt
     from .balancer import RssBalancer
     from ..traffic.generator import FlowSet, key_stream
 
@@ -108,6 +139,29 @@ def run_shard(label: str, params: Dict[str, Any], seed: int) -> ShardResult:
     flow_seed = params["flow_seed"]
     stream_seed = params["stream_seed"]
 
+    # Realise any scheduled shard fault for this attempt.  Inside a pool
+    # worker the attempt number comes from the supervision seam and a
+    # kill decision exits the process — the pool observes a genuine
+    # worker crash.  Inline dispatch resolves kills itself and hands the
+    # surviving attempt in as ``synthetic_attempt``.
+    straggle = 0.0
+    if params.get("shard_faults"):
+        plan = ShardFaultPlan.from_params(params["shard_faults"])
+        attempt = current_attempt()
+        in_worker = attempt is not None
+        if attempt is None:
+            attempt = params.get("synthetic_attempt")
+        if attempt is not None:
+            decision = plan.decide(shard, attempt)
+            if decision.kill:
+                if in_worker:
+                    os._exit(70)
+                raise RuntimeError(
+                    f"shard {shard} is scheduled to die on attempt "
+                    f"{attempt}; inline dispatch must resolve kills "
+                    f"before calling run_shard")
+            straggle = decision.straggle_cycles
+
     flow_set = FlowSet.generate(params["flows"], seed=flow_seed)
     keys = key_stream(flow_set, params["lookups"],
                       zipf_s=params.get("zipf_s", 0.0), seed=stream_seed)
@@ -116,8 +170,15 @@ def run_shard(label: str, params: Dict[str, Any], seed: int) -> ShardResult:
                            seed=params.get("balancer_seed", 0))
     if params.get("assignments") is not None:
         balancer.install(params["assignments"])
-    mine = [key for key in keys if balancer.shard_of(key) == shard]
+    serve_entries = params.get("serve_entries")
+    if serve_entries is not None:
+        wanted = set(serve_entries)
+        mine = [key for key in keys if balancer.entry_of(key) in wanted]
+    else:
+        mine = [key for key in keys if balancer.shard_of(key) == shard]
     distinct = sorted(set(mine))
+    degraded = serve_entries is not None
+    extra_cycles = float(params.get("latency_offset", 0.0)) + straggle
 
     machine = shard_machine(sockets)
     system = HaloSystem(machine=machine, observability=True)
@@ -131,7 +192,8 @@ def run_shard(label: str, params: Dict[str, Any], seed: int) -> ShardResult:
     if not mine:
         return ShardResult(shard=shard, lookups=0, found=0,
                            distinct_flows=0, elapsed_cycles=0.0,
-                           latency=_export_histogram(hist))
+                           latency=_export_histogram(hist),
+                           degraded=degraded, straggle_cycles=straggle)
 
     # One PMD core per socket, pinned socket-locally; the stream splits
     # round-robin so every socket serves an equal slice.
@@ -152,9 +214,27 @@ def run_shard(label: str, params: Dict[str, Any], seed: int) -> ShardResult:
     found = 0
     for result in run.results:
         for outcome in result.result:
-            hist.observe(outcome.cycles)
+            # extra_cycles is 0.0 on the healthy path, so the addition is
+            # exact and pre-failover latencies stay bit-identical.
+            hist.observe(outcome.cycles + extra_cycles)
             if outcome.found:
                 found += 1
+
+    cache_info: Dict[str, Any] = {}
+    cache_policy = params.get("cache_policy")
+    if cache_policy:
+        from ..classifier.emc import ExactMatchCache
+        emc = ExactMatchCache(params.get("cache_entries", 1024),
+                              policy=cache_policy,
+                              seed=params.get("cache_seed", 0xE3C),
+                              name=f"shard{shard}.emc")
+        misses = 0
+        for index, key in enumerate(mine):
+            if emc.lookup_key(key) is None:
+                misses += 1
+                emc.install_key(key, index)
+        cache_info = {"policy": cache_policy, "lookups": len(mine),
+                      "misses": misses, "miss_rate": misses / len(mine)}
 
     snapshot = system.obs.metrics.snapshot()  # flat dotted-key scalars
     mem = {
@@ -169,4 +249,6 @@ def run_shard(label: str, params: Dict[str, Any], seed: int) -> ShardResult:
     return ShardResult(shard=shard, lookups=len(mine), found=found,
                        distinct_flows=len(distinct),
                        elapsed_cycles=run.elapsed,
-                       latency=_export_histogram(hist), mem=mem)
+                       latency=_export_histogram(hist), mem=mem,
+                       degraded=degraded, straggle_cycles=straggle,
+                       cache=cache_info)

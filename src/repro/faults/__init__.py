@@ -6,7 +6,7 @@ package asks the production question — *what happens when they don't* —
 without giving up the repo's core property that every run is bit-identical
 for a given seed.
 
-Two halves:
+Three pieces:
 
 * :class:`~repro.faults.plan.FaultPlan` — a declarative, immutable schedule
   of :class:`~repro.faults.plan.FaultWindow`\\ s (accelerator stalls and
@@ -17,7 +17,12 @@ Two halves:
   live :class:`~repro.core.halo_system.HaloSystem` through the fault seams
   (:meth:`Engine.add_fault_hook`, ``Dram.fault_hook``,
   ``Interconnect.fault_hook``, ``HardwareLockManager.hold``), and exports
-  ``faults.*`` counters through ``repro.obs``.
+  ``faults.*`` counters through ``repro.obs``;
+* :class:`~repro.faults.shard_plan.ShardFaultPlan` — the cluster-level
+  analogue: which *shard* dies/flaps/straggles on which attempt, realised
+  by the supervised pool's worker processes (or synthesised by
+  ``run_cluster``'s inline dispatch) so ``cluster_chaos`` can kill shards
+  deterministically and exercise RSS failover.
 
 Determinism: all randomness flows through a :class:`SplitMix64` stream
 seeded from the plan, and the DES engine is single-threaded with a total
@@ -27,14 +32,20 @@ injects nothing and leaves cycle totals bit-identical to an uninstrumented
 run (pinned by ``tests/faults``).
 
 Layering: ``faults`` sits above ``exec`` (it drives whole systems) and only
-``runner``/``analysis``/root modules may import it — enforced by
-``scripts/check_layering.py``.
+``cluster``/``runner``/``analysis``/root modules may import it — enforced
+by ``scripts/check_layering.py``.
 """
 
 from __future__ import annotations
 
 from .plan import FaultKind, FaultPlan, FaultWindow, SplitMix64
 from .injector import FaultInjector, FaultStats
+from .shard_plan import (
+    ShardFaultDecision,
+    ShardFaultKind,
+    ShardFaultPlan,
+    ShardFaultWindow,
+)
 
 __all__ = [
     "FaultKind",
@@ -43,4 +54,8 @@ __all__ = [
     "SplitMix64",
     "FaultInjector",
     "FaultStats",
+    "ShardFaultDecision",
+    "ShardFaultKind",
+    "ShardFaultPlan",
+    "ShardFaultWindow",
 ]

@@ -48,8 +48,8 @@ from .perf import (
     validate_snapshot,
     write_snapshot,
 )
-from .pool import PoolOutcome, RunTimeoutError, WorkerCrashedError, \
-    run_supervised
+from .pool import AttemptFailure, PoolOutcome, RunTimeoutError, \
+    WorkerCrashedError, classify_failure, current_attempt, run_supervised
 from .registry import (
     ExperimentLoadError,
     UnknownExperimentError,
@@ -74,6 +74,7 @@ from .scheduler import (
 from .schema import ExperimentSpec, GridPoint, RunResult, RunSpec
 
 __all__ = [
+    "AttemptFailure",
     "BENCH_NAMES",
     "BenchFailedError",
     "BenchResult",
@@ -94,8 +95,10 @@ __all__ = [
     "WorkerCrashedError",
     "archive_report",
     "campaign_id",
+    "classify_failure",
     "code_fingerprint",
     "compare_snapshots",
+    "current_attempt",
     "default_jobs",
     "default_journal_path",
     "default_reports_dir",

@@ -125,8 +125,16 @@ class RunJournal:
         self._record(run_id, "ok", cache_key, wall_s=wall_s, worker=worker)
 
     def record_failure(self, run_id: str, cache_key: str,
-                       error_type: str) -> None:
-        self._record(run_id, "failed", cache_key, error_type=error_type)
+                       error_type: str, failure_kind: str = "") -> None:
+        """Journal one failed run.
+
+        ``failure_kind`` is the supervisor's classification
+        (``crash`` / ``timeout`` / ``livelock`` / ``error`` — see
+        :func:`repro.runner.pool.classify_failure`); recording it keeps
+        a guard-detected livelock distinguishable from a wall-clock
+        timeout when a campaign is audited after the fact."""
+        self._record(run_id, "failed", cache_key, error_type=error_type,
+                     failure_kind=failure_kind)
 
     def _record(self, run_id: str, status: str, cache_key: str,
                 **extra: Any) -> None:

@@ -19,11 +19,25 @@ Children ignore ``SIGINT``: graceful shutdown is the *supervisor's* job
 (stop dispatching, drain in-flight runs), so a terminal Ctrl-C must not
 also rip the workers out from under it mid-drain.
 
+Failure *classification* is part of the contract: every failed outcome
+carries a ``failure_kind`` — ``"crash"`` (the process died without
+reporting), ``"timeout"`` (the supervisor killed it at the deadline),
+``"livelock"`` (the child's own guard raised a
+:class:`~repro.guard.errors.StallError`), or ``"error"`` (any other
+child exception) — so callers such as the cluster failover layer can
+react to *how* a run died, not just that it did.  Every failed attempt
+(including ones later recovered by retry) is recorded in
+``PoolOutcome.attempt_failures``, surfacing per-run health to the
+caller instead of burying it in the retry loop.
+
 Public contract: :func:`run_supervised` (its signature — including the
 optional ``entrypoint="module:function"`` redirect that lets
 non-registry callers such as ``repro.cluster`` run arbitrary picklable
 work units under the same supervision — and the timeout/retry semantics
-above), :class:`PoolOutcome`, and the exception types
+above), :class:`PoolOutcome` (including ``failure_kind`` and
+``attempt_failures``), :func:`classify_failure`, the ``FAILURE_*``
+kind constants, :func:`current_attempt` (the child-side attempt-number
+seam fault planners read), and the exception types
 :class:`RunTimeoutError` / :class:`WorkerCrashedError` are stable API —
 the scheduler and external harnesses may rely on them.  The worker
 internals, pipe protocol, and backoff arithmetic are implementation
@@ -56,6 +70,63 @@ class WorkerCrashedError(RuntimeError):
     """A worker process died without reporting a result."""
 
 
+#: Failure kinds :func:`classify_failure` maps error types onto.
+FAILURE_CRASH = "crash"
+FAILURE_TIMEOUT = "timeout"
+FAILURE_LIVELOCK = "livelock"
+FAILURE_ERROR = "error"
+
+#: Exception type names the guard raises on no-progress livelock; a child
+#: that dies this way hung *productively* (events kept firing) and must
+#: not be conflated with a wall-clock timeout in journals or health maps.
+_LIVELOCK_ERROR_TYPES = frozenset({"StallError"})
+
+
+def classify_failure(error_type: str) -> str:
+    """Map a failed run's exception type name onto a failure kind.
+
+    ``RunTimeoutError`` → ``"timeout"`` (supervisor deadline kill),
+    ``WorkerCrashedError`` → ``"crash"`` (died without reporting),
+    guard ``StallError`` → ``"livelock"`` (the watchdog caught events
+    firing without progress), anything else → ``"error"``.
+    """
+    if error_type == RunTimeoutError.__name__:
+        return FAILURE_TIMEOUT
+    if error_type == WorkerCrashedError.__name__:
+        return FAILURE_CRASH
+    if error_type in _LIVELOCK_ERROR_TYPES:
+        return FAILURE_LIVELOCK
+    return FAILURE_ERROR
+
+
+#: Child-process-side attempt number (1-based).  Set by ``_child_main``
+#: before the work unit runs; ``None`` outside a supervised worker.
+_CURRENT_ATTEMPT: Optional[int] = None
+
+
+def current_attempt() -> Optional[int]:
+    """The 1-based attempt number of the supervised worker this process
+    is, or ``None`` when not running inside one.
+
+    This is the seam deterministic chaos planners
+    (:class:`~repro.faults.shard_plan.ShardFaultPlan`) key their
+    per-attempt fault decisions on: the same ``(seed, shard, attempt)``
+    triple fires the same fault on every run.
+    """
+    return _CURRENT_ATTEMPT
+
+
+@dataclass(frozen=True)
+class AttemptFailure:
+    """One failed attempt of one run (kept even when a retry recovers)."""
+
+    attempt: int
+    kind: str
+    error_type: str
+    message: str
+    wall_s: float
+
+
 @dataclass
 class PoolOutcome:
     """What the supervisor concluded about one run.
@@ -63,7 +134,10 @@ class PoolOutcome:
     Failures carry the *child's* exception identity (type name, message,
     traceback text) rather than a rebuilt exception object — the original
     never crosses the process boundary, and the failure record only needs
-    the strings anyway."""
+    the strings anyway.  ``failure_kind`` classifies the *final* failure
+    (empty for successes); ``attempt_failures`` lists every failed
+    attempt, so a run that flapped and recovered still shows its
+    history."""
 
     spec: RunSpec
     ok: bool
@@ -73,6 +147,12 @@ class PoolOutcome:
     error_type: str = ""
     message: str = ""
     traceback: str = ""
+    failure_kind: str = ""
+    attempt_failures: List["AttemptFailure"] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.attempt_failures is None:
+            self.attempt_failures = []
 
 
 def _resolve_entrypoint(entrypoint: str):
@@ -88,9 +168,12 @@ def _resolve_entrypoint(entrypoint: str):
 
 def _child_main(conn, experiment: str, label: str,
                 params: Dict[str, Any], seed: int,
-                entrypoint: Optional[str] = None) -> None:
+                entrypoint: Optional[str] = None,
+                attempt: int = 1) -> None:
     """Entry point of one worker process: run the grid point, report."""
+    global _CURRENT_ATTEMPT
     signal.signal(signal.SIGINT, signal.SIG_IGN)
+    _CURRENT_ATTEMPT = attempt
     try:
         if entrypoint is not None:
             func = _resolve_entrypoint(entrypoint)
@@ -152,6 +235,9 @@ def run_supervised(pending: Sequence[RunSpec], *, jobs: int,
     active: List[_Active] = []
     outcomes: List[PoolOutcome] = []
     skipped: List[RunSpec] = []
+    #: Per-run health history: every failed attempt, keyed by run id, so
+    #: the final outcome can surface the full story to the caller.
+    attempt_log: Dict[str, List[AttemptFailure]] = {}
     jobs = max(1, jobs)
 
     def _launch(spec: RunSpec, attempt: int) -> None:
@@ -159,7 +245,7 @@ def run_supervised(pending: Sequence[RunSpec], *, jobs: int,
         process = multiprocessing.Process(
             target=_child_main,
             args=(child_conn, spec.experiment, spec.label, spec.params,
-                  spec.seed, entrypoint),
+                  spec.seed, entrypoint, attempt),
             daemon=True)
         process.start()
         child_conn.close()
@@ -172,10 +258,16 @@ def run_supervised(pending: Sequence[RunSpec], *, jobs: int,
     def _conclude(entry: _Active, outcome: PoolOutcome) -> None:
         entry.conn.close()
         entry.process.join(timeout=TERMINATE_GRACE_S)
+        outcome.attempt_failures = attempt_log.get(entry.spec.run_id, [])
         outcomes.append(outcome)
 
     def _retry_or_fail(entry: _Active, error_type: str, message: str,
                        tb: str) -> None:
+        kind = classify_failure(error_type)
+        attempt_log.setdefault(entry.spec.run_id, []).append(AttemptFailure(
+            attempt=entry.attempt, kind=kind, error_type=error_type,
+            message=message,
+            wall_s=time.monotonic() - entry.started))
         if entry.attempt <= retries and not should_stop():
             delay = backoff_s * (2 ** (entry.attempt - 1))
             queue.insert(0, (entry.spec, entry.attempt + 1,
@@ -186,7 +278,8 @@ def run_supervised(pending: Sequence[RunSpec], *, jobs: int,
         _conclude(entry, PoolOutcome(
             spec=entry.spec, ok=False, attempts=entry.attempt,
             wall_s=time.monotonic() - entry.started,
-            error_type=error_type, message=message, traceback=tb))
+            error_type=error_type, message=message, traceback=tb,
+            failure_kind=kind))
 
     while queue or active:
         if should_stop():

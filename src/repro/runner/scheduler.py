@@ -48,7 +48,7 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 from ..obs import MetricsRegistry
 from .cache import ResultCache
 from .journal import RunJournal, default_journal_path
-from .pool import run_supervised
+from .pool import classify_failure, run_supervised
 from .registry import get_experiment, resolve_names
 from .schema import ExperimentReport, ExperimentSpec, RunResult, RunSpec
 
@@ -108,6 +108,12 @@ class RunFailure:
     message: str
     traceback: str
     worker: str = "inline"
+    #: Supervisor classification: crash / timeout / livelock / error.
+    failure_kind: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.failure_kind:
+            self.failure_kind = classify_failure(self.error_type)
 
     @property
     def run_id(self) -> str:
@@ -134,6 +140,7 @@ class RunFailure:
             "message": self.message,
             "traceback": self.traceback,
             "worker": self.worker,
+            "failure_kind": self.failure_kind,
         }
 
     def render(self) -> str:
@@ -313,7 +320,8 @@ def execute(specs: Sequence[ExperimentSpec], *, jobs: int = 1,
         failures.append(failure)
         if journal is not None:
             journal.record_failure(spec_run.run_id, spec_run.cache_key,
-                                   failure.error_type)
+                                   failure.error_type,
+                                   failure_kind=failure.failure_kind)
         say(failure.render())
 
     def _fail(spec_run: RunSpec, exc: BaseException, worker: str) -> None:
@@ -353,7 +361,8 @@ def execute(specs: Sequence[ExperimentSpec], *, jobs: int = 1,
                         error_type=outcome.error_type,
                         message=outcome.message,
                         traceback=outcome.traceback,
-                        worker=f"supervised-{workers}"), outcome.spec)
+                        worker=f"supervised-{workers}",
+                        failure_kind=outcome.failure_kind), outcome.spec)
         elif jobs <= 1 or len(pending) <= 1:
             for spec_run in pending:
                 if stop_event.is_set():

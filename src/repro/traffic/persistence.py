@@ -9,17 +9,21 @@ Public contract: two formats.  ``repro-flows-v1``
 (:func:`save_flow_set` / :func:`load_flow_set`) stores a whole
 :class:`~repro.traffic.generator.FlowSet` plus an optional packet-index
 trace, materialized in memory — right for the Figure-3-scale
-populations.  ``repro-stream-v1`` (:func:`write_flow_stream` /
-:func:`stream_flows`) is the million-flow path: one packet per line,
-written from any iterable and read back as a *generator*, so a churn
-trace round-trips in constant memory.  :func:`iter_flow_set` reads the
-flow rows of a v1 file lazily for the same reason.  Both formats are
-plain ASCII lines and host-independent.
+populations.  ``repro-stream-v2`` (:func:`write_flow_stream` /
+:func:`stream_flows`) is the million-flow path: one packet per line
+with a per-record CRC32 suffix, written from any iterable and read back
+as a *generator*, so a churn trace round-trips in constant memory and a
+torn or bit-flipped record fails loudly instead of replaying a subtly
+different workload.  The reader also accepts the legacy, un-checksummed
+``repro-stream-v1`` format.  :func:`iter_flow_set` reads the flow rows
+of a v1 file lazily for the same reason.  All formats are plain ASCII
+lines and host-independent.
 """
 
 from __future__ import annotations
 
 import json
+import zlib
 from pathlib import Path
 from typing import Iterable, Iterator, List, Tuple, Union
 
@@ -30,6 +34,7 @@ _PathLike = Union[str, Path]
 
 _FORMAT = "repro-flows-v1"
 _STREAM_FORMAT = "repro-stream-v1"
+_STREAM_FORMAT_V2 = "repro-stream-v2"
 
 
 def _flow_to_list(flow: FiveTuple) -> list:
@@ -110,41 +115,70 @@ def iter_flow_set(path: _PathLike) -> Iterator[FiveTuple]:
 
 
 def write_flow_stream(path: _PathLike, flows: Iterable[FiveTuple]) -> int:
-    """Write packets to a ``repro-stream-v1`` file, one flow per line.
+    """Write packets to a ``repro-stream-v2`` file, one flow per line.
 
     Consumes any iterable — including a live
     :meth:`~repro.workloads.churn.ChurnEngine.packets` generator — and
     never buffers it, so million-flow traces stream straight to disk.
-    Returns the number of records written.
+    Each record carries a CRC32 of its payload (``payload;crc32hex``) so
+    a torn write or bit flip is caught at replay time instead of
+    silently perturbing a "reproducible" run.  Returns the number of
+    records written.
     """
     path = Path(path)
     records = 0
     with path.open("w", encoding="ascii") as handle:
-        handle.write(json.dumps({"format": _STREAM_FORMAT}) + "\n")
+        handle.write(json.dumps({"format": _STREAM_FORMAT_V2}) + "\n")
         for flow in flows:
-            handle.write(f"{flow.src_ip},{flow.dst_ip},{flow.src_port},"
-                         f"{flow.dst_port},{flow.proto}\n")
+            payload = (f"{flow.src_ip},{flow.dst_ip},{flow.src_port},"
+                       f"{flow.dst_port},{flow.proto}")
+            crc = zlib.crc32(payload.encode("ascii"))
+            handle.write(f"{payload};{crc:08x}\n")
             records += 1
     return records
 
 
+def _parse_stream_record(payload: str, path: Path,
+                         line_number: int) -> FiveTuple:
+    values = payload.split(",")
+    if len(values) != 5:
+        raise ValueError(
+            f"{path}:{line_number}: malformed record {payload!r}")
+    return FiveTuple(int(values[0]), int(values[1]), int(values[2]),
+                     int(values[3]), int(values[4]))
+
+
 def stream_flows(path: _PathLike) -> Iterator[FiveTuple]:
-    """Read a ``repro-stream-v1`` file back as a lazy flow iterator.
+    """Read a stream file back as a lazy flow iterator.
 
     The inverse of :func:`write_flow_stream`: a generator, so arbitrarily
-    large traces replay in constant memory.
+    large traces replay in constant memory.  Accepts both
+    ``repro-stream-v2`` (checksummed — every record's CRC32 is verified,
+    and a mismatch raises :class:`ValueError` naming the line) and the
+    legacy ``repro-stream-v1`` (no checksums) written by older trees.
     """
     path = Path(path)
     with path.open("r", encoding="ascii") as handle:
         header = json.loads(handle.readline())
-        if header.get("format") != _STREAM_FORMAT:
-            raise ValueError(f"{path}: not a {_STREAM_FORMAT} file")
-        for line in handle:
+        version = header.get("format")
+        if version not in (_STREAM_FORMAT, _STREAM_FORMAT_V2):
+            raise ValueError(
+                f"{path}: not a {_STREAM_FORMAT_V2} (or v1) file")
+        checksummed = version == _STREAM_FORMAT_V2
+        for line_number, line in enumerate(handle, start=2):
             line = line.strip()
             if not line:
                 continue
-            values = line.split(",")
-            if len(values) != 5:
-                raise ValueError(f"{path}: malformed record {line!r}")
-            yield FiveTuple(int(values[0]), int(values[1]), int(values[2]),
-                            int(values[3]), int(values[4]))
+            payload = line
+            if checksummed:
+                payload, separator, stated = line.rpartition(";")
+                if not separator or len(stated) != 8:
+                    raise ValueError(
+                        f"{path}:{line_number}: record missing checksum")
+                actual = zlib.crc32(payload.encode("ascii"))
+                if stated != f"{actual:08x}":
+                    raise ValueError(
+                        f"{path}:{line_number}: checksum mismatch "
+                        f"(stored {stated}, computed {actual:08x}) — "
+                        f"corrupted record")
+            yield _parse_stream_record(payload, path, line_number)

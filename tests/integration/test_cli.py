@@ -23,7 +23,8 @@ def test_registry_covers_all_eval_items():
     expected = {"fig03", "fig04", "fig08", "fig09", "fig10", "fig11",
                 "fig12", "fig13", "tab01", "tab04", "sec34", "updates",
                 "multicore", "keysize", "abl_tlb", "abl_prefetch",
-                "abl_design", "degradation", "scaling_law", "cache_churn"}
+                "abl_design", "degradation", "scaling_law", "cache_churn",
+                "cluster_chaos"}
     assert set(EXPERIMENTS) == expected
 
 

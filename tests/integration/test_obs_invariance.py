@@ -97,7 +97,7 @@ def test_report_cli_prints_component_breakdown(report_output):
     # every instrumented layer shows up
     for component in ("halo", "mem", "vswitch"):
         assert f"\n{component}" in out or out.startswith(component)
-    assert "query span trees recorded" in out
+    assert "span trees recorded" in out
 
 
 def test_report_cli_writes_json_export(report_output):

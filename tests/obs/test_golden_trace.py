@@ -20,6 +20,7 @@ import pytest
 from repro.classifier import ExactMatchCache
 from repro.classifier.flow import FlowMask, make_flow
 from repro.classifier.rules import Action, Rule
+from repro.cluster import RssBalancer
 from repro.core import HaloSystem
 from repro.obs import validate_nesting
 from repro.workloads import ChurnEngine, ChurnSpec
@@ -60,6 +61,15 @@ def run_workload() -> HaloSystem:
     for flow in churn.packets(EMC_LOOKUPS):
         if emc.lookup(flow) is None:
             emc.install(flow, rule)
+    # Failover side-workload, metrics-only (no ``trace=`` — the span
+    # assertions below pin every root to a "query" tree): a balancer
+    # fail/restore cycle adds the cluster.failover.* counter family to
+    # the pinned export.
+    balancer = RssBalancer(shards=4, table_size=32, seed=13,
+                           metrics=system.obs.metrics)
+    balancer.fail_shard(1)
+    balancer.fail_shard(3)
+    balancer.restore_shard(1)
     return system
 
 
@@ -110,6 +120,16 @@ def test_metric_counting_invariants(workload):
     # every metadata lookup either hit or missed
     assert (snapshot["halo.accelerator.metadata_hits"]
             + snapshot["halo.accelerator.metadata_misses"]) == queries
+
+
+def test_failover_metrics_exported(workload):
+    """The cluster failover counters land in the pinned export, and the
+    unhealthy-shards gauge reflects the final (one still dead) state."""
+    snapshot = workload.obs.metrics.snapshot()
+    assert snapshot["cluster.failover.fail_events"] == 2
+    assert snapshot["cluster.failover.restore_events"] == 1
+    assert snapshot["cluster.failover.resteered_entries"] > 0
+    assert snapshot["cluster.failover.unhealthy_shards"] == 1
 
 
 def test_emc_policy_metrics_exported(workload):

@@ -27,6 +27,8 @@ FAKE_NAME = "hardeningtest"
 
 
 def _fake_run(label, params, seed):
+    if "kill_rate" in params:
+        return _cluster_chaos_run(label, params, seed)
     if "log" in params:
         with open(params["log"], "a", encoding="utf-8") as handle:
             handle.write(f"{label}\n")
@@ -151,6 +153,60 @@ def test_sigint_drains_then_resume_finishes_the_rest(monkeypatch, tmp_path):
     # p1 replayed from journal+cache; only p2/p3 actually executed.
     assert _log_lines(log) == ["p1", "p2", "p3"]
     assert len(resumed.results) == 3
+
+
+def _cluster_chaos_run(label, params, seed):
+    """A real chaos cluster run (kills + failover) as one campaign work
+    unit; optionally interrupts the campaign after finishing, like an
+    operator's Ctrl-C landing mid-sweep."""
+    from repro.cluster import ClusterConfig, run_cluster
+    from repro.faults import ShardFaultPlan
+
+    plan = ShardFaultPlan.kills(params["kill_rate"], seed=11)
+    result = run_cluster(ClusterConfig(
+        shards=3, flows=32, lookups=96, seed=seed, retries=1,
+        failover=True, detection_cycles=2048.0,
+        shard_faults=plan.to_params() if plan else None))
+    if "log" in params:
+        with open(params["log"], "a", encoding="utf-8") as handle:
+            handle.write(f"{label}:{len(result.failed_shards)}:"
+                         f"{result.lost_flows}\n")
+    if params.get("interrupt"):
+        os.kill(os.getpid(), signal.SIGINT)
+    return {"failed": result.failed_shards, "lost": result.lost_flows}
+
+
+def test_sigint_during_cluster_chaos_drains_and_resumes(monkeypatch,
+                                                        tmp_path):
+    """Satellite contract: Ctrl-C landing while a chaos cluster run is in
+    flight finishes that run (failover and all), journals it, and a
+    ``--resume`` completes the rest with zero re-execution of the
+    finished point."""
+    log = tmp_path / "executions.log"
+    grid = [("c1", {"log": str(log), "kill_rate": 0.4, "interrupt": True}),
+            ("c2", {"log": str(log), "kill_rate": 0.0})]
+    spec = _install_fake(monkeypatch, grid)
+    cache = ResultCache(tmp_path / "cache")
+    journal_path = tmp_path / "campaign.jsonl"
+
+    with RunJournal(journal_path).open_for(cache.fingerprint) as journal:
+        interrupted = execute([spec], jobs=1, cache=cache, journal=journal)
+    assert interrupted.interrupted
+    # The in-flight chaos run drained to completion: shards died, flows
+    # were recovered, the payload was journaled.
+    assert _log_lines(log) == ["c1:2:0"]
+    assert interrupted.results[0].payload == {"failed": [1, 2], "lost": 0}
+
+    with RunJournal(journal_path).open_for(cache.fingerprint) as journal:
+        resumed = execute([spec], jobs=1, cache=cache, journal=journal,
+                          resume=True)
+    assert resumed.ok and not resumed.interrupted
+    assert _log_lines(log) == ["c1:2:0", "c2:0:0"]  # c1 never re-ran
+    by_label = {r.run_id: r for r in resumed.results}
+    # c1 replayed without executing (journal/cache, not a worker).
+    assert by_label[f"{FAKE_NAME}/c1"].worker in ("resume", "cache")
+    assert by_label[f"{FAKE_NAME}/c1"].payload == {"failed": [1, 2],
+                                                  "lost": 0}
 
 
 def test_run_benchmarks_resume_keeps_a_journal_under_cache_root(tmp_path):

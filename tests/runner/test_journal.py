@@ -56,6 +56,25 @@ def test_failures_are_recorded_but_not_skippable(tmp_path):
     reloaded.close()
 
 
+def test_failure_kind_is_journaled(tmp_path):
+    """Audit trail: a livelocked run and a timed-out run look identical
+    by error count but must stay distinguishable in the journal."""
+    path = tmp_path / "campaign.jsonl"
+    with RunJournal(path).open_for(FP) as journal:
+        journal.record_failure("fig09/p0", "key-0", "StallError",
+                               failure_kind="livelock")
+        journal.record_failure("fig09/p1", "key-1", "RunTimeoutError",
+                               failure_kind="timeout")
+
+    reloaded = RunJournal(path).open_for(FP)
+    assert reloaded.completed["fig09/p0"]["failure_kind"] == "livelock"
+    assert reloaded.completed["fig09/p1"]["failure_kind"] == "timeout"
+    reloaded.close()
+    lines = [json.loads(line) for line in path.read_text().splitlines()[1:]]
+    assert [line["failure_kind"] for line in lines] == \
+        ["livelock", "timeout"]
+
+
 def test_torn_tail_line_is_ignored(tmp_path):
     """A kill mid-append leaves a partial last line; reload keeps every
     complete record and drops only the torn one."""

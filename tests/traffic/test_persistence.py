@@ -94,6 +94,54 @@ def test_stream_reader_is_lazy_and_validating(tmp_path):
         list(stream_flows(bogus))
 
 
+def test_stream_records_carry_crc32(tmp_path):
+    path = tmp_path / "trace.stream"
+    write_flow_stream(path, FlowSet.generate(5, seed=2).flows)
+    header, *records = path.read_text().splitlines()
+    assert "repro-stream-v2" in header
+    import zlib
+    for record in records:
+        payload, _, stated = record.rpartition(";")
+        assert stated == f"{zlib.crc32(payload.encode('ascii')):08x}"
+
+
+def test_stream_reader_detects_bit_flip(tmp_path):
+    """A single flipped digit in a record's payload fails the CRC and
+    names the corrupted line instead of replaying a different flow."""
+    path = tmp_path / "trace.stream"
+    write_flow_stream(path, FlowSet.generate(10, seed=3).flows)
+    lines = path.read_text().splitlines()
+    payload, _, crc = lines[4].rpartition(";")
+    digits = list(payload)
+    flip = next(i for i, c in enumerate(digits) if c.isdigit())
+    digits[flip] = "3" if digits[flip] != "3" else "7"
+    lines[4] = "".join(digits) + ";" + crc
+    path.write_text("\n".join(lines) + "\n")
+    with pytest.raises(ValueError, match=r":5: checksum mismatch"):
+        list(stream_flows(path))
+
+
+def test_stream_reader_detects_torn_record(tmp_path):
+    path = tmp_path / "trace.stream"
+    write_flow_stream(path, FlowSet.generate(4, seed=5).flows)
+    text = path.read_text()
+    path.write_text(text[:-9] + "\n")  # tail record lost its checksum
+    with pytest.raises(ValueError, match="missing checksum"):
+        list(stream_flows(path))
+
+
+def test_stream_reader_accepts_legacy_v1_files(tmp_path):
+    """Traces written before checksumming replay unchanged."""
+    flows = list(FlowSet.generate(20, seed=9).flows)
+    path = tmp_path / "legacy.stream"
+    with path.open("w", encoding="ascii") as handle:
+        handle.write('{"format": "repro-stream-v1"}\n')
+        for flow in flows:
+            handle.write(f"{flow.src_ip},{flow.dst_ip},{flow.src_port},"
+                         f"{flow.dst_port},{flow.proto}\n")
+    assert list(stream_flows(path)) == flows
+
+
 def test_million_flow_stream_roundtrip(tmp_path):
     """Satellite regression: a million-flow trace round-trips through
     the stream format without ever being materialized in memory."""
